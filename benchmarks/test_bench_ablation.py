@@ -1,0 +1,61 @@
+"""E7 benchmark -- ablations of AdaWave's design choices.
+
+Three design claims from the paper are quantified:
+
+* the adaptive threshold is what makes the method robust at high noise
+  (versus no threshold filtering, i.e. plain WaveCluster-style smoothing);
+* the sparse "grid labeling" store shrinks memory by orders of magnitude as
+  the dimension grows;
+* the method is not overly sensitive to the wavelet basis (flexibility of
+  choosing the basis).
+"""
+
+from repro.experiments import (
+    format_table,
+    run_memory_ablation,
+    run_threshold_ablation,
+    run_wavelet_ablation,
+)
+
+
+def test_bench_threshold_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_threshold_ablation(noise_levels=(0.5, 0.8), n_per_cluster=1200),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(result))
+    rows = {(row["noise"], row["threshold_method"]): row["ami"] for row in result.rows}
+    # The adaptive threshold beats no thresholding at high noise.
+    assert rows[(0.8, "auto")] > rows[(0.8, "none")]
+
+
+def test_bench_memory_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_memory_ablation(dimensions=(2, 4, 6, 8, 10), n_samples=4000, scale=16),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(result))
+    savings = result.column("savings_factor")
+    assert savings[-1] > 1000 * savings[0]
+
+
+def test_bench_wavelet_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_wavelet_ablation(
+            wavelets=("bior2.2", "haar", "db2", "db4", "sym4"),
+            noise_fraction=0.75,
+            n_per_cluster=1200,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(result))
+    scores = result.column("ami")
+    # Every basis clusters the data; the spread between bases stays moderate.
+    assert min(scores) > 0.4
+    assert max(scores) - min(scores) < 0.4

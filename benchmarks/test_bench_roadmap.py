@@ -1,0 +1,22 @@
+"""E5 benchmark -- Fig. 9: the Roadmap case study.
+
+Paper reference: AdaWave clusters the North Jutland road network with AMI
+0.735 and the detected clusters correspond to the densely populated cities.
+The benchmark runs the road-network simulant and checks that AdaWave scores
+well and recovers the majority of the simulated cities.
+"""
+
+from repro.experiments import format_table, run_roadmap_case_study
+
+
+def _regenerate():
+    return run_roadmap_case_study(n_samples=12000, seed=0, dbscan_max_points=8000)
+
+
+def test_bench_roadmap_case_study(benchmark):
+    result = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    print()
+    print(format_table(result))
+    adawave = next(row for row in result.rows if row["algorithm"] == "AdaWave")
+    assert adawave["ami"] > 0.5
+    assert adawave["cities_recovered"] >= 4

@@ -1,0 +1,44 @@
+"""E6 benchmark -- Fig. 10: runtime versus the number of objects.
+
+Paper reference: AdaWave's runtime grows linearly with n (it is grid based
+and never computes pairwise distances) and ranks second behind SkinnyDip,
+well ahead of the distance-based methods.  Absolute seconds are machine and
+implementation dependent (the paper compares Python, R and Java programs and
+itself only discusses asymptotic trends), so the assertions target the fitted
+growth exponent and the relative ordering at the largest size.
+"""
+
+from repro.experiments import format_table, run_runtime_comparison
+
+
+def _regenerate():
+    return run_runtime_comparison(
+        sizes=(2000, 4000, 8000),
+        noise_fraction=0.75,
+        seed=0,
+        max_points_quadratic=8000,
+    )
+
+
+def test_bench_runtime_scaling(benchmark):
+    result = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    print()
+    print(format_table(result))
+
+    growth = {
+        row["algorithm"].replace(" (growth exponent)", ""): row["seconds"]
+        for row in result.rows
+        if "growth" in row["algorithm"]
+    }
+    # AdaWave grows (sub-)linearly: exponent clearly below quadratic.
+    assert growth["AdaWave"] < 1.5
+
+    largest = max(row["n"] for row in result.rows if row["n"] is not None)
+    at_largest = {
+        row["algorithm"]: row["seconds"]
+        for row in result.rows
+        if row["n"] == largest
+    }
+    # AdaWave is far faster than the EM / DBSCAN implementations at scale.
+    assert at_largest["AdaWave"] < at_largest["EM"]
+    assert at_largest["AdaWave"] < at_largest["DBSCAN"]

@@ -1,0 +1,42 @@
+"""Noise robustness: compare AdaWave with the paper's baselines as noise grows.
+
+Reproduces a small version of Fig. 8: the five-cluster synthetic benchmark is
+generated at several noise percentages and AdaWave, SkinnyDip, DBSCAN, EM,
+k-means and WaveCluster are scored with noise-aware AMI.
+
+Run with::
+
+    python examples/noise_robustness.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import format_table, run_noise_sweep
+from repro.experiments.reporting import pivot
+
+
+def main() -> None:
+    result = run_noise_sweep(
+        noise_levels=(0.2, 0.5, 0.8),
+        n_per_cluster=1200,
+        seed=0,
+        subsample_quadratic=20000,
+    )
+    wide = pivot(result, index="noise", column="algorithm", value="ami")
+    print(format_table(wide, title="AMI by noise level (reduced Fig. 8)"))
+    print()
+    adawave = {row["noise"]: row["ami"] for row in result.rows if row["algorithm"] == "AdaWave"}
+    print(
+        "AdaWave degrades from "
+        f"{adawave[0.2]:.2f} AMI at 20% noise to {adawave[0.8]:.2f} at 80% noise, "
+        "while the distance- and model-based baselines fall much faster."
+    )
+
+
+if __name__ == "__main__":
+    main()

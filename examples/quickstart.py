@@ -1,0 +1,53 @@
+"""Quickstart: cluster a highly noisy synthetic dataset with AdaWave.
+
+Generates the paper's running example (five arbitrarily shaped clusters
+drowned in 80 % uniform noise), runs AdaWave with its default parameters and
+prints the quality metrics and a textual summary of every pipeline stage.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import AdaWave
+from repro.datasets import running_example
+from repro.metrics import evaluate_clustering
+
+
+def main() -> None:
+    # 1. Generate the running example: 5 clusters + 80 % uniform noise.
+    data = running_example(noise_fraction=0.8, n_per_cluster=2000, seed=0)
+    print(f"dataset: {data}")
+
+    # 2. Cluster with AdaWave.  The defaults follow the paper: 128 intervals
+    #    per dimension, the CDF(2,2) wavelet and the adaptive elbow threshold.
+    model = AdaWave(scale=128)
+    model.fit(data.points)
+
+    # 3. Inspect the result.
+    scores = evaluate_clustering(data.labels, model.labels_)
+    print(f"detected clusters : {model.n_clusters_}")
+    print(f"adaptive threshold: {model.threshold_:.2f} "
+          f"(selected by the {model.result_.threshold.method!r} rule)")
+    print(f"AMI (non-noise)   : {scores.ami:.3f}")
+    print(f"ARI               : {scores.ari:.3f}")
+    print(f"noise detected    : {scores.noise_fraction_detected:.1%} "
+          f"(ground truth {data.noise_fraction:.1%})")
+
+    # 4. Every intermediate artefact is available on the result object.
+    result = model.result_
+    print(f"occupied grid cells        : {result.quantization.grid.n_occupied}")
+    print(f"transformed grid cells     : {result.transformed_grid.n_occupied}")
+    print(f"cells surviving threshold  : {len(result.surviving_cells)}")
+    print(f"cluster sizes (objects)    : {result.cluster_sizes}")
+
+
+if __name__ == "__main__":
+    main()

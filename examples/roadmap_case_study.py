@@ -1,0 +1,58 @@
+"""Roadmap case study: find dense city clusters in a noisy road network.
+
+Reproduces Fig. 9 on the synthetic road-network simulant: most points are
+arterial-road or countryside "noise"; AdaWave picks out the dense street
+grids of the simulated cities.  For each detected cluster the script reports
+which city it corresponds to and how much of that city it covers.
+
+Run with::
+
+    python examples/roadmap_case_study.py
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import AdaWave
+from repro.datasets import roadmap_simulant
+from repro.metrics import evaluate_clustering
+
+
+def main() -> None:
+    data = roadmap_simulant(n_samples=20000, seed=0)
+    cities = data.metadata["cities"]
+    print(f"road network: {data.n_samples} segments, "
+          f"{data.noise_fraction:.0%} arterial/countryside noise, {len(cities)} cities")
+
+    model = AdaWave(scale=128).fit(data.points)
+    scores = evaluate_clustering(data.labels, model.labels_)
+    print(f"AdaWave found {model.n_clusters_} clusters, AMI = {scores.ami:.3f}")
+    print()
+
+    # Map every detected cluster to the city providing most of its points.
+    print(f"{'cluster':>7}  {'size':>6}  {'dominant city':<15}  {'coverage of city':>16}")
+    for cluster in sorted(set(model.labels_[model.labels_ >= 0].tolist())):
+        members = np.flatnonzero(model.labels_ == cluster)
+        true_of_members = data.labels[members]
+        dominant = Counter(true_of_members[true_of_members >= 0].tolist()).most_common(1)
+        if not dominant:
+            print(f"{cluster:>7}  {len(members):>6}  {'(noise only)':<15}")
+            continue
+        city_id, _count = dominant[0]
+        city_size = int(np.sum(data.labels == city_id))
+        covered = int(np.sum((data.labels == city_id) & (model.labels_ == cluster)))
+        print(
+            f"{cluster:>7}  {len(members):>6}  {cities[city_id]:<15}  "
+            f"{covered / max(city_size, 1):>15.0%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

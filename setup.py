@@ -1,0 +1,8 @@
+"""Setuptools shim so ``python setup.py develop`` works in offline environments
+where pip's PEP 517 editable build (which needs the ``wheel`` package) is
+unavailable.  Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

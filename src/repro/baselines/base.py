@@ -1,0 +1,39 @@
+"""Common estimator interface shared by every clustering algorithm here.
+
+The experiment harness treats all algorithms uniformly: construct, call
+``fit(X)`` (or ``fit_predict(X)``), read ``labels_`` where ``-1`` denotes
+noise.  AdaWave itself follows the same duck-typed protocol without
+inheriting from this class, so the harness can mix them freely.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+NOISE_LABEL = -1
+
+
+class BaseClusterer(ABC):
+    """Abstract base class for the baseline clustering algorithms."""
+
+    labels_: Optional[np.ndarray] = None
+
+    @abstractmethod
+    def fit(self, X) -> "BaseClusterer":
+        """Cluster the data matrix ``X`` and populate :attr:`labels_`."""
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Convenience wrapper: :meth:`fit` then return :attr:`labels_`."""
+        self.fit(X)
+        assert self.labels_ is not None
+        return self.labels_
+
+    @property
+    def n_clusters_found_(self) -> int:
+        """Number of distinct non-noise labels after fitting."""
+        if self.labels_ is None:
+            raise RuntimeError(f"{type(self).__name__} has not been fitted yet.")
+        return len(set(int(label) for label in self.labels_ if label != NOISE_LABEL))

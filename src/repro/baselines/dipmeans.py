@@ -1,0 +1,102 @@
+"""DipMeans: incremental k-means with a dip-based split criterion.
+
+Kalogeratos & Likas (NIPS 2012) wrap k-means with an automatic estimate of
+the number of clusters: every cluster is examined by letting each member act
+as a "viewer" that applies the dip test to its distances to the other
+members.  If enough viewers find multimodality, the cluster is a split
+candidate; the strongest candidate is split in two (by 2-means) and the
+procedure repeats until no cluster is splittable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseClusterer
+from repro.baselines.diptest import dip_test
+from repro.baselines.kmeans import KMeans
+from repro.utils.validation import check_array, check_positive_int, check_probability, check_random_state
+
+
+class DipMeans(BaseClusterer):
+    """Estimate the number of clusters with dip-test split decisions.
+
+    Parameters
+    ----------
+    alpha:
+        Significance level of each viewer's dip test.
+    split_viewer_fraction:
+        Minimum fraction of cluster members whose dip test must reject
+        unimodality for the cluster to become a split candidate.
+    max_clusters:
+        Upper bound on the number of clusters.
+    viewer_sample:
+        Number of viewers sampled per cluster (keeps the procedure
+        near-linear; the original uses every member).
+    n_boot:
+        Monte-Carlo samples per dip p-value.
+    random_state:
+        Seed for k-means restarts and viewer sampling.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.01,
+        split_viewer_fraction: float = 0.01,
+        max_clusters: int = 20,
+        viewer_sample: int = 64,
+        n_boot: int = 100,
+        random_state=0,
+    ) -> None:
+        self.alpha = check_probability(alpha, name="alpha", inclusive=False)
+        self.split_viewer_fraction = check_probability(
+            split_viewer_fraction, name="split_viewer_fraction"
+        )
+        self.max_clusters = check_positive_int(max_clusters, name="max_clusters")
+        self.viewer_sample = check_positive_int(viewer_sample, name="viewer_sample")
+        self.n_boot = check_positive_int(n_boot, name="n_boot")
+        self.random_state = random_state
+
+        self.labels_: Optional[np.ndarray] = None
+        self.n_clusters_: Optional[int] = None
+
+    def _split_score(self, members: np.ndarray, rng: np.random.Generator) -> float:
+        """Fraction of sampled viewers whose distance profile rejects unimodality."""
+        n_members = members.shape[0]
+        if n_members < 8:
+            return 0.0
+        viewer_count = min(self.viewer_sample, n_members)
+        viewers = rng.choice(n_members, size=viewer_count, replace=False)
+        split_votes = 0
+        for viewer in viewers:
+            distances = np.linalg.norm(members - members[viewer], axis=1)
+            distances = np.delete(distances, viewer)
+            _dip, p_value = dip_test(distances, n_boot=self.n_boot)
+            if p_value <= self.alpha:
+                split_votes += 1
+        return split_votes / viewer_count
+
+    def fit(self, X) -> "DipMeans":
+        """Grow the number of clusters until no cluster is splittable."""
+        X = check_array(X, name="X")
+        rng = check_random_state(self.random_state)
+
+        n_clusters = 1
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        while n_clusters < self.max_clusters:
+            scores = []
+            for cluster in range(n_clusters):
+                members = X[labels == cluster]
+                scores.append(self._split_score(members, rng))
+            best_cluster = int(np.argmax(scores))
+            if scores[best_cluster] < self.split_viewer_fraction:
+                break
+            n_clusters += 1
+            model = KMeans(n_clusters=n_clusters, n_init=5, random_state=int(rng.integers(2**31)))
+            labels = model.fit_predict(X)
+
+        self.labels_ = labels
+        self.n_clusters_ = n_clusters
+        return self

@@ -1,0 +1,191 @@
+"""Hartigan & Hartigan's dip test of unimodality.
+
+The dip statistic of an empirical distribution function is the smallest
+sup-norm distance between it and the class of unimodal distribution
+functions.  SkinnyDip, UniDip and DipMeans all build on it: a significant dip
+means the sample is at least bimodal and should be split further.
+
+The implementation follows the classic iterative scheme: compute the greatest
+convex minorant (GCM) and least concave majorant (LCM) of the empirical CDF
+on the current interval, locate the modal interval where they are furthest
+apart, and shrink towards it until the dip inside the modal interval is no
+larger than the dip outside it.  P-values are obtained by Monte-Carlo
+simulation of the null (uniform samples of the same size), with a per-size
+cache so repeated tests -- SkinnyDip performs many -- stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_random_state
+
+# Cache of simulated null dip distributions keyed by (sample size, n_boot).
+_NULL_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def _greatest_convex_minorant(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Indices of the vertices of the greatest convex minorant of ``(x, y)``."""
+    hull = [0]
+    for index in range(1, len(x)):
+        hull.append(index)
+        # Enforce convexity of the slope sequence by removing middle points.
+        while len(hull) >= 3:
+            first, middle, last = hull[-3], hull[-2], hull[-1]
+            left_slope = (y[middle] - y[first]) * (x[last] - x[middle])
+            right_slope = (y[last] - y[middle]) * (x[middle] - x[first])
+            if left_slope <= right_slope:
+                break
+            hull.pop(-2)
+    return np.asarray(hull, dtype=np.int64)
+
+
+def _least_concave_majorant(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Indices of the vertices of the least concave majorant of ``(x, y)``."""
+    hull = [0]
+    for index in range(1, len(x)):
+        hull.append(index)
+        while len(hull) >= 3:
+            first, middle, last = hull[-3], hull[-2], hull[-1]
+            left_slope = (y[middle] - y[first]) * (x[last] - x[middle])
+            right_slope = (y[last] - y[middle]) * (x[middle] - x[first])
+            if left_slope >= right_slope:
+                break
+            hull.pop(-2)
+    return np.asarray(hull, dtype=np.int64)
+
+
+def _interpolate_on_hull(x: np.ndarray, y: np.ndarray, hull: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Evaluate the piecewise-linear hull function at the positions ``grid``."""
+    return np.interp(grid, x[hull], y[hull])
+
+
+def dip_statistic(sample) -> float:
+    """Hartigan's dip statistic of a one-dimensional sample.
+
+    Returns a value in ``[1 / (2n), 0.25]``; larger values mean stronger
+    evidence against unimodality.
+    """
+    dip, _modal = dip_and_modal_interval(sample)
+    return dip
+
+
+def dip_and_modal_interval(sample) -> Tuple[float, Tuple[int, int]]:
+    """Dip statistic plus the modal interval as indices into the sorted sample.
+
+    The modal interval is the index range ``(low, high)`` (inclusive, within
+    the sorted sample) that the iterative algorithm converged to; UniDip uses
+    it to decide where to recurse.
+    """
+    values = np.sort(np.asarray(sample, dtype=np.float64).ravel())
+    n = len(values)
+    if n < 4 or values[0] == values[-1]:
+        return 1.0 / (2.0 * max(n, 1)), (0, max(n - 1, 0))
+
+    # Empirical CDF evaluated at the sorted sample points.
+    ecdf = np.arange(1, n + 1) / n
+    low, high = 0, n - 1
+    dip = 1.0 / (2.0 * n)
+
+    for _ in range(n):  # The interval shrinks every iteration; n is a safe bound.
+        x = values[low : high + 1]
+        # Lower / upper step values of the ECDF on the working interval.
+        y_upper = ecdf[low : high + 1]
+        y_lower = y_upper - 1.0 / n
+
+        gcm = _greatest_convex_minorant(x, y_lower)
+        lcm = _least_concave_majorant(x, y_upper)
+
+        # Largest gap between the two hulls, evaluated at their vertices.
+        gcm_at_lcm = _interpolate_on_hull(x, y_lower, gcm, x[lcm])
+        lcm_at_gcm = _interpolate_on_hull(x, y_upper, lcm, x[gcm])
+        gap_at_lcm = y_upper[lcm] - gcm_at_lcm
+        gap_at_gcm = lcm_at_gcm - y_lower[gcm]
+
+        if gap_at_gcm.size and (not gap_at_lcm.size or gap_at_gcm.max() >= gap_at_lcm.max()):
+            modal_gap = float(gap_at_gcm.max())
+            modal_low = int(gcm[np.argmax(gap_at_gcm)])
+            # Modal interval upper end: the LCM vertex to the right of it.
+            right_candidates = lcm[lcm >= modal_low]
+            modal_high = int(right_candidates[0]) if right_candidates.size else len(x) - 1
+        else:
+            modal_gap = float(gap_at_lcm.max())
+            modal_high = int(lcm[np.argmax(gap_at_lcm)])
+            left_candidates = gcm[gcm <= modal_high]
+            modal_low = int(left_candidates[-1]) if left_candidates.size else 0
+
+        # Hartigan's stopping rule: once the hull gap inside the candidate
+        # modal interval no longer exceeds the dip collected outside it, the
+        # current dip is final.
+        if modal_gap <= dip:
+            low, high = low + modal_low, low + modal_high
+            break
+
+        # Deviation of the ECDF from the GCM left of the modal interval and
+        # from the LCM right of it -- the "outside" contribution to the dip.
+        left_dev = 0.0
+        if modal_low > 0:
+            left_x = x[: modal_low + 1]
+            left_fit = _interpolate_on_hull(x, y_lower, gcm, left_x)
+            left_dev = float(np.max(np.abs(y_upper[: modal_low + 1] - left_fit)))
+        right_dev = 0.0
+        if modal_high < len(x) - 1:
+            right_x = x[modal_high:]
+            right_fit = _interpolate_on_hull(x, y_upper, lcm, right_x)
+            right_dev = float(np.max(np.abs(right_fit - y_lower[modal_high:])))
+
+        dip = max(dip, left_dev, right_dev)
+        new_low = low + modal_low
+        new_high = low + modal_high
+        if (new_low, new_high) == (low, high):
+            break
+        low, high = new_low, new_high
+        if high - low < 3:
+            break
+    return float(dip), (int(low), int(high))
+
+
+def _null_distribution(n: int, n_boot: int, rng: np.random.Generator) -> np.ndarray:
+    """Simulated dip statistics of uniform samples of size ``n``."""
+    key = (n, n_boot)
+    if key not in _NULL_CACHE:
+        _NULL_CACHE[key] = np.asarray(
+            [dip_statistic(rng.uniform(size=n)) for _ in range(n_boot)]
+        )
+    return _NULL_CACHE[key]
+
+
+def dip_test(sample, n_boot: int = 200, random_state=0) -> Tuple[float, float]:
+    """Dip statistic and Monte-Carlo p-value of the unimodality null.
+
+    Parameters
+    ----------
+    sample:
+        1-D sample to test.
+    n_boot:
+        Number of uniform null samples used to estimate the p-value.
+    random_state:
+        Seed of the null simulation (the cache keys only on the sample size,
+        so use the same seed across calls for deterministic behaviour).
+
+    Returns
+    -------
+    (dip, p_value):
+        ``p_value`` is the fraction of null dips at least as large as the
+        observed one; small values reject unimodality.
+    """
+    values = np.asarray(sample, dtype=np.float64).ravel()
+    n = len(values)
+    if n < 4:
+        return 1.0 / (2.0 * max(n, 1)), 1.0
+    rng = check_random_state(random_state)
+    observed = dip_statistic(values)
+    null = _null_distribution(n if n <= 1000 else 1000, n_boot, rng)
+    if n > 1000:
+        # Dip scales as 1 / sqrt(n); rescale the cached null accordingly so a
+        # single simulated size covers the large-sample regime.
+        null = null * np.sqrt(1000.0 / n)
+    p_value = float(np.mean(null >= observed))
+    return observed, p_value

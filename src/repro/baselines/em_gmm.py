@@ -1,0 +1,144 @@
+"""EM clustering with a Gaussian mixture model.
+
+The paper's model-based representative: "a multivariate Gaussian probability
+distribution model is used to estimate the probability that a data point
+belongs to a cluster, with each cluster regarded as a Gaussian model".  The
+implementation is a standard expectation-maximisation fit of a mixture of
+full-covariance Gaussians with k-means++ initialisation and covariance
+regularisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseClusterer
+from repro.baselines.kmeans import kmeans_plus_plus_init
+from repro.utils.validation import check_array, check_positive_int, check_random_state
+
+
+class EMClustering(BaseClusterer):
+    """Gaussian mixture model fitted with expectation-maximisation.
+
+    Parameters
+    ----------
+    n_components:
+        Number of mixture components (clusters).
+    max_iter:
+        Maximum EM iterations.
+    tol:
+        Convergence tolerance on the mean log-likelihood improvement.
+    reg_covar:
+        Ridge added to covariance diagonals for numerical stability.
+    random_state:
+        Seed for the initialisation.
+
+    Attributes
+    ----------
+    labels_:
+        Hard assignment of every point to its most probable component.
+    means_, covariances_, weights_:
+        Fitted mixture parameters.
+    log_likelihood_:
+        Final mean log-likelihood of the data.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 8,
+        max_iter: int = 200,
+        tol: float = 1e-5,
+        reg_covar: float = 1e-6,
+        random_state=None,
+    ) -> None:
+        self.n_components = check_positive_int(n_components, name="n_components")
+        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        if tol <= 0:
+            raise ValueError(f"tol must be positive; got {tol}.")
+        self.tol = float(tol)
+        if reg_covar < 0:
+            raise ValueError(f"reg_covar must be non-negative; got {reg_covar}.")
+        self.reg_covar = float(reg_covar)
+        self.random_state = random_state
+
+        self.labels_: Optional[np.ndarray] = None
+        self.means_: Optional[np.ndarray] = None
+        self.covariances_: Optional[np.ndarray] = None
+        self.weights_: Optional[np.ndarray] = None
+        self.log_likelihood_: Optional[float] = None
+        self.n_iter_: Optional[int] = None
+
+    def _log_gaussian(self, X: np.ndarray, mean: np.ndarray, covariance: np.ndarray) -> np.ndarray:
+        """Log density of a multivariate normal evaluated at every row of ``X``."""
+        dim = X.shape[1]
+        regularised = covariance + self.reg_covar * np.eye(dim)
+        try:
+            cholesky = np.linalg.cholesky(regularised)
+        except np.linalg.LinAlgError:
+            regularised = covariance + max(self.reg_covar, 1e-3) * np.eye(dim)
+            cholesky = np.linalg.cholesky(regularised)
+        solved = np.linalg.solve_triangular if hasattr(np.linalg, "solve_triangular") else None
+        centered = X - mean
+        if solved is not None:  # pragma: no cover - numpy >= 2.0 fast path
+            z = solved(cholesky, centered.T, lower=True).T
+        else:
+            z = np.linalg.solve(cholesky, centered.T).T
+        log_det = 2.0 * np.sum(np.log(np.diag(cholesky)))
+        quadratic = np.sum(z**2, axis=1)
+        return -0.5 * (dim * np.log(2.0 * np.pi) + log_det + quadratic)
+
+    def fit(self, X) -> "EMClustering":
+        """Fit the mixture by EM and hard-assign every point."""
+        X = check_array(X, name="X")
+        n_samples, dim = X.shape
+        if n_samples < self.n_components:
+            raise ValueError(
+                f"n_components={self.n_components} exceeds the number of samples {n_samples}."
+            )
+        rng = check_random_state(self.random_state)
+
+        means = kmeans_plus_plus_init(X, self.n_components, rng)
+        covariances = np.stack([np.cov(X.T) + self.reg_covar * np.eye(dim)] * self.n_components)
+        if dim == 1:
+            covariances = covariances.reshape(self.n_components, 1, 1)
+        weights = np.full(self.n_components, 1.0 / self.n_components)
+
+        previous_likelihood = -np.inf
+        responsibilities = np.zeros((n_samples, self.n_components))
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            # E step: responsibilities from current parameters.
+            log_prob = np.empty((n_samples, self.n_components))
+            for component in range(self.n_components):
+                log_prob[:, component] = (
+                    np.log(max(weights[component], 1e-300))
+                    + self._log_gaussian(X, means[component], covariances[component])
+                )
+            log_norm = np.logaddexp.reduce(log_prob, axis=1)
+            responsibilities = np.exp(log_prob - log_norm[:, None])
+            likelihood = float(np.mean(log_norm))
+
+            # M step: re-estimate weights, means and covariances.
+            component_mass = responsibilities.sum(axis=0) + 1e-12
+            weights = component_mass / n_samples
+            means = (responsibilities.T @ X) / component_mass[:, None]
+            for component in range(self.n_components):
+                centered = X - means[component]
+                weighted = responsibilities[:, component][:, None] * centered
+                covariances[component] = (weighted.T @ centered) / component_mass[component]
+                covariances[component] += self.reg_covar * np.eye(dim)
+
+            if abs(likelihood - previous_likelihood) < self.tol:
+                previous_likelihood = likelihood
+                break
+            previous_likelihood = likelihood
+
+        self.labels_ = np.argmax(responsibilities, axis=1).astype(np.int64)
+        self.means_ = means
+        self.covariances_ = covariances
+        self.weights_ = weights
+        self.log_likelihood_ = previous_likelihood
+        self.n_iter_ = iteration
+        return self

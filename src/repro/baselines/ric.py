@@ -1,0 +1,146 @@
+"""RIC: robust information-theoretic clustering (simplified reproduction).
+
+Boehm et al. (KDD 2006) propose a wrapper that takes a preliminary (coarse)
+clustering and purifies it using the minimum description length principle:
+points that are cheaper to encode under a global "noise" model than under
+their cluster's model are relabelled as noise, and clusters are merged when a
+joint model encodes their members more compactly than two separate models.
+
+The full RIC system (VAC coding with per-attribute histogram models and
+rotation search) is substantially larger than what the paper's comparison
+needs; this reproduction keeps the architecture -- preliminary k-means,
+MDL-based noise purification, MDL-based cluster merging -- with Gaussian
+cluster models and a uniform noise model, and documents the simplification in
+DESIGN.md.  Its qualitative behaviour matches the paper's observation that
+RIC collapses to very few clusters once the noise level is non-trivial.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseClusterer, NOISE_LABEL
+from repro.baselines.kmeans import KMeans
+from repro.utils.validation import check_array, check_positive_int
+
+
+def _gaussian_code_length(points: np.ndarray, members: np.ndarray) -> float:
+    """Total code length (nats) of ``points`` under a diagonal Gaussian model."""
+    if len(members) < 2:
+        return np.inf
+    mean = members.mean(axis=0)
+    variance = members.var(axis=0) + 1e-9
+    centered = points - mean
+    per_point = 0.5 * np.sum(
+        np.log(2.0 * np.pi * variance)[None, :] + centered**2 / variance[None, :], axis=1
+    )
+    return float(per_point.sum())
+
+
+def _uniform_code_length(points: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> float:
+    """Total code length of ``points`` under a uniform model over the data box."""
+    volume = float(np.prod(np.maximum(upper - lower, 1e-12)))
+    return float(len(points) * np.log(volume))
+
+
+class RIC(BaseClusterer):
+    """MDL-based purification and merging of a preliminary k-means clustering.
+
+    Parameters
+    ----------
+    n_initial_clusters:
+        Number of clusters of the preliminary k-means run.
+    parameter_cost:
+        Code-length penalty (nats) charged per cluster model, which drives the
+        merge decisions.
+    random_state:
+        Seed of the preliminary k-means.
+    """
+
+    def __init__(self, n_initial_clusters: int = 10, parameter_cost: float = 50.0, random_state=0) -> None:
+        self.n_initial_clusters = check_positive_int(n_initial_clusters, name="n_initial_clusters")
+        if parameter_cost < 0:
+            raise ValueError(f"parameter_cost must be non-negative; got {parameter_cost}.")
+        self.parameter_cost = float(parameter_cost)
+        self.random_state = random_state
+
+        self.labels_: Optional[np.ndarray] = None
+        self.n_clusters_: Optional[int] = None
+
+    def _purify(self, X: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Relabel as noise every point cheaper to encode under the noise model."""
+        lower = X.min(axis=0)
+        upper = X.max(axis=0)
+        noise_cost_per_point = _uniform_code_length(X[:1], lower, upper)
+        purified = labels.copy()
+        for cluster in np.unique(labels):
+            if cluster == NOISE_LABEL:
+                continue
+            members_mask = labels == cluster
+            members = X[members_mask]
+            if len(members) < 2:
+                purified[members_mask] = NOISE_LABEL
+                continue
+            mean = members.mean(axis=0)
+            variance = members.var(axis=0) + 1e-9
+            centered = X[members_mask] - mean
+            member_costs = 0.5 * np.sum(
+                np.log(2.0 * np.pi * variance)[None, :] + centered**2 / variance[None, :],
+                axis=1,
+            )
+            noisy = member_costs > noise_cost_per_point
+            indices = np.flatnonzero(members_mask)
+            purified[indices[noisy]] = NOISE_LABEL
+        return purified
+
+    def _merge(self, X: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Greedily merge cluster pairs while the joint MDL cost decreases."""
+        merged = labels.copy()
+        improved = True
+        while improved:
+            improved = False
+            clusters: List[int] = sorted(
+                int(label) for label in np.unique(merged) if label != NOISE_LABEL
+            )
+            best_gain = 0.0
+            best_pair = None
+            for i, first in enumerate(clusters):
+                for second in clusters[i + 1 :]:
+                    members_first = X[merged == first]
+                    members_second = X[merged == second]
+                    joint = np.vstack([members_first, members_second])
+                    separate_cost = (
+                        _gaussian_code_length(members_first, members_first)
+                        + _gaussian_code_length(members_second, members_second)
+                        + 2.0 * self.parameter_cost
+                    )
+                    joint_cost = _gaussian_code_length(joint, joint) + self.parameter_cost
+                    gain = separate_cost - joint_cost
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_pair = (first, second)
+            if best_pair is not None:
+                merged[merged == best_pair[1]] = best_pair[0]
+                improved = True
+        return merged
+
+    def fit(self, X) -> "RIC":
+        """Preliminary k-means, then MDL purification and merging."""
+        X = check_array(X, name="X")
+        k = min(self.n_initial_clusters, X.shape[0])
+        preliminary = KMeans(n_clusters=k, n_init=5, random_state=self.random_state).fit_predict(X)
+        purified = self._purify(X, preliminary)
+        merged = self._merge(X, purified)
+
+        # Re-index the surviving clusters densely.
+        final = np.full(X.shape[0], NOISE_LABEL, dtype=np.int64)
+        for new_label, old_label in enumerate(
+            sorted(int(label) for label in np.unique(merged) if label != NOISE_LABEL)
+        ):
+            final[merged == old_label] = new_label
+
+        self.labels_ = final
+        self.n_clusters_ = int(final.max() + 1) if (final != NOISE_LABEL).any() else 0
+        return self

@@ -1,0 +1,166 @@
+"""SkinnyDip and UniDip: dip-based clustering in a sea of noise.
+
+Maurus & Plant (KDD 2016) cluster extremely noisy data by repeatedly applying
+Hartigan's dip test:
+
+* ``UniDip`` finds the modal (high-density) intervals of a one-dimensional
+  sample: if the sample is unimodal it returns a single interval, otherwise
+  it recurses into the modal interval and into the tails on either side.
+* ``SkinnyDip`` applies UniDip to the projection of the data onto each
+  dimension in turn: every modal interval found along dimension ``j`` is
+  refined along dimension ``j + 1`` using only the points inside it; after the
+  last dimension the surviving hyper-rectangles are the clusters and every
+  point outside them is noise.
+
+The method is deterministic and very fast but assumes that every cluster is
+unimodal in every coordinate projection -- the assumption the paper's
+ring-shaped clusters deliberately violate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaseClusterer, NOISE_LABEL
+from repro.baselines.diptest import dip_and_modal_interval, dip_test
+from repro.utils.validation import check_array, check_probability
+
+Interval = Tuple[float, float]
+
+_MIN_POINTS = 4
+
+
+class UniDip:
+    """Extract the modal intervals of a one-dimensional sample.
+
+    Parameters
+    ----------
+    alpha:
+        Significance level of the dip test; smaller values make the procedure
+        more conservative (fewer clusters).
+    n_boot:
+        Monte-Carlo samples for the dip p-value.
+    """
+
+    def __init__(self, alpha: float = 0.05, n_boot: int = 100) -> None:
+        self.alpha = check_probability(alpha, name="alpha", inclusive=False)
+        self.n_boot = int(n_boot)
+
+    def fit(self, values) -> List[Interval]:
+        """Return the modal intervals of ``values`` as ``(low, high)`` pairs."""
+        sorted_values = np.sort(np.asarray(values, dtype=np.float64).ravel())
+        if len(sorted_values) < _MIN_POINTS:
+            if len(sorted_values) == 0:
+                return []
+            return [(float(sorted_values[0]), float(sorted_values[-1]))]
+        intervals = self._recurse(sorted_values, is_outer=False)
+        return _merge_overlapping(intervals)
+
+    def _recurse(self, values: np.ndarray, is_outer: bool) -> List[Interval]:
+        if len(values) < _MIN_POINTS:
+            return []
+        _dip, p_value = dip_test(values, n_boot=self.n_boot)
+        _dip2, (modal_low, modal_high) = dip_and_modal_interval(values)
+        if p_value > self.alpha:
+            # Unimodal: the whole sample is one cluster interval.  When
+            # examining a tail ("outer") region the cluster is only the modal
+            # part of it, the rest of the tail is noise.
+            if is_outer:
+                return [(float(values[modal_low]), float(values[modal_high]))]
+            return [(float(values[0]), float(values[-1]))]
+
+        # Multimodal: recurse inside the modal interval and into both tails.
+        intervals = self._recurse(values[modal_low : modal_high + 1], is_outer=False)
+        left = values[:modal_low]
+        right = values[modal_high + 1 :]
+        if len(left) >= _MIN_POINTS:
+            intervals.extend(self._recurse(left, is_outer=True))
+        if len(right) >= _MIN_POINTS:
+            intervals.extend(self._recurse(right, is_outer=True))
+        return intervals
+
+
+def _merge_overlapping(intervals: List[Interval]) -> List[Interval]:
+    """Merge overlapping or touching intervals and sort them."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [ordered[0]]
+    for low, high in ordered[1:]:
+        last_low, last_high = merged[-1]
+        if low <= last_high:
+            merged[-1] = (last_low, max(last_high, high))
+        else:
+            merged.append((low, high))
+    return merged
+
+
+class SkinnyDip(BaseClusterer):
+    """Dip-based clustering of multi-dimensional data with heavy noise.
+
+    Parameters
+    ----------
+    alpha:
+        Dip-test significance level used by the per-dimension UniDip runs.
+    n_boot:
+        Monte-Carlo samples for each dip p-value.
+    max_clusters:
+        Safety cap on the number of hyper-rectangles kept (the procedure is
+        exponential in pathological cases).
+
+    Attributes
+    ----------
+    labels_:
+        Cluster labels; ``-1`` marks points outside every modal
+        hyper-rectangle (noise).
+    hyperrectangles_:
+        The modal hyper-rectangles, one per cluster, as a list of per-
+        dimension ``(low, high)`` intervals.
+    """
+
+    def __init__(self, alpha: float = 0.05, n_boot: int = 100, max_clusters: int = 64) -> None:
+        self.alpha = check_probability(alpha, name="alpha", inclusive=False)
+        self.n_boot = int(n_boot)
+        self.max_clusters = int(max_clusters)
+
+        self.labels_: Optional[np.ndarray] = None
+        self.hyperrectangles_: Optional[List[List[Interval]]] = None
+
+    def fit(self, X) -> "SkinnyDip":
+        """Run the per-dimension UniDip recursion and label the points."""
+        X = check_array(X, name="X")
+        n_samples, n_features = X.shape
+        unidip = UniDip(alpha=self.alpha, n_boot=self.n_boot)
+
+        # Each candidate is (row indices, list of per-dimension intervals).
+        candidates: List[Tuple[np.ndarray, List[Interval]]] = [
+            (np.arange(n_samples), [])
+        ]
+        for dimension in range(n_features):
+            refined: List[Tuple[np.ndarray, List[Interval]]] = []
+            for indices, box in candidates:
+                if len(indices) < _MIN_POINTS:
+                    continue
+                intervals = unidip.fit(X[indices, dimension])
+                for low, high in intervals:
+                    mask = (X[indices, dimension] >= low) & (X[indices, dimension] <= high)
+                    selected = indices[mask]
+                    if len(selected) >= _MIN_POINTS:
+                        refined.append((selected, box + [(low, high)]))
+                if len(refined) >= self.max_clusters:
+                    break
+            candidates = refined
+            if not candidates:
+                break
+
+        labels = np.full(n_samples, NOISE_LABEL, dtype=np.int64)
+        boxes: List[List[Interval]] = []
+        for cluster_id, (indices, box) in enumerate(candidates[: self.max_clusters]):
+            labels[indices] = cluster_id
+            boxes.append(box)
+
+        self.labels_ = labels
+        self.hyperrectangles_ = boxes
+        return self

@@ -1,0 +1,150 @@
+"""Spectral clustering and the self-tuning variant (STSC).
+
+Standard spectral clustering builds a Gaussian affinity matrix, forms the
+symmetrically normalised Laplacian, embeds every point into the space spanned
+by the first ``k`` eigenvectors and clusters the embedding with k-means.
+Zelnik-Manor & Perona's self-tuning variant replaces the single kernel width
+by a local scale ``sigma_i`` (the distance to the ``k``-th nearest neighbour
+of point ``i``) and can pick the number of clusters from the eigengap, which
+is how the paper's STSC baseline is automated.
+
+Both are O(n^2) in memory and O(n^3) in time, so the experiment harness
+subsamples large datasets before calling them -- matching the way the paper
+notes these methods do not scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import BaseClusterer
+from repro.baselines.kmeans import KMeans
+from repro.spatial.neighbors import k_nearest_neighbors, pairwise_distances
+from repro.utils.validation import check_array, check_positive_int
+
+
+class SpectralClustering(BaseClusterer):
+    """Normalised-cut spectral clustering with a global Gaussian kernel.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    sigma:
+        Gaussian kernel width; ``None`` uses the median pairwise distance.
+    random_state:
+        Seed of the k-means step on the spectral embedding.
+    """
+
+    _MAX_POINTS = 4000
+
+    def __init__(self, n_clusters: int = 8, sigma: Optional[float] = None, random_state=0) -> None:
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
+        if sigma is not None and sigma <= 0:
+            raise ValueError(f"sigma must be positive; got {sigma}.")
+        self.sigma = sigma
+        self.random_state = random_state
+        self.labels_: Optional[np.ndarray] = None
+        self.embedding_: Optional[np.ndarray] = None
+
+    def _affinity(self, X: np.ndarray) -> np.ndarray:
+        distances = pairwise_distances(X)
+        sigma = self.sigma
+        if sigma is None:
+            positive = distances[distances > 0]
+            sigma = float(np.median(positive)) if positive.size else 1.0
+        affinity = np.exp(-(distances**2) / (2.0 * sigma**2))
+        np.fill_diagonal(affinity, 0.0)
+        return affinity
+
+    def _embed(self, affinity: np.ndarray, n_components: int) -> np.ndarray:
+        degrees = affinity.sum(axis=1)
+        inv_sqrt_degree = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
+        normalized = affinity * inv_sqrt_degree[:, None] * inv_sqrt_degree[None, :]
+        # Largest eigenvectors of the normalised affinity = smallest of the Laplacian.
+        eigenvalues, eigenvectors = np.linalg.eigh(normalized)
+        embedding = eigenvectors[:, -n_components:]
+        norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+        return embedding / np.maximum(norms, 1e-12)
+
+    def fit(self, X) -> "SpectralClustering":
+        """Embed with the normalised Laplacian and cluster the embedding."""
+        X = check_array(X, name="X")
+        if X.shape[0] > self._MAX_POINTS:
+            raise ValueError(
+                f"spectral clustering materialises an {X.shape[0]}^2 affinity matrix; "
+                f"subsample to at most {self._MAX_POINTS} points first."
+            )
+        affinity = self._affinity(X)
+        self.embedding_ = self._embed(affinity, self.n_clusters)
+        model = KMeans(n_clusters=self.n_clusters, n_init=10, random_state=self.random_state)
+        self.labels_ = model.fit_predict(self.embedding_)
+        return self
+
+
+class SelfTuningSpectralClustering(SpectralClustering):
+    """Self-tuning spectral clustering (Zelnik-Manor & Perona; the paper's STSC).
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters, or ``None`` to pick it from the largest eigengap
+        among the first ``max_clusters`` eigenvalues.
+    n_neighbors:
+        Neighbour rank used for the local scale (the original paper uses 7).
+    max_clusters:
+        Largest cluster count considered by the eigengap heuristic.
+    """
+
+    def __init__(
+        self,
+        n_clusters: Optional[int] = None,
+        n_neighbors: int = 7,
+        max_clusters: int = 15,
+        random_state=0,
+    ) -> None:
+        super().__init__(n_clusters=n_clusters or 2, random_state=random_state)
+        self._requested_clusters = n_clusters
+        self.n_neighbors = check_positive_int(n_neighbors, name="n_neighbors")
+        self.max_clusters = check_positive_int(max_clusters, name="max_clusters")
+
+    def _affinity(self, X: np.ndarray) -> np.ndarray:
+        distances = pairwise_distances(X)
+        rank = min(self.n_neighbors, X.shape[0] - 1)
+        knn_distances, _ = k_nearest_neighbors(X, rank)
+        local_scale = np.maximum(knn_distances[:, -1], 1e-12)
+        affinity = np.exp(-(distances**2) / (local_scale[:, None] * local_scale[None, :]))
+        np.fill_diagonal(affinity, 0.0)
+        return affinity
+
+    def _estimate_n_clusters(self, affinity: np.ndarray) -> int:
+        degrees = affinity.sum(axis=1)
+        inv_sqrt_degree = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
+        normalized = affinity * inv_sqrt_degree[:, None] * inv_sqrt_degree[None, :]
+        eigenvalues = np.linalg.eigvalsh(normalized)[::-1]
+        limit = min(self.max_clusters, len(eigenvalues) - 1)
+        gaps = eigenvalues[:limit] - eigenvalues[1 : limit + 1]
+        # The first gap corresponds to a single cluster; prefer >= 2 clusters
+        # unless the one-cluster gap dominates everything else.
+        best = int(np.argmax(gaps)) + 1
+        return max(best, 1)
+
+    def fit(self, X) -> "SelfTuningSpectralClustering":
+        """Build the locally scaled affinity, pick ``k`` if needed, embed, cluster."""
+        X = check_array(X, name="X")
+        if X.shape[0] > self._MAX_POINTS:
+            raise ValueError(
+                f"spectral clustering materialises an {X.shape[0]}^2 affinity matrix; "
+                f"subsample to at most {self._MAX_POINTS} points first."
+            )
+        affinity = self._affinity(X)
+        if self._requested_clusters is None:
+            self.n_clusters = self._estimate_n_clusters(affinity)
+        else:
+            self.n_clusters = self._requested_clusters
+        self.embedding_ = self._embed(affinity, self.n_clusters)
+        model = KMeans(n_clusters=self.n_clusters, n_init=10, random_state=self.random_state)
+        self.labels_ = model.fit_predict(self.embedding_)
+        return self

@@ -1,0 +1,41 @@
+"""AdaWave core: the paper's primary contribution.
+
+The algorithm (Algorithm 1 of the paper) runs in four stages:
+
+1. quantize the feature space into a sparse grid (:mod:`repro.grid`);
+2. apply a per-dimension discrete wavelet transform to the grid densities and
+   keep only the scale-space (approximation) coefficients
+   (:mod:`repro.core.transform`);
+3. adaptively choose a density threshold with the elbow criterion and filter
+   the noise grids (:mod:`repro.core.threshold`);
+4. extract connected components among the surviving transformed grids, label
+   them and map the labels back to the original objects through the lookup
+   table (:mod:`repro.core.adawave`).
+
+:class:`repro.core.multiresolution.MultiResolutionAdaWave` exposes the
+multi-resolution property inherited from the wavelet transform: the same
+quantized grid clustered at several decomposition levels at once.
+"""
+
+from repro.core.adawave import AdaWave, AdaWaveResult
+from repro.core.threshold import (
+    elbow_threshold_angle,
+    elbow_threshold_distance,
+    elbow_threshold_segments,
+    adaptive_threshold,
+    ThresholdDiagnostics,
+)
+from repro.core.transform import wavelet_smooth_grid
+from repro.core.multiresolution import MultiResolutionAdaWave
+
+__all__ = [
+    "AdaWave",
+    "AdaWaveResult",
+    "MultiResolutionAdaWave",
+    "elbow_threshold_angle",
+    "elbow_threshold_distance",
+    "elbow_threshold_segments",
+    "adaptive_threshold",
+    "ThresholdDiagnostics",
+    "wavelet_smooth_grid",
+]

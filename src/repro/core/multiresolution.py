@@ -1,0 +1,122 @@
+"""Multi-resolution clustering (Section IV-F, last property).
+
+Because the wavelet transform is layered (the Mallat algorithm decomposes the
+approximation again at every level), a single quantization of the data can be
+clustered at several resolutions: low levels preserve fine structure, high
+levels merge nearby groups.  ``MultiResolutionAdaWave`` runs the AdaWave
+pipeline once per requested level, sharing the quantization step, and lets
+the caller inspect or select among the resulting clusterings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.adawave import AdaWave, AdaWaveResult
+from repro.utils.validation import check_array
+
+
+@dataclass
+class ResolutionLevel:
+    """Clustering produced at one decomposition level."""
+
+    level: int
+    labels: np.ndarray
+    n_clusters: int
+    threshold: float
+    result: AdaWaveResult
+
+
+class MultiResolutionAdaWave:
+    """Run AdaWave at several wavelet decomposition levels.
+
+    Parameters
+    ----------
+    scale:
+        Quantization intervals per dimension (shared by every level).
+    wavelet:
+        Wavelet basis name.
+    levels:
+        Iterable of decomposition levels to evaluate (default ``(1, 2, 3)``).
+    **adawave_kwargs:
+        Remaining keyword arguments forwarded to :class:`AdaWave`.
+
+    Attributes
+    ----------
+    levels_:
+        List of :class:`ResolutionLevel`, one per requested level, in order.
+    labels_:
+        Labels of the *selected* level (see ``select``), populated by
+        :meth:`fit`.
+    """
+
+    def __init__(
+        self,
+        scale: Union[int, Sequence[int]] = 128,
+        wavelet: str = "bior2.2",
+        levels: Sequence[int] = (1, 2, 3),
+        select: str = "finest",
+        **adawave_kwargs,
+    ) -> None:
+        if not levels:
+            raise ValueError("levels must contain at least one decomposition level.")
+        if any(int(level) < 1 for level in levels):
+            raise ValueError(f"every level must be >= 1; got {list(levels)}.")
+        if select not in ("finest", "coarsest", "most_clusters"):
+            raise ValueError(
+                f"select must be 'finest', 'coarsest' or 'most_clusters'; got {select!r}."
+            )
+        self.scale = scale
+        self.wavelet = wavelet
+        self.levels = [int(level) for level in levels]
+        self.select = select
+        self.adawave_kwargs = adawave_kwargs
+
+        self.levels_: List[ResolutionLevel] = []
+        self.labels_: Optional[np.ndarray] = None
+        self.selected_level_: Optional[int] = None
+
+    def fit(self, X) -> "MultiResolutionAdaWave":
+        """Cluster ``X`` at every requested level."""
+        X = check_array(X, name="X")
+        self.levels_ = []
+        for level in self.levels:
+            model = AdaWave(
+                scale=self.scale, wavelet=self.wavelet, level=level, **self.adawave_kwargs
+            )
+            model.fit(X)
+            self.levels_.append(
+                ResolutionLevel(
+                    level=level,
+                    labels=model.labels_,
+                    n_clusters=model.n_clusters_,
+                    threshold=model.threshold_,
+                    result=model.result_,
+                )
+            )
+        selected = self._select_level()
+        self.selected_level_ = selected.level
+        self.labels_ = selected.labels
+        return self
+
+    def fit_predict(self, X) -> np.ndarray:
+        """Fit at every level and return the labels of the selected level."""
+        return self.fit(X).labels_
+
+    def _select_level(self) -> ResolutionLevel:
+        if self.select == "finest":
+            return min(self.levels_, key=lambda item: item.level)
+        if self.select == "coarsest":
+            return max(self.levels_, key=lambda item: item.level)
+        return max(self.levels_, key=lambda item: item.n_clusters)
+
+    def labels_by_level(self) -> Dict[int, np.ndarray]:
+        """Mapping of level to label vector (after :meth:`fit`)."""
+        return {item.level: item.labels for item in self.levels_}
+
+    def cluster_counts(self) -> Dict[int, int]:
+        """Mapping of level to number of detected clusters."""
+        return {item.level: item.n_clusters for item in self.levels_}

@@ -1,0 +1,83 @@
+"""The :class:`Dataset` container shared by every generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+NOISE_LABEL = -1
+
+
+@dataclass
+class Dataset:
+    """A labelled point set plus the metadata the experiment harness reports.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name (used in experiment tables).
+    points:
+        Array of shape ``(n_samples, n_features)``.
+    labels:
+        Ground-truth labels; ``-1`` marks noise points.
+    metadata:
+        Free-form generator parameters (noise fraction, seed, ...).
+    """
+
+    name: str
+    points: np.ndarray
+    labels: np.ndarray
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.points.ndim != 2:
+            raise ValueError(f"points must be 2-D; got shape {self.points.shape}.")
+        if self.labels.shape != (self.points.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({self.points.shape[0]},); got {self.labels.shape}."
+            )
+
+    @property
+    def n_samples(self) -> int:
+        """Number of points."""
+        return self.points.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of dimensions."""
+        return self.points.shape[1]
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of ground-truth clusters (noise excluded)."""
+        return len(set(int(label) for label in self.labels if label != NOISE_LABEL))
+
+    @property
+    def noise_fraction(self) -> float:
+        """Fraction of points labelled as noise in the ground truth."""
+        return float(np.mean(self.labels == NOISE_LABEL))
+
+    def shuffled(self, seed: int = 0) -> "Dataset":
+        """Return a copy with the rows in random order.
+
+        Used by the order-insensitivity tests: AdaWave must produce the same
+        partition regardless of input order.
+        """
+        rng = np.random.default_rng(seed)
+        permutation = rng.permutation(self.n_samples)
+        return Dataset(
+            name=self.name,
+            points=self.points[permutation],
+            labels=self.labels[permutation],
+            metadata={**self.metadata, "shuffled_seed": seed},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset(name={self.name!r}, n={self.n_samples}, d={self.n_features}, "
+            f"clusters={self.n_clusters}, noise={self.noise_fraction:.0%})"
+        )

@@ -1,0 +1,53 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Every module exposes a ``run_*`` function that generates the workload, runs
+the algorithms and returns a :class:`~repro.experiments.runner.ExperimentResult`
+whose rows mirror the corresponding table or figure series:
+
+========  =======================================  ===========================
+ID        Paper artefact                           Module
+========  =======================================  ===========================
+E1        Fig. 1 / Fig. 2 running example          :mod:`repro.experiments.running_example`
+E2        Fig. 7 / Fig. 8 noise sweep              :mod:`repro.experiments.noise_sweep`
+E3        Table I real-world comparison            :mod:`repro.experiments.realworld`
+E4        Table II Glass correlations              :mod:`repro.experiments.glass_correlation`
+E5        Fig. 9 Roadmap case study                :mod:`repro.experiments.roadmap_case`
+E6        Fig. 10 runtime scaling                  :mod:`repro.experiments.runtime`
+E7        Design-choice ablations (this repo)      :mod:`repro.experiments.ablation`
+========  =======================================  ===========================
+
+The benchmark harness under ``benchmarks/`` simply calls these functions with
+reduced sizes so the whole suite regenerates every artefact in minutes.
+"""
+
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    ExperimentResult,
+    evaluate_algorithm,
+    default_algorithms,
+)
+from repro.experiments.running_example import run_running_example
+from repro.experiments.noise_sweep import run_noise_sweep
+from repro.experiments.realworld import run_realworld_comparison
+from repro.experiments.glass_correlation import run_glass_correlation
+from repro.experiments.roadmap_case import run_roadmap_case_study
+from repro.experiments.runtime import run_runtime_comparison
+from repro.experiments.ablation import run_threshold_ablation, run_memory_ablation, run_wavelet_ablation
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "AlgorithmSpec",
+    "ExperimentResult",
+    "evaluate_algorithm",
+    "default_algorithms",
+    "run_running_example",
+    "run_noise_sweep",
+    "run_realworld_comparison",
+    "run_glass_correlation",
+    "run_roadmap_case_study",
+    "run_runtime_comparison",
+    "run_threshold_ablation",
+    "run_memory_ablation",
+    "run_wavelet_ablation",
+    "format_table",
+]

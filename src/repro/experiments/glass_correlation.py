@@ -1,0 +1,53 @@
+"""E4 -- Table II: per-attribute correlation with the class on Glass.
+
+Table II lists the Pearson correlation of each of the nine Glass attributes
+with the class label, documenting why per-dimension methods struggle on that
+dataset (most attributes correlate weakly with the class).  The Glass
+simulant is constructed to match those correlations, and this experiment
+recomputes them from the generated data so the reproduction can be checked
+end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.uci_like import GLASS_ATTRIBUTE_CORRELATIONS, glass_simulant
+from repro.experiments.runner import ExperimentResult
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient of two equal-length vectors."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape.")
+    x_centered = x - x.mean()
+    y_centered = y - y.mean()
+    denominator = np.sqrt((x_centered**2).sum() * (y_centered**2).sum())
+    if denominator <= 0:
+        return 0.0
+    return float((x_centered * y_centered).sum() / denominator)
+
+
+def run_glass_correlation(seed: int = 0, n_samples: int = 214) -> ExperimentResult:
+    """Regenerate Table II from the Glass simulant.
+
+    Each row reports the attribute name, the correlation measured in the
+    generated data and the paper's reference value.
+    """
+    dataset = glass_simulant(seed=seed, n_samples=n_samples)
+    result = ExperimentResult(
+        experiment="E4: Glass attribute correlations (Table II)",
+        columns=["attribute", "measured_correlation", "paper_correlation", "absolute_error"],
+        metadata={"seed": seed, "n_samples": n_samples},
+    )
+    for column_index, (attribute, reference) in enumerate(GLASS_ATTRIBUTE_CORRELATIONS.items()):
+        measured = pearson_correlation(dataset.points[:, column_index], dataset.labels)
+        result.add_row(
+            attribute=attribute,
+            measured_correlation=measured,
+            paper_correlation=reference,
+            absolute_error=abs(measured - reference),
+        )
+    return result

@@ -1,0 +1,151 @@
+"""E3 -- the real-world comparison of Table I.
+
+The paper evaluates eight algorithms on nine UCI datasets and reports AMI,
+with AdaWave achieving the best average (~0.60) and the top score on six of
+the nine datasets.  This module reruns the comparison on the offline
+simulants of :mod:`repro.datasets.uci_like`; the substitution is documented
+in DESIGN.md.  Per the paper's protocol, detected noise points are assigned
+to the nearest cluster with a k-means step before scoring because these
+datasets have no noise label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    DBSCAN,
+    DipMeans,
+    EMClustering,
+    KMeans,
+    RIC,
+    SelfTuningSpectralClustering,
+    SkinnyDip,
+)
+from repro.core.adawave import AdaWave
+from repro.datasets.uci_like import UCI_DATASET_NAMES, load_uci_like
+from repro.experiments.runner import AlgorithmSpec, ExperimentResult, dbscan_grid, evaluate_algorithm
+
+
+def _algorithm_roster(seed: int, quadratic_cap: int) -> List[AlgorithmSpec]:
+    """The eight Table I algorithms, each with the paper's automation rules."""
+    return [
+        AlgorithmSpec(
+            "AdaWave",
+            # Small real-world datasets need a data-driven grid resolution and
+            # no small-component suppression (clusters may occupy few cells).
+            lambda data: AdaWave(scale="auto", min_cluster_cells=1),
+            assign_noise=True,
+        ),
+        AlgorithmSpec(
+            "SkinnyDip",
+            lambda data: SkinnyDip(alpha=0.05, n_boot=100),
+            assign_noise=True,
+            max_points=20000,
+        ),
+        AlgorithmSpec(
+            "DBSCAN",
+            lambda data: DBSCAN(eps=0.1, min_samples=8),
+            parameter_grid=_dbscan_grid_standardized(),
+            assign_noise=True,
+            max_points=quadratic_cap,
+        ),
+        AlgorithmSpec(
+            "EM",
+            lambda data: EMClustering(n_components=max(data.n_clusters, 1), random_state=seed),
+            max_points=20000,
+        ),
+        AlgorithmSpec(
+            "k-means",
+            lambda data: KMeans(n_clusters=max(data.n_clusters, 1), n_init=5, random_state=seed),
+        ),
+        AlgorithmSpec(
+            "STSC",
+            lambda data: SelfTuningSpectralClustering(random_state=seed),
+            max_points=min(quadratic_cap, 2000),
+        ),
+        AlgorithmSpec(
+            "DipMean",
+            lambda data: DipMeans(random_state=seed),
+            max_points=quadratic_cap,
+        ),
+        AlgorithmSpec(
+            "RIC",
+            lambda data: RIC(n_initial_clusters=max(2 * max(data.n_clusters, 1), 4), random_state=seed),
+            assign_noise=True,
+            max_points=quadratic_cap,
+        ),
+    ]
+
+
+def _dbscan_grid_standardized():
+    """DBSCAN eps grid expressed as fractions of the data diameter.
+
+    The UCI simulants live on very different scales, so the eps grid adapts to
+    each dataset: the factories standardise eps by the per-dataset feature
+    spread at call time.
+    """
+    fractions = np.round(np.arange(0.02, 0.31, 0.02), 3)
+
+    def make_factory(fraction):
+        def factory(dataset):
+            spread = float(np.mean(dataset.points.max(axis=0) - dataset.points.min(axis=0)))
+            return DBSCAN(eps=max(fraction * spread, 1e-6), min_samples=8)
+
+        return factory
+
+    return [make_factory(fraction) for fraction in fractions]
+
+
+def run_realworld_comparison(
+    dataset_names: Sequence[str] = UCI_DATASET_NAMES,
+    seed: int = 0,
+    roadmap_points: int = 20000,
+    quadratic_cap: int = 3000,
+    dataset_sizes: Optional[Dict[str, int]] = None,
+) -> ExperimentResult:
+    """Regenerate Table I on the offline simulants.
+
+    Returns a long-format result with one row per (dataset, algorithm) plus a
+    trailing ``AVG`` block per algorithm, mirroring the paper's final column.
+    """
+    result = ExperimentResult(
+        experiment="E3: real-world comparison (Table I)",
+        columns=["dataset", "algorithm", "ami", "n_clusters", "seconds"],
+        metadata={
+            "datasets": list(dataset_names),
+            "seed": seed,
+            "paper_reference": "AdaWave best average AMI (~0.60), best on 6 of 9 datasets",
+        },
+    )
+    specs = _algorithm_roster(seed, quadratic_cap)
+    totals: Dict[str, List[float]] = {spec.name: [] for spec in specs}
+
+    for name in dataset_names:
+        size_override = (dataset_sizes or {}).get(name)
+        if name == "roadmap" and size_override is None:
+            size_override = roadmap_points
+        dataset = load_uci_like(name, seed=seed, n_samples=size_override)
+        for spec in specs:
+            row = evaluate_algorithm(spec, dataset, noise_aware=True)
+            result.add_row(
+                dataset=name,
+                algorithm=row["algorithm"],
+                ami=row["ami"],
+                n_clusters=row["n_clusters"],
+                seconds=row["seconds"],
+            )
+            totals[spec.name].append(row["ami"])
+
+    for spec in specs:
+        scores = totals[spec.name]
+        result.add_row(
+            dataset="AVG",
+            algorithm=spec.name,
+            ami=float(np.mean(scores)) if scores else 0.0,
+            n_clusters=None,
+            seconds=None,
+        )
+    return result

@@ -1,0 +1,88 @@
+"""Plain-text table rendering for the experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.experiments.runner import ExperimentResult
+
+
+def _format_value(value, float_format: str) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def format_table(
+    result: ExperimentResult,
+    *,
+    columns: Optional[Iterable[str]] = None,
+    float_format: str = "{:.3f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render an :class:`ExperimentResult` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    result:
+        Experiment output to render.
+    columns:
+        Optional subset / ordering of columns; defaults to the experiment's
+        declared column list.
+    float_format:
+        Format string applied to floating point cells.
+    title:
+        Optional heading printed above the table.
+    """
+    column_names: List[str] = list(columns) if columns is not None else list(result.columns)
+    header = [name for name in column_names]
+    body = [
+        [_format_value(row.get(name), float_format) for name in column_names]
+        for row in result.rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+
+    def render_line(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    elif result.experiment:
+        lines.append(result.experiment)
+    lines.append(render_line(header))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_line(line) for line in body)
+    return "\n".join(lines)
+
+
+def pivot(result: ExperimentResult, index: str, column: str, value: str) -> ExperimentResult:
+    """Pivot long-format rows into a wide table (e.g. noise level x algorithm)."""
+    index_values = []
+    column_values = []
+    for row in result.rows:
+        if row.get(index) not in index_values:
+            index_values.append(row.get(index))
+        if row.get(column) not in column_values:
+            column_values.append(row.get(column))
+
+    pivoted = ExperimentResult(
+        experiment=result.experiment,
+        columns=[index] + [str(c) for c in column_values],
+        metadata=dict(result.metadata),
+    )
+    for index_value in index_values:
+        row_out = {index: index_value}
+        for column_value in column_values:
+            row_out[str(column_value)] = None
+            for row in result.rows:
+                if row.get(index) == index_value and row.get(column) == column_value:
+                    row_out[str(column_value)] = row.get(value)
+                    break
+        pivoted.add_row(**row_out)
+    return pivoted

@@ -1,0 +1,239 @@
+"""Shared machinery for the experiment modules.
+
+The paper compares algorithms under a common protocol: every method is run on
+the same data, scored with AMI restricted to true cluster members, slow
+methods are automated over a small parameter grid (DBSCAN) or given the true
+``k`` (k-means, EM), and quadratic methods are subsampled when the dataset is
+too large for them.  :class:`AlgorithmSpec` captures those per-algorithm
+details so each experiment module only declares *what* to run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    DBSCAN,
+    EMClustering,
+    KMeans,
+    RIC,
+    SelfTuningSpectralClustering,
+    SkinnyDip,
+    WaveCluster,
+)
+from repro.baselines.base import NOISE_LABEL
+from repro.baselines.postprocess import assign_noise_to_nearest_cluster
+from repro.core.adawave import AdaWave
+from repro.datasets.base import Dataset
+from repro.metrics import adjusted_mutual_info, ami_on_true_clusters
+from repro.utils.validation import check_random_state
+
+
+@dataclass
+class AlgorithmSpec:
+    """How to build and evaluate one algorithm in an experiment.
+
+    Attributes
+    ----------
+    name:
+        Row / series label used in the output tables.
+    factory:
+        Callable ``(dataset) -> estimator`` so specs can use ground-truth
+        information the paper also grants (e.g. the correct ``k``).
+    max_points:
+        If the dataset is larger, a uniform subsample of this size is used
+        (the scored points are the sampled ones); mirrors how the paper's
+        quadratic baselines are only feasible on smaller data.
+    parameter_grid:
+        Optional list of factories; every one is run and the best AMI is
+        reported (the paper's automation of DBSCAN over eps).
+    assign_noise:
+        If true, detected noise points are reassigned to the nearest cluster
+        centroid before scoring (the paper's protocol for real-world data).
+    """
+
+    name: str
+    factory: Callable[[Dataset], object]
+    max_points: Optional[int] = None
+    parameter_grid: Optional[Sequence[Callable[[Dataset], object]]] = None
+    assign_noise: bool = False
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table / figure plus free-form metadata."""
+
+    experiment: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, **values) -> None:
+        """Append a row (missing columns are allowed and rendered blank)."""
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def best_by(self, metric: str, group: Optional[str] = None) -> Dict[object, str]:
+        """Name of the best algorithm per group according to ``metric``.
+
+        ``group=None`` treats the whole table as a single group keyed ``None``.
+        """
+        best: Dict[object, Dict[str, object]] = {}
+        for row in self.rows:
+            key = row.get(group) if group else None
+            value = row.get(metric)
+            if value is None:
+                continue
+            if key not in best or value > best[key][metric]:
+                best[key] = row
+        return {key: str(row.get("algorithm", "")) for key, row in best.items()}
+
+
+def _subsample(dataset: Dataset, max_points: Optional[int], seed: int = 0) -> Dataset:
+    if max_points is None or dataset.n_samples <= max_points:
+        return dataset
+    rng = check_random_state(seed)
+    indices = rng.choice(dataset.n_samples, size=max_points, replace=False)
+    return Dataset(
+        name=dataset.name,
+        points=dataset.points[indices],
+        labels=dataset.labels[indices],
+        metadata={**dataset.metadata, "subsampled_to": max_points},
+    )
+
+
+def evaluate_algorithm(spec: AlgorithmSpec, dataset: Dataset, *, noise_aware: bool = True) -> Dict[str, object]:
+    """Run one algorithm spec on a dataset and return its result row.
+
+    Returns a dict with the algorithm name, AMI, number of detected clusters,
+    wall-clock seconds and (when a parameter grid was used) the winning
+    parameter index.
+    """
+    working = _subsample(dataset, spec.max_points)
+    factories = list(spec.parameter_grid) if spec.parameter_grid else [spec.factory]
+
+    best: Dict[str, object] = {
+        "algorithm": spec.name,
+        "dataset": dataset.name,
+        "ami": -np.inf,
+        "n_clusters": 0,
+        "seconds": 0.0,
+        "grid_index": None,
+    }
+    for index, factory in enumerate(factories):
+        estimator = factory(working)
+        start = time.perf_counter()
+        try:
+            labels = estimator.fit_predict(working.points)
+        except Exception as error:  # pragma: no cover - defensive, mirrors the paper's "*failed" entries
+            best.setdefault("error", str(error))
+            continue
+        elapsed = time.perf_counter() - start
+
+        scored_labels = labels
+        if spec.assign_noise:
+            scored_labels = assign_noise_to_nearest_cluster(working.points, labels)
+        if noise_aware and (working.labels == NOISE_LABEL).any():
+            ami = ami_on_true_clusters(working.labels, scored_labels)
+        else:
+            ami = adjusted_mutual_info(working.labels, scored_labels)
+        n_clusters = len(set(int(l) for l in labels if l != NOISE_LABEL))
+        if ami > best["ami"]:
+            best.update(
+                {
+                    "ami": float(ami),
+                    "n_clusters": n_clusters,
+                    "seconds": float(elapsed),
+                    "grid_index": index if spec.parameter_grid else None,
+                }
+            )
+    if best["ami"] == -np.inf:
+        best["ami"] = 0.0
+    return best
+
+
+def dbscan_grid(
+    eps_values: Sequence[float] = tuple(np.round(np.arange(0.01, 0.21, 0.01), 3)),
+    min_samples: int = 8,
+) -> List[Callable[[Dataset], object]]:
+    """The paper's DBSCAN automation: fixed minPts, eps swept over a grid."""
+    return [
+        (lambda dataset, eps=eps: DBSCAN(eps=eps, min_samples=min_samples))
+        for eps in eps_values
+    ]
+
+
+def default_algorithms(
+    *,
+    include_slow: bool = True,
+    adawave_scale: int = 128,
+    subsample_quadratic: int = 3000,
+    dbscan_eps: Sequence[float] = tuple(np.round(np.arange(0.02, 0.21, 0.02), 3)),
+    random_state: int = 0,
+) -> List[AlgorithmSpec]:
+    """The algorithm roster used by the synthetic comparison experiments.
+
+    ``include_slow=False`` drops the quadratic methods (spectral, RIC) that
+    Fig. 8 does not plot, leaving the six series of the noise sweep.
+    """
+    specs: List[AlgorithmSpec] = [
+        AlgorithmSpec(
+            name="AdaWave",
+            factory=lambda dataset: AdaWave(scale=adawave_scale),
+        ),
+        AlgorithmSpec(
+            name="SkinnyDip",
+            factory=lambda dataset: SkinnyDip(alpha=0.05, n_boot=100),
+            max_points=20000,
+        ),
+        AlgorithmSpec(
+            name="DBSCAN",
+            factory=lambda dataset: DBSCAN(eps=0.05, min_samples=8),
+            parameter_grid=dbscan_grid(dbscan_eps),
+            max_points=subsample_quadratic,
+        ),
+        AlgorithmSpec(
+            name="EM",
+            factory=lambda dataset: EMClustering(
+                n_components=max(dataset.n_clusters, 1), random_state=random_state
+            ),
+            max_points=20000,
+        ),
+        AlgorithmSpec(
+            name="k-means",
+            factory=lambda dataset: KMeans(
+                n_clusters=max(dataset.n_clusters, 1), n_init=5, random_state=random_state
+            ),
+            max_points=50000,
+        ),
+        AlgorithmSpec(
+            name="WaveCluster",
+            factory=lambda dataset: WaveCluster(scale=adawave_scale),
+        ),
+    ]
+    if include_slow:
+        specs.extend(
+            [
+                AlgorithmSpec(
+                    name="STSC",
+                    factory=lambda dataset: SelfTuningSpectralClustering(random_state=random_state),
+                    max_points=min(subsample_quadratic, 2000),
+                ),
+                AlgorithmSpec(
+                    name="RIC",
+                    factory=lambda dataset: RIC(
+                        n_initial_clusters=max(2 * max(dataset.n_clusters, 1), 4),
+                        random_state=random_state,
+                    ),
+                    max_points=subsample_quadratic,
+                ),
+            ]
+        )
+    return specs

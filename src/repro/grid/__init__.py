@@ -1,0 +1,22 @@
+"""Sparse grid substrate: quantization, connectivity and lookup tables.
+
+The paper's "grid labeling" idea is that a d-dimensional quantized feature
+space should never be materialised densely: only cells that actually contain
+points are stored, as a mapping ``{cell id: density}``.  This keeps memory
+proportional to the number of occupied cells rather than ``M ** d`` and is
+what lets AdaWave scale to higher dimensional data than WaveCluster.
+"""
+
+from repro.grid.sparse_grid import SparseGrid
+from repro.grid.quantizer import GridQuantizer, QuantizationResult
+from repro.grid.connectivity import connected_components, neighbor_offsets
+from repro.grid.lookup import LookupTable
+
+__all__ = [
+    "SparseGrid",
+    "GridQuantizer",
+    "QuantizationResult",
+    "connected_components",
+    "neighbor_offsets",
+    "LookupTable",
+]

@@ -1,0 +1,119 @@
+"""Connected components over occupied grid cells.
+
+After threshold filtering, the cells that survive are grouped into clusters:
+two cells belong to the same cluster when they are adjacent in the grid.  The
+paper (like WaveCluster) uses grid adjacency, so this module provides both
+face adjacency (cells differing by one step along a single axis -- 2d
+neighbours) and full adjacency (all ``3**d - 1`` surrounding cells, useful in
+2-D where diagonal contact should connect ring-shaped clusters).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.spatial.union_find import UnionFind
+
+Cell = Tuple[int, ...]
+
+_FULL_CONNECTIVITY_MAX_DIM = 8
+
+
+def neighbor_offsets(ndim: int, connectivity: str = "face") -> List[Cell]:
+    """Offsets of the neighbouring cells to examine during the merge pass.
+
+    Only "positive" offsets are returned (the first non-zero component is
+    positive); the union-find makes the relation symmetric, so each adjacent
+    pair only needs to be visited once.
+    """
+    if ndim < 1:
+        raise ValueError(f"ndim must be >= 1; got {ndim}.")
+    if connectivity == "face":
+        offsets: List[Cell] = []
+        for axis in range(ndim):
+            offset = [0] * ndim
+            offset[axis] = 1
+            offsets.append(tuple(offset))
+        return offsets
+    if connectivity == "full":
+        if ndim > _FULL_CONNECTIVITY_MAX_DIM:
+            raise ValueError(
+                f"full connectivity enumerates 3**d - 1 neighbours and is limited to "
+                f"d <= {_FULL_CONNECTIVITY_MAX_DIM}; got d = {ndim}. Use 'face' instead."
+            )
+        offsets = []
+        for offset in product((-1, 0, 1), repeat=ndim):
+            if all(c == 0 for c in offset):
+                continue
+            first_nonzero = next(c for c in offset if c != 0)
+            if first_nonzero > 0:
+                offsets.append(offset)
+        return offsets
+    raise ValueError(f"connectivity must be 'face' or 'full'; got {connectivity!r}.")
+
+
+def connected_components(
+    cells: Iterable[Cell],
+    connectivity: str = "face",
+    shape: Sequence[int] = None,
+) -> Dict[Cell, int]:
+    """Label the connected components of a set of grid cells.
+
+    Parameters
+    ----------
+    cells:
+        Occupied cell coordinates (each a tuple of ints).
+    connectivity:
+        ``"face"`` (2d neighbours) or ``"full"`` (3**d - 1 neighbours).
+    shape:
+        Optional grid shape; when provided, neighbours outside the grid are
+        never probed (a micro-optimisation -- correctness does not depend on
+        it because only occupied cells can match).
+
+    Returns
+    -------
+    dict
+        Mapping from cell to a dense component label ``0, 1, 2, ...`` assigned
+        in deterministic (sorted cell) order.
+    """
+    cell_list = sorted(set(tuple(int(c) for c in cell) for cell in cells))
+    if not cell_list:
+        return {}
+    ndim = len(cell_list[0])
+    if any(len(cell) != ndim for cell in cell_list):
+        raise ValueError("all cells must have the same dimensionality.")
+
+    occupied = set(cell_list)
+    union = UnionFind(cell_list)
+    offsets = neighbor_offsets(ndim, connectivity)
+    for cell in cell_list:
+        for offset in offsets:
+            neighbor = tuple(c + o for c, o in zip(cell, offset))
+            if shape is not None and any(
+                not 0 <= coordinate < size for coordinate, size in zip(neighbor, shape)
+            ):
+                continue
+            if neighbor in occupied:
+                union.union(cell, neighbor)
+
+    # Dense labels in sorted-cell order so the labelling is deterministic and
+    # independent of hash iteration order.
+    labels: Dict[Cell, int] = {}
+    root_to_label: Dict[Cell, int] = {}
+    next_label = 0
+    for cell in cell_list:
+        root = union.find(cell)
+        if root not in root_to_label:
+            root_to_label[root] = next_label
+            next_label += 1
+        labels[cell] = root_to_label[root]
+    return labels
+
+
+def component_sizes(labels: Dict[Cell, int]) -> Dict[int, int]:
+    """Number of cells in every component of a labelling."""
+    sizes: Dict[int, int] = {}
+    for label in labels.values():
+        sizes[label] = sizes.get(label, 0) + 1
+    return sizes

@@ -1,0 +1,105 @@
+"""Lookup table mapping transformed-space grids back to objects.
+
+The clusters AdaWave finds live in the *transformed* feature space (the
+approximation subband after ``level`` wavelet decompositions), whose grid is
+coarser than the original quantization by a factor of ``2 ** level`` per
+dimension.  The lookup table records, for every original cell, the
+transformed cell it contributes to, so cluster labels can be propagated from
+transformed grids to original grids and finally to the objects themselves
+(Section IV-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+Cell = Tuple[int, ...]
+
+NOISE_LABEL = -1
+
+
+class LookupTable:
+    """Maps original grid cells to transformed grid cells and labels objects.
+
+    Parameters
+    ----------
+    level:
+        Number of wavelet decomposition levels applied per dimension; each
+        level halves the resolution, so an original coordinate ``c`` maps to
+        ``c // 2 ** level``.
+    """
+
+    def __init__(self, level: int = 1) -> None:
+        if level < 0:
+            raise ValueError(f"level must be >= 0; got {level}.")
+        self.level = int(level)
+        self._factor = 2**self.level
+
+    @property
+    def downsample_factor(self) -> int:
+        """Resolution reduction per dimension between original and transformed grids."""
+        return self._factor
+
+    def to_transformed(self, cell: Cell) -> Cell:
+        """Transformed-space coordinates of an original-space cell."""
+        return tuple(int(c) // self._factor for c in cell)
+
+    def to_transformed_many(self, cells: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`to_transformed` for an ``(n, d)`` array of cells."""
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.ndim != 2:
+            raise ValueError(f"cells must be a 2-D array; got shape {cells.shape}.")
+        return cells // self._factor
+
+    def build(self, original_cells: Iterable[Cell]) -> Dict[Cell, Cell]:
+        """Explicit mapping ``{original cell: transformed cell}`` (paper's LT)."""
+        return {tuple(cell): self.to_transformed(cell) for cell in original_cells}
+
+    def label_cells(
+        self,
+        original_cells: Iterable[Cell],
+        transformed_labels: Mapping[Cell, int],
+    ) -> Dict[Cell, int]:
+        """Propagate component labels from transformed cells to original cells.
+
+        Original cells whose transformed counterpart was filtered out (not in
+        ``transformed_labels``) are labelled as noise.
+        """
+        labels: Dict[Cell, int] = {}
+        for cell in original_cells:
+            cell = tuple(cell)
+            labels[cell] = transformed_labels.get(self.to_transformed(cell), NOISE_LABEL)
+        return labels
+
+    def label_points(
+        self,
+        point_cells: np.ndarray,
+        transformed_labels: Mapping[Cell, int],
+    ) -> np.ndarray:
+        """Assign every object the label of its transformed grid cell.
+
+        Parameters
+        ----------
+        point_cells:
+            ``(n_samples, d)`` array of original-space cell coordinates (from
+            :class:`~repro.grid.quantizer.QuantizationResult`).
+        transformed_labels:
+            Mapping from transformed cell to cluster label.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer labels with ``-1`` for objects in filtered (noise) cells.
+        """
+        transformed = self.to_transformed_many(point_cells)
+        labels = np.full(transformed.shape[0], NOISE_LABEL, dtype=np.int64)
+        # Memoise per distinct transformed cell: the number of distinct cells
+        # is far smaller than the number of points.
+        cache: Dict[Cell, int] = {}
+        for index, cell in enumerate(map(tuple, transformed.tolist())):
+            if cell not in cache:
+                cache[cell] = transformed_labels.get(cell, NOISE_LABEL)
+            labels[index] = cache[cell]
+        return labels

@@ -1,0 +1,162 @@
+"""Feature-space quantization (Algorithm 2 of the paper).
+
+The quantizer divides the domain of every dimension into ``scale`` intervals,
+assigns each object to the grid cell containing it and accumulates cell
+densities into a :class:`~repro.grid.sparse_grid.SparseGrid`.  It also keeps
+the per-point cell assignment so the final lookup-table step can map cluster
+labels from grids back to objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.grid.sparse_grid import SparseGrid
+from repro.utils.validation import check_array, check_positive_int, column_or_row
+
+
+@dataclass
+class QuantizationResult:
+    """Everything the rest of the pipeline needs from the quantization step.
+
+    Attributes
+    ----------
+    grid:
+        Sparse grid of cell densities.
+    cell_ids:
+        Integer array of shape ``(n_samples, n_features)`` with every point's
+        cell coordinates.
+    lower, upper:
+        Per-dimension domain bounds used for the quantization.
+    widths:
+        Per-dimension cell widths.
+    """
+
+    grid: SparseGrid
+    cell_ids: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    widths: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Number of quantized objects."""
+        return self.cell_ids.shape[0]
+
+    def cell_of(self, index: int) -> Tuple[int, ...]:
+        """Cell coordinates of the ``index``-th object."""
+        return tuple(int(c) for c in self.cell_ids[index])
+
+
+class GridQuantizer:
+    """Quantize a feature space into ``scale`` intervals per dimension.
+
+    Parameters
+    ----------
+    scale:
+        Number of intervals per dimension -- either a single integer applied
+        to every dimension (the paper's default of 128) or a sequence with one
+        value per dimension.
+    bounds:
+        Optional explicit ``(lower, upper)`` arrays.  When omitted the bounds
+        are taken from the data with a tiny relative margin so the maximum
+        values fall inside the last interval rather than on its open edge.
+    """
+
+    def __init__(
+        self,
+        scale: Union[int, Sequence[int]] = 128,
+        bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+    ) -> None:
+        self.scale = scale
+        self.bounds = bounds
+        self.lower_: Optional[np.ndarray] = None
+        self.upper_: Optional[np.ndarray] = None
+        self.shape_: Optional[Tuple[int, ...]] = None
+
+    def _resolve_scale(self, n_features: int) -> Tuple[int, ...]:
+        if np.isscalar(self.scale):
+            value = check_positive_int(self.scale, name="scale", minimum=2)
+            return (value,) * n_features
+        values = tuple(check_positive_int(v, name="scale", minimum=2) for v in self.scale)
+        if len(values) != n_features:
+            raise ValueError(
+                f"scale has {len(values)} entries but the data has {n_features} features."
+            )
+        return values
+
+    def fit(self, X) -> "GridQuantizer":
+        """Learn the per-dimension bounds and interval counts from ``X``."""
+        X = check_array(X, name="X")
+        n_features = X.shape[1]
+        self.shape_ = self._resolve_scale(n_features)
+        if self.bounds is not None:
+            lower = column_or_row(self.bounds[0], n_features, name="bounds[0]")
+            upper = column_or_row(self.bounds[1], n_features, name="bounds[1]")
+        else:
+            lower = X.min(axis=0)
+            upper = X.max(axis=0)
+        span = upper - lower
+        # Degenerate (constant) dimensions get a unit span so every point
+        # lands in interval 0 instead of dividing by zero.
+        span = np.where(span <= 0, 1.0, span)
+        # Expand the top edge slightly: paper intervals are right-open, so the
+        # maximum value must fall strictly inside the last cell.
+        upper = lower + span * (1.0 + 1e-9)
+        if np.any(X < lower - 1e-12) or np.any(X > upper + 1e-12):
+            raise ValueError("some samples fall outside the provided bounds.")
+        self.lower_ = np.asarray(lower, dtype=np.float64)
+        self.upper_ = np.asarray(upper, dtype=np.float64)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.lower_ is None or self.upper_ is None or self.shape_ is None:
+            raise RuntimeError("GridQuantizer must be fitted before use.")
+
+    def transform(self, X) -> np.ndarray:
+        """Map points to integer cell coordinates (shape ``(n_samples, d)``)."""
+        self._check_fitted()
+        X = check_array(X, name="X")
+        if X.shape[1] != len(self.shape_):
+            raise ValueError(
+                f"X has {X.shape[1]} features but the quantizer was fitted on {len(self.shape_)}."
+            )
+        widths = (self.upper_ - self.lower_) / np.asarray(self.shape_, dtype=np.float64)
+        cells = np.floor((X - self.lower_) / widths).astype(np.int64)
+        # Clip to the valid range so points exactly on the closed upper bound
+        # (or passed through explicit bounds) stay inside the grid.
+        cells = np.clip(cells, 0, np.asarray(self.shape_, dtype=np.int64) - 1)
+        return cells
+
+    def fit_transform(self, X) -> QuantizationResult:
+        """Fit the bounds and quantize ``X`` in one call (Algorithm 2)."""
+        self.fit(X)
+        return self.quantize(X)
+
+    def quantize(self, X) -> QuantizationResult:
+        """Quantize ``X`` into a :class:`QuantizationResult` using fitted bounds."""
+        self._check_fitted()
+        cell_ids = self.transform(X)
+        grid = SparseGrid(self.shape_)
+        for cell in map(tuple, cell_ids.tolist()):
+            grid.add(cell, 1.0)
+        widths = (self.upper_ - self.lower_) / np.asarray(self.shape_, dtype=np.float64)
+        return QuantizationResult(
+            grid=grid,
+            cell_ids=cell_ids,
+            lower=self.lower_.copy(),
+            upper=self.upper_.copy(),
+            widths=widths,
+        )
+
+    def cell_centers(self, cells: Sequence[Tuple[int, ...]]) -> np.ndarray:
+        """Feature-space centre coordinates of the given cells."""
+        self._check_fitted()
+        cells_arr = np.asarray(list(cells), dtype=np.float64)
+        if cells_arr.ndim != 2 or cells_arr.shape[1] != len(self.shape_):
+            raise ValueError("cells must be a sequence of d-dimensional coordinates.")
+        widths = (self.upper_ - self.lower_) / np.asarray(self.shape_, dtype=np.float64)
+        return self.lower_ + (cells_arr + 0.5) * widths

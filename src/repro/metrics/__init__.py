@@ -1,0 +1,48 @@
+"""Clustering evaluation metrics.
+
+The paper evaluates every algorithm with Adjusted Mutual Information (AMI),
+"a standard metric ranging from 0 at worst to 1 at best", computed only over
+the objects that truly belong to a cluster (non-noise points) so that methods
+without a noise concept are compared fairly.  This package implements the
+whole chain from the contingency table up:
+
+* :mod:`repro.metrics.contingency` -- contingency tables, entropies, purity;
+* :mod:`repro.metrics.mutual_info` -- mutual information, expected mutual
+  information under the permutation model, AMI, NMI and the adjusted Rand
+  index;
+* :mod:`repro.metrics.noise_aware` -- the paper's evaluation protocol
+  (restrict to true non-noise points; optionally reassign detected noise with
+  a k-means step for datasets without a noise label).
+"""
+
+from repro.metrics.contingency import (
+    contingency_matrix,
+    entropy,
+    purity_score,
+)
+from repro.metrics.mutual_info import (
+    mutual_info,
+    expected_mutual_info,
+    adjusted_mutual_info,
+    normalized_mutual_info,
+    adjusted_rand_index,
+)
+from repro.metrics.noise_aware import (
+    ami_on_true_clusters,
+    evaluate_clustering,
+    ClusteringScores,
+)
+
+__all__ = [
+    "contingency_matrix",
+    "entropy",
+    "purity_score",
+    "mutual_info",
+    "expected_mutual_info",
+    "adjusted_mutual_info",
+    "normalized_mutual_info",
+    "adjusted_rand_index",
+    "ami_on_true_clusters",
+    "evaluate_clustering",
+    "ClusteringScores",
+]

@@ -1,0 +1,60 @@
+"""Contingency tables and the simple metrics derived from them."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_labels
+
+
+def _encode(labels: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Map arbitrary integer labels to a dense ``0..k-1`` encoding."""
+    unique, encoded = np.unique(labels, return_inverse=True)
+    return encoded, len(unique)
+
+
+def contingency_matrix(labels_true, labels_pred) -> np.ndarray:
+    """Contingency table ``C[i, j] = |true cluster i ∩ predicted cluster j|``.
+
+    Both label vectors may use arbitrary integer ids (including ``-1`` for
+    noise); rows and columns follow the sorted order of the distinct labels.
+    """
+    labels_true = check_labels(labels_true, name="labels_true")
+    labels_pred = check_labels(labels_pred, n_samples=len(labels_true), name="labels_pred")
+    true_encoded, n_true = _encode(labels_true)
+    pred_encoded, n_pred = _encode(labels_pred)
+    table = np.zeros((n_true, n_pred), dtype=np.int64)
+    np.add.at(table, (true_encoded, pred_encoded), 1)
+    return table
+
+
+def entropy(labels) -> float:
+    """Shannon entropy (in nats) of a label assignment."""
+    labels = check_labels(labels, name="labels")
+    _, counts = np.unique(labels, return_counts=True)
+    probabilities = counts / counts.sum()
+    nonzero = probabilities[probabilities > 0]
+    return float(-np.sum(nonzero * np.log(nonzero)))
+
+
+def entropy_from_counts(counts: np.ndarray) -> float:
+    """Shannon entropy (in nats) from a vector of class counts."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-np.sum(probabilities * np.log(probabilities)))
+
+
+def purity_score(labels_true, labels_pred) -> float:
+    """Cluster purity: fraction of points in their cluster's majority class.
+
+    Purity is reported by some of the ablation benchmarks as a secondary
+    sanity metric; unlike AMI it is not chance-adjusted (assigning every point
+    its own cluster scores 1.0).
+    """
+    table = contingency_matrix(labels_true, labels_pred)
+    return float(table.max(axis=0).sum() / table.sum())

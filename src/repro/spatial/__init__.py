@@ -1,0 +1,23 @@
+"""Spatial index substrate: union-find, KD-tree and neighbour queries.
+
+These structures back the grid connectivity step of AdaWave (union-find over
+adjacent occupied cells) and the density / affinity computations of the
+baseline algorithms (range queries for DBSCAN, nearest neighbours for the
+self-tuning spectral clustering scale estimate).
+"""
+
+from repro.spatial.union_find import UnionFind
+from repro.spatial.kdtree import KDTree
+from repro.spatial.neighbors import (
+    pairwise_distances,
+    radius_neighbors,
+    k_nearest_neighbors,
+)
+
+__all__ = [
+    "UnionFind",
+    "KDTree",
+    "pairwise_distances",
+    "radius_neighbors",
+    "k_nearest_neighbors",
+]

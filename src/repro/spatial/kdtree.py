@@ -1,0 +1,140 @@
+"""A KD-tree for nearest-neighbour and radius queries.
+
+The DBSCAN baseline needs eps-range queries for every point and the
+self-tuning spectral clustering baseline needs the distance to the k-th
+nearest neighbour; a KD-tree gives both in ``O(log n)`` expected time per
+query for the low-dimensional data the paper evaluates on.  For high
+dimensions the tree degrades gracefully to brute force behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import heapq
+
+import numpy as np
+
+from repro.utils.validation import check_array
+
+_LEAF_SIZE = 16
+
+
+@dataclass
+class _Node:
+    """Internal node: split axis/value plus index range of the leaf points."""
+
+    indices: np.ndarray
+    axis: int = -1
+    split_value: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+class KDTree:
+    """Static KD-tree built once over a point set.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n_samples, n_features)``.
+    leaf_size:
+        Maximum number of points stored in a leaf node.
+    """
+
+    def __init__(self, points, leaf_size: int = _LEAF_SIZE) -> None:
+        self._points = check_array(points, name="points")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1; got {leaf_size}.")
+        self._leaf_size = int(leaf_size)
+        self._root = self._build(np.arange(self._points.shape[0]), depth=0)
+
+    @property
+    def n_points(self) -> int:
+        """Number of points indexed by the tree."""
+        return self._points.shape[0]
+
+    def _build(self, indices: np.ndarray, depth: int) -> _Node:
+        if len(indices) <= self._leaf_size:
+            return _Node(indices=indices)
+        axis = depth % self._points.shape[1]
+        values = self._points[indices, axis]
+        median = float(np.median(values))
+        left_mask = values <= median
+        # Guard against degenerate splits where every value equals the median.
+        if left_mask.all() or not left_mask.any():
+            return _Node(indices=indices)
+        node = _Node(indices=indices, axis=axis, split_value=median)
+        node.left = self._build(indices[left_mask], depth + 1)
+        node.right = self._build(indices[~left_mask], depth + 1)
+        return node
+
+    # -- radius queries ----------------------------------------------------
+
+    def query_radius(self, point, radius: float) -> np.ndarray:
+        """Indices of all points within Euclidean ``radius`` of ``point``."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative; got {radius}.")
+        query = np.asarray(point, dtype=np.float64).ravel()
+        if query.shape[0] != self._points.shape[1]:
+            raise ValueError(
+                f"query point has {query.shape[0]} features; tree expects {self._points.shape[1]}."
+            )
+        found: List[int] = []
+        self._radius_search(self._root, query, radius, found)
+        return np.asarray(sorted(found), dtype=np.int64)
+
+    def _radius_search(self, node: _Node, query: np.ndarray, radius: float, found: List[int]) -> None:
+        if node.is_leaf:
+            candidates = self._points[node.indices]
+            distances = np.sqrt(((candidates - query) ** 2).sum(axis=1))
+            found.extend(int(i) for i in node.indices[distances <= radius])
+            return
+        difference = query[node.axis] - node.split_value
+        near, far = (node.left, node.right) if difference <= 0 else (node.right, node.left)
+        self._radius_search(near, query, radius, found)
+        if abs(difference) <= radius:
+            self._radius_search(far, query, radius, found)
+
+    # -- k nearest neighbours ----------------------------------------------
+
+    def query(self, point, k: int = 1) -> Tuple[np.ndarray, np.ndarray]:
+        """Distances and indices of the ``k`` nearest neighbours of ``point``."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1; got {k}.")
+        k = min(k, self.n_points)
+        query = np.asarray(point, dtype=np.float64).ravel()
+        if query.shape[0] != self._points.shape[1]:
+            raise ValueError(
+                f"query point has {query.shape[0]} features; tree expects {self._points.shape[1]}."
+            )
+        # Max-heap of (-distance, index) keeping the k best candidates seen.
+        heap: List[Tuple[float, int]] = []
+        self._knn_search(self._root, query, k, heap)
+        ordered = sorted((-negative_distance, index) for negative_distance, index in heap)
+        distances = np.asarray([entry[0] for entry in ordered])
+        indices = np.asarray([entry[1] for entry in ordered], dtype=np.int64)
+        return distances, indices
+
+    def _knn_search(self, node: _Node, query: np.ndarray, k: int, heap: List[Tuple[float, int]]) -> None:
+        if node.is_leaf:
+            candidates = self._points[node.indices]
+            distances = np.sqrt(((candidates - query) ** 2).sum(axis=1))
+            for distance, index in zip(distances, node.indices):
+                entry = (-float(distance), int(index))
+                if len(heap) < k:
+                    heapq.heappush(heap, entry)
+                elif entry > heap[0]:
+                    heapq.heapreplace(heap, entry)
+            return
+        difference = query[node.axis] - node.split_value
+        near, far = (node.left, node.right) if difference <= 0 else (node.right, node.left)
+        self._knn_search(near, query, k, heap)
+        worst = -heap[0][0] if heap else np.inf
+        if len(heap) < k or abs(difference) <= worst:
+            self._knn_search(far, query, k, heap)

@@ -1,0 +1,84 @@
+"""Neighbour query helpers shared by the baseline algorithms.
+
+These wrap the KD-tree with the batch interfaces the baselines actually use
+and fall back to vectorised brute force for small inputs where building the
+tree is not worth it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.spatial.kdtree import KDTree
+from repro.utils.validation import check_array
+
+_BRUTE_FORCE_LIMIT = 512
+
+
+def pairwise_distances(X, Y=None) -> np.ndarray:
+    """Dense Euclidean distance matrix between the rows of ``X`` and ``Y``.
+
+    ``Y=None`` computes the self-distance matrix.  Used by the spectral and
+    RIC baselines, both of which are quadratic by nature.
+    """
+    X = check_array(X, name="X")
+    Y = X if Y is None else check_array(Y, name="Y")
+    if X.shape[1] != Y.shape[1]:
+        raise ValueError(
+            f"X and Y must have the same number of features; got {X.shape[1]} and {Y.shape[1]}."
+        )
+    squared = (
+        np.sum(X**2, axis=1)[:, None] + np.sum(Y**2, axis=1)[None, :] - 2.0 * X @ Y.T
+    )
+    np.maximum(squared, 0.0, out=squared)
+    return np.sqrt(squared)
+
+
+def radius_neighbors(X, radius: float) -> List[np.ndarray]:
+    """For every row of ``X``, the indices of rows within Euclidean ``radius``.
+
+    Each point is included in its own neighbourhood, matching the DBSCAN
+    definition of ``|N_eps(p)|``.
+    """
+    X = check_array(X, name="X")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative; got {radius}.")
+    n_samples = X.shape[0]
+    if n_samples <= _BRUTE_FORCE_LIMIT:
+        distances = pairwise_distances(X)
+        return [np.flatnonzero(distances[i] <= radius) for i in range(n_samples)]
+    tree = KDTree(X)
+    return [tree.query_radius(X[i], radius) for i in range(n_samples)]
+
+
+def k_nearest_neighbors(X, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Distances and indices of the ``k`` nearest neighbours of every row.
+
+    The query point itself is excluded, so ``distances[:, 0]`` is the distance
+    to the closest *other* point.  Self-tuning spectral clustering uses the
+    ``k``-th column as its local scale.
+    """
+    X = check_array(X, name="X")
+    if k < 1:
+        raise ValueError(f"k must be >= 1; got {k}.")
+    n_samples = X.shape[0]
+    if k >= n_samples:
+        raise ValueError(f"k must be < n_samples={n_samples}; got {k}.")
+    if n_samples <= _BRUTE_FORCE_LIMIT:
+        distances = pairwise_distances(X)
+        np.fill_diagonal(distances, np.inf)
+        order = np.argsort(distances, axis=1)[:, :k]
+        sorted_distances = np.take_along_axis(distances, order, axis=1)
+        return sorted_distances, order
+    tree = KDTree(X)
+    all_distances = np.empty((n_samples, k))
+    all_indices = np.empty((n_samples, k), dtype=np.int64)
+    for i in range(n_samples):
+        # Query k + 1 and drop the self match.
+        distances, indices = tree.query(X[i], k=k + 1)
+        mask = indices != i
+        all_distances[i] = distances[mask][:k]
+        all_indices[i] = indices[mask][:k]
+    return all_distances, all_indices

@@ -1,0 +1,20 @@
+"""Shared utilities: input validation, RNG handling and timing helpers."""
+
+from repro.utils.validation import (
+    check_array,
+    check_labels,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+)
+from repro.utils.timing import Stopwatch, timed
+
+__all__ = [
+    "check_array",
+    "check_labels",
+    "check_positive_int",
+    "check_probability",
+    "check_random_state",
+    "Stopwatch",
+    "timed",
+]

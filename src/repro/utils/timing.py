@@ -1,0 +1,64 @@
+"""Small timing helpers used by the runtime experiments (Fig. 10)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock measurements.
+
+    The runtime experiment measures several algorithms over several dataset
+    sizes; the stopwatch keeps every observation so the harness can report
+    means and repeat counts.
+    """
+
+    records: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager that records the elapsed time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.records.setdefault(name, []).append(elapsed)
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded for ``name`` (0.0 if never measured)."""
+        return float(sum(self.records.get(name, [])))
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per observation for ``name``."""
+        values = self.records.get(name, [])
+        if not values:
+            return 0.0
+        return float(sum(values) / len(values))
+
+    def count(self, name: str) -> int:
+        """Number of observations recorded for ``name``."""
+        return len(self.records.get(name, []))
+
+
+@contextmanager
+def timed() -> Iterator[List[float]]:
+    """Yield a single-element list that receives the elapsed seconds.
+
+    Example
+    -------
+    >>> with timed() as elapsed:
+    ...     _ = sum(range(1000))
+    >>> elapsed[0] >= 0.0
+    True
+    """
+    box: List[float] = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

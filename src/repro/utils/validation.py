@@ -1,0 +1,158 @@
+"""Input validation helpers used across the package.
+
+The helpers centralise the defensive checks every public entry point needs:
+converting inputs to well-formed ``numpy`` arrays, validating label vectors
+and normalising random-state arguments.  Keeping them in one place makes the
+error messages uniform and the estimators short.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RandomStateLike = Union[None, int, np.random.Generator, np.random.RandomState]
+
+
+def check_array(
+    X,
+    *,
+    name: str = "X",
+    ensure_2d: bool = True,
+    allow_empty: bool = False,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Convert ``X`` to a numeric :class:`numpy.ndarray` and validate it.
+
+    Parameters
+    ----------
+    X:
+        Array-like input (sequence of rows or ndarray).
+    name:
+        Name used in error messages.
+    ensure_2d:
+        If true, a 1-D input is rejected rather than silently reshaped.
+    allow_empty:
+        If false, arrays with zero rows raise ``ValueError``.
+    dtype:
+        Target dtype for the returned array.
+
+    Returns
+    -------
+    numpy.ndarray
+        A C-contiguous array of the requested dtype.
+
+    Raises
+    ------
+    ValueError
+        If the input contains NaN/Inf, has the wrong dimensionality or is
+        empty while ``allow_empty`` is false.
+    """
+    arr = np.asarray(X, dtype=dtype)
+    if arr.ndim == 1 and ensure_2d:
+        raise ValueError(
+            f"{name} must be a 2-D array of shape (n_samples, n_features); "
+            f"got a 1-D array of length {arr.shape[0]}. "
+            "Reshape with X.reshape(-1, 1) for single-feature data."
+        )
+    if arr.ndim > 2:
+        raise ValueError(f"{name} must be at most 2-D; got {arr.ndim} dimensions.")
+    if not allow_empty and arr.size == 0:
+        raise ValueError(f"{name} is empty; at least one sample is required.")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains NaN or infinite values.")
+    return np.ascontiguousarray(arr)
+
+
+def check_labels(labels, *, n_samples: Optional[int] = None, name: str = "labels") -> np.ndarray:
+    """Validate a label vector and return it as an ``int64`` array.
+
+    Parameters
+    ----------
+    labels:
+        1-D array-like of integer cluster labels.  Negative labels are
+        allowed and conventionally denote noise.
+    n_samples:
+        If given, the label vector must have exactly this length.
+    name:
+        Name used in error messages.
+    """
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D; got shape {arr.shape}.")
+    if arr.size == 0:
+        raise ValueError(f"{name} is empty.")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(np.equal(np.mod(arr, 1), 0)):
+            raise ValueError(f"{name} must contain integer values.")
+    if n_samples is not None and arr.shape[0] != n_samples:
+        raise ValueError(
+            f"{name} has length {arr.shape[0]} but {n_samples} samples were expected."
+        )
+    return arr.astype(np.int64, copy=False)
+
+
+def check_positive_int(value, *, name: str, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer ``>= minimum`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer; got {type(value).__name__}.")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}; got {value}.")
+    return value
+
+
+def check_probability(value, *, name: str, inclusive: bool = True) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]`` (or ``(0, 1)``)."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number; got {type(value).__name__}.")
+    value = float(value)
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1]; got {value}.")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1); got {value}.")
+    return value
+
+
+def check_random_state(seed: RandomStateLike) -> np.random.Generator:
+    """Normalise a seed-like argument into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh non-deterministic generator), integers, existing
+    :class:`numpy.random.Generator` objects and legacy
+    :class:`numpy.random.RandomState` objects (wrapped through their seed
+    sequence).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.RandomState):
+        return np.random.default_rng(seed.randint(0, 2**31 - 1))
+    if isinstance(seed, numbers.Integral):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        "random_state must be None, an int, numpy.random.Generator or "
+        f"numpy.random.RandomState; got {type(seed).__name__}."
+    )
+
+
+def as_feature_matrix(X, *, name: str = "X") -> np.ndarray:
+    """Return ``X`` as a 2-D float matrix, promoting 1-D inputs to a column."""
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    return check_array(arr, name=name, ensure_2d=True)
+
+
+def column_or_row(values: Sequence[float], length: int, *, name: str) -> np.ndarray:
+    """Broadcast a scalar or per-dimension sequence to a length-``length`` vector."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim == 0:
+        return np.full(length, float(arr))
+    if arr.ndim != 1 or arr.shape[0] != length:
+        raise ValueError(f"{name} must be a scalar or a sequence of length {length}.")
+    return arr

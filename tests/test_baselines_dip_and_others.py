@@ -1,0 +1,218 @@
+"""Tests for the dip test, SkinnyDip, DipMeans, WaveCluster, spectral and RIC."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    RIC,
+    DipMeans,
+    SelfTuningSpectralClustering,
+    SkinnyDip,
+    SpectralClustering,
+    UniDip,
+    WaveCluster,
+)
+from repro.baselines.diptest import dip_and_modal_interval, dip_statistic, dip_test
+from repro.metrics import adjusted_mutual_info, ami_on_true_clusters
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDipStatistic:
+    def test_lower_bound(self, rng):
+        sample = rng.uniform(size=100)
+        assert dip_statistic(sample) >= 1.0 / 200.0
+
+    def test_unimodal_samples_have_small_dip(self, rng):
+        gaussian = rng.normal(size=800)
+        uniform = rng.uniform(size=800)
+        assert dip_statistic(gaussian) < 0.04
+        assert dip_statistic(uniform) < 0.05
+
+    def test_bimodal_sample_has_large_dip(self, rng):
+        bimodal = np.concatenate([rng.normal(-4, 0.5, 400), rng.normal(4, 0.5, 400)])
+        assert dip_statistic(bimodal) > 0.1
+
+    def test_bimodal_exceeds_unimodal(self, rng):
+        gaussian = rng.normal(size=500)
+        bimodal = np.concatenate([rng.normal(-4, 0.5, 250), rng.normal(4, 0.5, 250)])
+        assert dip_statistic(bimodal) > 3 * dip_statistic(gaussian)
+
+    def test_scale_and_shift_invariance(self, rng):
+        sample = rng.normal(size=300)
+        base = dip_statistic(sample)
+        assert dip_statistic(5.0 * sample + 100.0) == pytest.approx(base, abs=1e-12)
+
+    def test_tiny_samples(self):
+        assert dip_statistic([1.0, 2.0]) == pytest.approx(0.25)
+        assert dip_statistic([3.0, 3.0, 3.0, 3.0]) == pytest.approx(1.0 / 8.0)
+
+    def test_modal_interval_covers_the_mode(self, rng):
+        sample = np.sort(np.concatenate([rng.normal(-5, 0.3, 300), rng.normal(5, 0.3, 300)]))
+        _dip, (low, high) = dip_and_modal_interval(sample)
+        assert 0 <= low <= high < len(sample)
+
+
+class TestDipTest:
+    def test_unimodal_p_value_large(self, rng):
+        _dip, p_value = dip_test(rng.normal(size=400), n_boot=100)
+        assert p_value > 0.2
+
+    def test_bimodal_p_value_small(self, rng):
+        sample = np.concatenate([rng.normal(-4, 0.5, 200), rng.normal(4, 0.5, 200)])
+        _dip, p_value = dip_test(sample, n_boot=100)
+        assert p_value < 0.01
+
+    def test_tiny_sample_is_unimodal_by_convention(self):
+        _dip, p_value = dip_test([1.0, 2.0, 3.0])
+        assert p_value == 1.0
+
+    def test_null_cache_reused(self, rng):
+        from repro.baselines import diptest
+
+        diptest._NULL_CACHE.clear()
+        dip_test(rng.normal(size=128), n_boot=50)
+        assert (128, 50) in diptest._NULL_CACHE
+
+
+class TestUniDip:
+    def test_single_gaussian_gives_one_interval(self, rng):
+        intervals = UniDip(alpha=0.05, n_boot=60).fit(rng.normal(size=400))
+        assert len(intervals) == 1
+
+    def test_two_separated_modes_give_two_intervals(self, rng):
+        sample = np.concatenate([rng.normal(-5, 0.3, 400), rng.normal(5, 0.3, 400)])
+        intervals = UniDip(alpha=0.05, n_boot=60).fit(sample)
+        assert len(intervals) >= 2
+        # The intervals are disjoint and ordered.
+        for (low_a, high_a), (low_b, _high_b) in zip(intervals, intervals[1:]):
+            assert high_a <= low_b
+
+    def test_empty_input(self):
+        assert UniDip().fit([]) == []
+
+    def test_tiny_input(self):
+        assert UniDip().fit([1.0, 2.0]) == [(1.0, 2.0)]
+
+
+class TestSkinnyDip:
+    def test_finds_gaussian_clusters_in_noise(self, rng):
+        clusters = np.vstack(
+            [
+                rng.normal([-5, -5], 0.3, size=(300, 2)),
+                rng.normal([5, 5], 0.3, size=(300, 2)),
+            ]
+        )
+        noise = rng.uniform(-10, 10, size=(600, 2))
+        points = np.vstack([clusters, noise])
+        labels_true = np.concatenate([np.zeros(300), np.ones(300), -np.ones(600)]).astype(int)
+        model = SkinnyDip(alpha=0.05, n_boot=60).fit(points)
+        assert model.n_clusters_found_ >= 2
+        assert ami_on_true_clusters(labels_true, model.labels_) > 0.4
+
+    def test_concentrates_cluster_in_one_hyperrectangle(self, rng):
+        cluster = rng.normal([0, 0], 0.2, size=(200, 2))
+        noise = rng.uniform(-8, 8, size=(400, 2))
+        model = SkinnyDip(alpha=0.05, n_boot=60).fit(np.vstack([cluster, noise]))
+        cluster_labels = model.labels_[:200]
+        assigned = cluster_labels[cluster_labels != -1]
+        assert assigned.size > 100
+        # The dense Gaussian ends up concentrated in a single modal box.
+        dominant = np.bincount(assigned).max()
+        assert dominant > 0.8 * assigned.size
+
+    def test_hyperrectangles_match_cluster_count(self, rng):
+        points = rng.normal(size=(200, 2))
+        model = SkinnyDip(n_boot=60).fit(points)
+        assert len(model.hyperrectangles_) == model.n_clusters_found_
+
+
+class TestDipMeans:
+    def test_estimates_three_clusters(self, rng):
+        centers = np.array([[0, 0], [8, 0], [4, 8]])
+        points = np.vstack([rng.normal(c, 0.4, size=(120, 2)) for c in centers])
+        labels_true = np.repeat(np.arange(3), 120)
+        model = DipMeans(random_state=0, n_boot=60).fit(points)
+        assert 2 <= model.n_clusters_ <= 4
+        assert adjusted_mutual_info(labels_true, model.labels_) > 0.7
+
+    def test_single_gaussian_is_not_split(self, rng):
+        model = DipMeans(random_state=0, n_boot=60).fit(rng.normal(size=(300, 2)))
+        assert model.n_clusters_ == 1
+
+
+class TestWaveCluster:
+    def test_finds_blobs(self, rng):
+        blob_a = rng.normal([0.25, 0.25], 0.02, size=(400, 2))
+        blob_b = rng.normal([0.75, 0.75], 0.02, size=(400, 2))
+        points = np.vstack([blob_a, blob_b])
+        labels_true = np.repeat([0, 1], 400)
+        model = WaveCluster(scale=64).fit(points)
+        assert model.n_clusters_ >= 2
+        assert ami_on_true_clusters(labels_true, model.labels_) > 0.8
+
+    def test_rejects_high_dimensional_input(self, rng):
+        with pytest.raises(ValueError, match="dense grid"):
+            WaveCluster(scale=8).fit(rng.normal(size=(50, 8)))
+
+    def test_percentile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            WaveCluster(density_percentile=150.0)
+
+    def test_threshold_recorded(self, rng):
+        model = WaveCluster(scale=32).fit(rng.uniform(size=(500, 2)))
+        assert model.threshold_ >= 0
+
+
+class TestSpectral:
+    def test_recovers_blobs(self, rng):
+        centers = np.array([[0, 0], [4, 0], [2, 4]])
+        points = np.vstack([rng.normal(c, 0.2, size=(60, 2)) for c in centers])
+        labels_true = np.repeat(np.arange(3), 60)
+        model = SpectralClustering(n_clusters=3, random_state=0).fit(points)
+        assert adjusted_mutual_info(labels_true, model.labels_) > 0.9
+
+    def test_self_tuning_estimates_k(self, rng):
+        centers = np.array([[0, 0], [5, 0], [0, 5]])
+        points = np.vstack([rng.normal(c, 0.2, size=(50, 2)) for c in centers])
+        model = SelfTuningSpectralClustering(random_state=0).fit(points)
+        assert model.n_clusters in (2, 3, 4)
+        assert model.labels_ is not None
+
+    def test_separates_concentric_rings_where_kmeans_cannot(self, rng):
+        from repro.baselines import KMeans
+        from repro.datasets.shapes import ring
+
+        inner = ring(150, center=(0, 0), radius=1.0, width=0.05, random_state=rng)
+        outer = ring(150, center=(0, 0), radius=4.0, width=0.05, random_state=rng)
+        points = np.vstack([inner, outer])
+        labels_true = np.repeat([0, 1], 150)
+        spectral = SelfTuningSpectralClustering(n_clusters=2, random_state=0).fit(points)
+        kmeans = KMeans(n_clusters=2, random_state=0).fit(points)
+        assert adjusted_mutual_info(labels_true, spectral.labels_) > 0.9
+        assert adjusted_mutual_info(labels_true, kmeans.labels_) < 0.5
+
+    def test_too_many_points_rejected(self):
+        with pytest.raises(ValueError, match="subsample"):
+            SpectralClustering(n_clusters=2).fit(np.random.uniform(size=(5000, 2)))
+
+
+class TestRIC:
+    def test_purifies_noise_and_merges(self, rng):
+        blob_a = rng.normal([0, 0], 0.2, size=(200, 2))
+        blob_b = rng.normal([6, 6], 0.2, size=(200, 2))
+        noise = rng.uniform(-4, 10, size=(100, 2))
+        points = np.vstack([blob_a, blob_b, noise])
+        labels_true = np.concatenate([np.zeros(200), np.ones(200), -np.ones(100)]).astype(int)
+        model = RIC(n_initial_clusters=8, random_state=0).fit(points)
+        assert model.n_clusters_ <= 8
+        assert ami_on_true_clusters(labels_true, model.labels_) > 0.5
+
+    def test_purification_and_merge_never_add_clusters(self, rng):
+        points = rng.normal(size=(300, 2))
+        model = RIC(n_initial_clusters=6, random_state=0).fit(points)
+        assert 1 <= model.n_clusters_ <= 6
+        assert model.labels_.shape == (300,)

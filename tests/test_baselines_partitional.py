@@ -1,0 +1,170 @@
+"""Tests for the partitional baselines: k-means, EM, DBSCAN."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DBSCAN, EMClustering, KMeans
+from repro.baselines.postprocess import assign_noise_to_nearest_cluster
+from repro.metrics import adjusted_mutual_info
+
+
+def three_blobs(seed=0, n=150, std=0.05):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1.0]])
+    points = np.vstack([rng.normal(c, std, size=(n, 2)) for c in centers])
+    labels = np.repeat(np.arange(3), n)
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        points, labels = three_blobs()
+        model = KMeans(n_clusters=3, random_state=0).fit(points)
+        assert adjusted_mutual_info(labels, model.labels_) > 0.95
+        assert model.cluster_centers_.shape == (3, 2)
+        assert model.inertia_ > 0
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points, _ = three_blobs()
+        small = KMeans(n_clusters=2, random_state=0).fit(points).inertia_
+        large = KMeans(n_clusters=6, random_state=0).fit(points).inertia_
+        assert large < small
+
+    def test_deterministic_given_seed(self):
+        points, _ = three_blobs()
+        first = KMeans(n_clusters=3, random_state=7).fit_predict(points)
+        second = KMeans(n_clusters=3, random_state=7).fit_predict(points)
+        np.testing.assert_array_equal(first, second)
+
+    def test_predict_assigns_to_nearest_center(self):
+        points, _ = three_blobs()
+        model = KMeans(n_clusters=3, random_state=0).fit(points)
+        predictions = model.predict(model.cluster_centers_)
+        assert len(set(predictions.tolist())) == 3
+
+    def test_k_larger_than_samples_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10).fit(np.random.uniform(size=(5, 2)))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            KMeans(n_clusters=2).predict(np.ones((2, 2)))
+
+    def test_single_cluster(self):
+        points, _ = three_blobs()
+        labels = KMeans(n_clusters=1, random_state=0).fit_predict(points)
+        assert set(labels.tolist()) == {0}
+
+    def test_n_clusters_found_property(self):
+        points, _ = three_blobs()
+        model = KMeans(n_clusters=3, random_state=0).fit(points)
+        assert model.n_clusters_found_ == 3
+
+
+class TestEMClustering:
+    def test_recovers_separated_blobs(self):
+        points, labels = three_blobs()
+        model = EMClustering(n_components=3, random_state=0).fit(points)
+        assert adjusted_mutual_info(labels, model.labels_) > 0.9
+
+    def test_parameters_populated(self):
+        points, _ = three_blobs()
+        model = EMClustering(n_components=3, random_state=0).fit(points)
+        assert model.means_.shape == (3, 2)
+        assert model.covariances_.shape == (3, 2, 2)
+        assert model.weights_.sum() == pytest.approx(1.0)
+        assert np.isfinite(model.log_likelihood_)
+
+    def test_handles_anisotropic_clusters(self):
+        rng = np.random.default_rng(1)
+        stretched = rng.normal(size=(300, 2)) * [1.0, 0.05] + [0, 0]
+        compact = rng.normal(size=(300, 2)) * 0.05 + [0, 2.0]
+        points = np.vstack([stretched, compact])
+        labels = np.repeat([0, 1], 300)
+        model = EMClustering(n_components=2, random_state=0).fit(points)
+        assert adjusted_mutual_info(labels, model.labels_) > 0.9
+
+    def test_too_many_components_rejected(self):
+        with pytest.raises(ValueError):
+            EMClustering(n_components=10).fit(np.random.uniform(size=(4, 2)))
+
+    def test_deterministic_given_seed(self):
+        points, _ = three_blobs()
+        first = EMClustering(n_components=3, random_state=5).fit_predict(points)
+        second = EMClustering(n_components=3, random_state=5).fit_predict(points)
+        np.testing.assert_array_equal(first, second)
+
+
+class TestDBSCAN:
+    def test_recovers_blobs_and_noise(self):
+        points, labels = three_blobs(std=0.03)
+        rng = np.random.default_rng(2)
+        noise = rng.uniform(-0.5, 1.5, size=(60, 2))
+        all_points = np.vstack([points, noise])
+        model = DBSCAN(eps=0.1, min_samples=5).fit(all_points)
+        clusters_found = model.n_clusters_found_
+        assert clusters_found == 3
+        # Most noise points should be labelled -1.
+        assert np.mean(model.labels_[len(points):] == -1) > 0.5
+
+    def test_grid_and_generic_paths_agree(self):
+        rng = np.random.default_rng(3)
+        points = np.ascontiguousarray(rng.uniform(size=(700, 2)))
+        grid_model = DBSCAN(eps=0.06, min_samples=6)
+        grid_model._fit_grid(points)
+        generic_model = DBSCAN(eps=0.06, min_samples=6)
+        generic_model._fit_generic(points)
+        np.testing.assert_array_equal(
+            np.sort(grid_model.core_sample_indices_), np.sort(generic_model.core_sample_indices_)
+        )
+        # Same partition up to renumbering.
+        assert adjusted_mutual_info(grid_model.labels_ + 1, generic_model.labels_ + 1) == pytest.approx(1.0)
+
+    def test_small_eps_marks_everything_noise(self):
+        points, _ = three_blobs(n=30)
+        model = DBSCAN(eps=1e-6, min_samples=5).fit(points)
+        assert set(model.labels_.tolist()) == {-1}
+
+    def test_huge_eps_single_cluster(self):
+        points, _ = three_blobs(n=30)
+        model = DBSCAN(eps=10.0, min_samples=3).fit(points)
+        assert model.n_clusters_found_ == 1
+        assert not (model.labels_ == -1).any()
+
+    def test_higher_dimensional_input_uses_generic_path(self):
+        rng = np.random.default_rng(4)
+        blob_a = rng.normal(0, 0.1, size=(100, 5))
+        blob_b = rng.normal(3, 0.1, size=(100, 5))
+        model = DBSCAN(eps=1.0, min_samples=5).fit(np.vstack([blob_a, blob_b]))
+        assert model.n_clusters_found_ == 2
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.0)
+
+
+class TestAssignNoise:
+    def test_noise_points_join_nearest_cluster(self):
+        points = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0], [0.2, 0.1], [4.9, 5.1]])
+        labels = np.array([0, 0, 1, 1, -1, -1])
+        completed = assign_noise_to_nearest_cluster(points, labels)
+        assert completed[4] == 0
+        assert completed[5] == 1
+        assert not (completed == -1).any()
+
+    def test_no_noise_is_identity(self):
+        points = np.random.uniform(size=(5, 2))
+        labels = np.array([0, 0, 1, 1, 1])
+        np.testing.assert_array_equal(assign_noise_to_nearest_cluster(points, labels), labels)
+
+    def test_all_noise_collapses_to_single_cluster(self):
+        points = np.random.uniform(size=(4, 2))
+        labels = np.full(4, -1)
+        completed = assign_noise_to_nearest_cluster(points, labels)
+        assert set(completed.tolist()) == {0}
+
+    def test_original_array_not_modified(self):
+        points = np.random.uniform(size=(3, 2))
+        labels = np.array([0, -1, 0])
+        assign_noise_to_nearest_cluster(points, labels)
+        assert labels[1] == -1

@@ -1,0 +1,154 @@
+"""Tests for repro.core.threshold and repro.core.transform."""
+
+import numpy as np
+import pytest
+
+from repro.core.threshold import (
+    ThresholdDiagnostics,
+    adaptive_threshold,
+    elbow_threshold_angle,
+    elbow_threshold_distance,
+    elbow_threshold_segments,
+)
+from repro.core.transform import grid_energy, wavelet_smooth_grid
+from repro.grid.quantizer import GridQuantizer
+from repro.grid.sparse_grid import SparseGrid
+
+
+def three_regime_densities(rng=None, n_signal=30, n_middle=80, n_noise=600):
+    """Synthetic density curve with the Fig. 6 structure: signal / middle / noise."""
+    rng = rng or np.random.default_rng(0)
+    signal = rng.uniform(60.0, 100.0, n_signal)
+    middle = rng.uniform(12.0, 40.0, n_middle)
+    noise = rng.uniform(0.0, 6.0, n_noise)
+    return np.concatenate([signal, middle, noise])
+
+
+class TestSegmentsThreshold:
+    def test_threshold_separates_noise_from_middle(self):
+        densities = three_regime_densities()
+        result = elbow_threshold_segments(densities)
+        assert result.method == "segments"
+        # The chosen threshold must fall between the bulk of the noise and the
+        # bulk of the middle regime.
+        assert 3.0 <= result.threshold <= 20.0
+
+    def test_result_contains_sorted_curve(self):
+        result = elbow_threshold_segments(three_regime_densities())
+        assert np.all(np.diff(result.sorted_densities) <= 0)
+        assert result.breakpoints is not None and len(result.breakpoints) == 2
+
+    def test_degenerate_constant_input(self):
+        result = elbow_threshold_segments(np.full(20, 3.0))
+        assert result.method == "degenerate"
+
+    def test_too_few_values(self):
+        result = elbow_threshold_segments([5.0, 1.0, 0.5])
+        assert result.method == "degenerate"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            elbow_threshold_segments([])
+
+    def test_subsampling_gives_similar_threshold(self):
+        densities = three_regime_densities(n_noise=5000)
+        coarse = elbow_threshold_segments(densities, max_curve_points=200)
+        fine = elbow_threshold_segments(densities, max_curve_points=1200)
+        assert abs(coarse.threshold - fine.threshold) < 15.0
+
+
+class TestDistanceThreshold:
+    def test_finds_knee_of_curve(self):
+        result = elbow_threshold_distance(three_regime_densities())
+        assert 0.0 < result.threshold < 60.0
+        assert result.method == "distance"
+
+    def test_degenerate_input(self):
+        assert elbow_threshold_distance([1.0, 1.0]).method == "degenerate"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            elbow_threshold_distance([])
+
+
+class TestAngleThreshold:
+    def test_returns_diagnostics_or_none(self):
+        result = elbow_threshold_angle(three_regime_densities())
+        assert result is None or isinstance(result, ThresholdDiagnostics)
+
+    def test_invalid_divisor(self):
+        with pytest.raises(ValueError):
+            elbow_threshold_angle([3.0, 2.0, 1.0, 0.5], angle_divisor=1.0)
+
+    def test_short_input_returns_none(self):
+        assert elbow_threshold_angle([1.0, 2.0]) is None
+
+
+class TestAdaptiveThreshold:
+    def test_prefers_segments(self):
+        result = adaptive_threshold(three_regime_densities())
+        assert result.method == "segments"
+
+    def test_falls_back_on_tiny_input(self):
+        result = adaptive_threshold([5.0, 1.0])
+        assert result.method in ("distance", "degenerate")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            adaptive_threshold([])
+
+    def test_filtering_keeps_most_cluster_cells(self):
+        """End-to-end property: the adaptive threshold removes the vast
+        majority of noise cells while keeping most signal cells."""
+        rng = np.random.default_rng(1)
+        signal = rng.uniform(50.0, 90.0, 50)
+        noise = rng.uniform(0.0, 5.0, 1000)
+        threshold = adaptive_threshold(np.concatenate([signal, noise])).threshold
+        assert np.mean(signal > threshold) > 0.9
+        assert np.mean(noise > threshold) < 0.1
+
+
+class TestWaveletSmoothGrid:
+    def _make_grid(self):
+        rng = np.random.default_rng(2)
+        points = np.vstack(
+            [
+                rng.normal(loc=[0.3, 0.3], scale=0.02, size=(400, 2)),
+                rng.uniform(size=(200, 2)),
+            ]
+        )
+        return GridQuantizer(scale=32).fit_transform(points).grid
+
+    def test_resolution_halves_per_level(self):
+        grid = self._make_grid()
+        transformed, shape = wavelet_smooth_grid(grid, "bior2.2", level=1)
+        assert shape == (16, 16)
+        transformed2, shape2 = wavelet_smooth_grid(grid, "bior2.2", level=2)
+        assert shape2 == (8, 8)
+
+    def test_mass_is_approximately_preserved_up_to_normalisation(self):
+        grid = self._make_grid()
+        transformed, _ = wavelet_smooth_grid(grid, "haar", level=1)
+        # Each 1-D Haar pass scales the total mass by 1/sqrt(2); two passes
+        # (one per dimension) give a factor of 1/2.
+        assert transformed.total_mass() * 2.0 == pytest.approx(grid.total_mass(), rel=1e-6)
+
+    def test_dense_cluster_cell_dominates_after_transform(self):
+        grid = self._make_grid()
+        transformed, _ = wavelet_smooth_grid(grid, "bior2.2", level=1)
+        densities = np.sort(transformed.densities())[::-1]
+        # The dense Gaussian blob must still stand far above the noise cells.
+        assert densities[0] > 5 * np.median(densities)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            wavelet_smooth_grid(SparseGrid((8, 8), {(0, 0): 1.0}), level=0)
+
+    def test_tiny_grid_stops_early(self):
+        grid = SparseGrid((2, 2), {(0, 0): 1.0, (1, 1): 2.0})
+        transformed, shape = wavelet_smooth_grid(grid, "haar", level=5)
+        assert min(shape) >= 1
+
+    def test_grid_energy_helper(self):
+        grid = SparseGrid((4,), {(0,): 3.0, (1,): 4.0})
+        assert grid_energy(grid) == pytest.approx(25.0)

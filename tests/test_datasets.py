@@ -1,0 +1,205 @@
+"""Tests for repro.datasets: shapes, synthetic workloads, UCI simulants, roadmap."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.roadmap import roadmap_simulant
+from repro.datasets.shapes import gaussian_blob, gaussian_ellipse, line_segment, ring, uniform_noise
+from repro.datasets.synthetic import noise_sweep_dataset, running_example, scaled_runtime_dataset
+from repro.datasets.uci_like import (
+    GLASS_ATTRIBUTE_CORRELATIONS,
+    UCI_DATASET_NAMES,
+    dataset_summary,
+    glass_simulant,
+    load_uci_like,
+)
+
+
+class TestDatasetContainer:
+    def test_properties(self):
+        data = Dataset("toy", np.zeros((4, 2)), np.array([0, 0, 1, -1]))
+        assert data.n_samples == 4
+        assert data.n_features == 2
+        assert data.n_clusters == 2
+        assert data.noise_fraction == pytest.approx(0.25)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Dataset("bad", np.zeros(4), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            Dataset("bad", np.zeros((4, 2)), np.zeros(3, dtype=int))
+
+    def test_shuffled_preserves_point_label_pairs(self):
+        data = Dataset("toy", np.arange(10.0).reshape(5, 2), np.arange(5))
+        shuffled = data.shuffled(seed=1)
+        original_pairs = {(tuple(p), int(l)) for p, l in zip(data.points, data.labels)}
+        shuffled_pairs = {(tuple(p), int(l)) for p, l in zip(shuffled.points, shuffled.labels)}
+        assert original_pairs == shuffled_pairs
+
+
+class TestShapes:
+    def test_gaussian_blob_center_and_spread(self):
+        points = gaussian_blob(2000, center=[1.0, 2.0], std=0.05, random_state=0)
+        np.testing.assert_allclose(points.mean(axis=0), [1.0, 2.0], atol=0.01)
+        assert points.std(axis=0).max() < 0.1
+
+    def test_gaussian_ellipse_anisotropy(self):
+        points = gaussian_ellipse(3000, center=(0, 0), axes=(0.2, 0.02), angle=0.0, random_state=0)
+        assert points[:, 0].std() > 5 * points[:, 1].std()
+
+    def test_ring_radius(self):
+        points = ring(2000, center=(0, 0), radius=0.5, width=0.01, random_state=0)
+        radii = np.linalg.norm(points, axis=1)
+        assert radii.mean() == pytest.approx(0.5, abs=0.01)
+        assert radii.std() < 0.05
+
+    def test_line_segment_stays_near_line(self):
+        points = line_segment(1000, start=(0, 0), end=(1, 1), width=0.01, random_state=0)
+        # Perpendicular distance to the line y = x must be tiny.
+        perpendicular = np.abs(points[:, 0] - points[:, 1]) / np.sqrt(2)
+        assert perpendicular.max() < 0.08
+
+    def test_uniform_noise_bounds(self):
+        points = uniform_noise(500, [0, 0], [2, 3], random_state=0)
+        assert points[:, 0].min() >= 0 and points[:, 0].max() <= 2
+        assert points[:, 1].min() >= 0 and points[:, 1].max() <= 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ring(100, center=(0, 0), radius=-1.0)
+        with pytest.raises(ValueError):
+            line_segment(100, start=(0, 0), end=(0, 0))
+        with pytest.raises(ValueError):
+            uniform_noise(100, [0, 0], [0, 0])
+        with pytest.raises(ValueError):
+            gaussian_ellipse(10, center=(0, 0, 0))
+
+
+class TestSyntheticWorkloads:
+    def test_noise_fraction_is_respected(self):
+        for fraction in (0.2, 0.5, 0.9):
+            data = noise_sweep_dataset(noise_fraction=fraction, n_per_cluster=300, seed=0)
+            assert data.noise_fraction == pytest.approx(fraction, abs=0.02)
+
+    def test_five_clusters_generated(self):
+        data = noise_sweep_dataset(noise_fraction=0.3, n_per_cluster=200, seed=0)
+        assert data.n_clusters == 5
+        assert data.n_features == 2
+
+    def test_determinism(self):
+        first = noise_sweep_dataset(0.5, n_per_cluster=100, seed=3)
+        second = noise_sweep_dataset(0.5, n_per_cluster=100, seed=3)
+        np.testing.assert_array_equal(first.points, second.points)
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+    def test_different_seeds_differ(self):
+        first = noise_sweep_dataset(0.5, n_per_cluster=100, seed=1)
+        second = noise_sweep_dataset(0.5, n_per_cluster=100, seed=2)
+        assert not np.array_equal(first.points, second.points)
+
+    def test_points_inside_unit_square_mostly(self):
+        data = noise_sweep_dataset(0.5, n_per_cluster=500, seed=0)
+        inside = np.mean(
+            (data.points >= -0.1).all(axis=1) & (data.points <= 1.1).all(axis=1)
+        )
+        assert inside > 0.99
+
+    def test_clusters_do_not_touch(self):
+        """No two ground-truth clusters may overlap: minimum inter-cluster
+        distance must exceed the quantization cell size at scale 128."""
+        data = noise_sweep_dataset(0.0, n_per_cluster=400, seed=0)
+        min_gap = np.inf
+        for a in range(5):
+            for b in range(a + 1, 5):
+                points_a = data.points[data.labels == a]
+                points_b = data.points[data.labels == b]
+                distances = np.sqrt(
+                    ((points_a[:, None, :] - points_b[None, :, :]) ** 2).sum(axis=2)
+                )
+                min_gap = min(min_gap, distances.min())
+        assert min_gap > 1.5 / 128
+
+    def test_running_example_defaults(self):
+        data = running_example(n_per_cluster=200, seed=0)
+        assert data.noise_fraction == pytest.approx(0.8, abs=0.02)
+        assert data.n_clusters == 5
+
+    def test_runtime_dataset_size(self):
+        data = scaled_runtime_dataset(4000, noise_fraction=0.75, seed=0)
+        assert abs(data.n_samples - 4000) < 400
+        assert data.metadata["figure"] == "Fig. 10"
+
+    def test_invalid_noise_fraction(self):
+        with pytest.raises(ValueError):
+            noise_sweep_dataset(noise_fraction=1.5)
+
+
+class TestUciSimulants:
+    def test_all_names_load(self):
+        for name in UCI_DATASET_NAMES:
+            size = 2000 if name in ("roadmap", "htru2") else None
+            data = load_uci_like(name, seed=0, n_samples=size)
+            assert data.n_samples > 50
+            assert data.n_features >= 2
+
+    def test_table_one_shapes(self):
+        summary = dataset_summary()
+        assert summary["seeds"] == (210, 7, 3)
+        assert summary["iris"] == (150, 4, 3)
+        assert summary["glass"] == (214, 9, 6)
+        assert summary["dermatology"] == (366, 33, 6)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_uci_like("mnist")
+
+    def test_determinism(self):
+        first = load_uci_like("seeds", seed=4)
+        second = load_uci_like("seeds", seed=4)
+        np.testing.assert_array_equal(first.points, second.points)
+
+    def test_glass_correlations_match_table_two(self):
+        data = glass_simulant(seed=0)
+        labels = data.labels.astype(float)
+        for index, (name, target) in enumerate(GLASS_ATTRIBUTE_CORRELATIONS.items()):
+            column = data.points[:, index]
+            correlation = np.corrcoef(column, labels)[0, 1]
+            assert correlation == pytest.approx(target, abs=0.15), name
+
+    def test_glass_has_six_classes(self):
+        assert glass_simulant(seed=1).n_clusters == 6
+
+    def test_motor_simulant_is_well_separated(self):
+        from repro.baselines import KMeans
+        from repro.metrics import adjusted_mutual_info
+
+        data = load_uci_like("motor", seed=0)
+        labels = KMeans(n_clusters=3, random_state=0).fit_predict(data.points)
+        assert adjusted_mutual_info(data.labels, labels) > 0.9
+
+
+class TestRoadmap:
+    def test_majority_is_noise(self):
+        data = roadmap_simulant(n_samples=5000, seed=0)
+        assert data.noise_fraction > 0.5
+
+    def test_city_count(self):
+        data = roadmap_simulant(n_samples=5000, seed=0)
+        assert data.n_clusters == 6
+        assert len(data.metadata["cities"]) == 6
+
+    def test_requested_size(self):
+        data = roadmap_simulant(n_samples=3000, seed=0)
+        assert data.n_samples == 3000
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            roadmap_simulant(n_samples=1000, city_fraction=0.8, arterial_fraction=0.5)
+
+    def test_cities_are_dense_relative_to_countryside(self):
+        data = roadmap_simulant(n_samples=8000, seed=0)
+        city_points = data.points[data.labels != -1]
+        # City points concentrate in small regions: their std is far below the
+        # unit-square noise spread.
+        assert city_points.std() < 0.3

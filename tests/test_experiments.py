@@ -1,0 +1,159 @@
+"""Tests for the experiment harness (small configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_table,
+    run_glass_correlation,
+    run_memory_ablation,
+    run_noise_sweep,
+    run_roadmap_case_study,
+    run_running_example,
+    run_runtime_comparison,
+    run_threshold_ablation,
+    run_wavelet_ablation,
+)
+from repro.experiments.reporting import pivot
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    ExperimentResult,
+    dbscan_grid,
+    default_algorithms,
+    evaluate_algorithm,
+)
+from repro.core.adawave import AdaWave
+from repro.datasets.synthetic import noise_sweep_dataset
+
+
+class TestRunnerPrimitives:
+    def test_evaluate_algorithm_returns_row(self):
+        dataset = noise_sweep_dataset(noise_fraction=0.3, n_per_cluster=200, seed=0)
+        spec = AlgorithmSpec("AdaWave", lambda data: AdaWave(scale=64))
+        row = evaluate_algorithm(spec, dataset)
+        assert row["algorithm"] == "AdaWave"
+        assert 0.0 <= row["ami"] <= 1.0
+        assert row["seconds"] >= 0.0
+
+    def test_parameter_grid_reports_best(self):
+        dataset = noise_sweep_dataset(noise_fraction=0.3, n_per_cluster=150, seed=0)
+        spec = AlgorithmSpec(
+            "DBSCAN",
+            factory=lambda data: None,
+            parameter_grid=dbscan_grid(eps_values=(0.01, 0.05)),
+            max_points=1500,
+        )
+        row = evaluate_algorithm(spec, dataset)
+        assert row["grid_index"] in (0, 1)
+
+    def test_subsampling_respected(self):
+        dataset = noise_sweep_dataset(noise_fraction=0.5, n_per_cluster=400, seed=0)
+        spec = AlgorithmSpec("AdaWave", lambda data: AdaWave(scale=32), max_points=500)
+        row = evaluate_algorithm(spec, dataset)
+        assert 0.0 <= row["ami"] <= 1.0
+
+    def test_default_algorithm_roster(self):
+        fast = default_algorithms(include_slow=False)
+        full = default_algorithms(include_slow=True)
+        names = [spec.name for spec in fast]
+        assert names == ["AdaWave", "SkinnyDip", "DBSCAN", "EM", "k-means", "WaveCluster"]
+        assert len(full) == len(fast) + 2
+
+    def test_experiment_result_helpers(self):
+        result = ExperimentResult(experiment="toy", columns=["algorithm", "ami"])
+        result.add_row(algorithm="a", ami=0.5)
+        result.add_row(algorithm="b", ami=0.8)
+        assert result.column("ami") == [0.5, 0.8]
+        assert result.best_by("ami")[None] == "b"
+
+
+class TestReporting:
+    def test_format_table_renders_all_rows(self):
+        result = ExperimentResult(experiment="toy", columns=["name", "value"])
+        result.add_row(name="x", value=1.234567)
+        result.add_row(name="y", value=None)
+        text = format_table(result)
+        assert "toy" in text and "x" in text and "1.235" in text
+        # Title + header + separator + two data rows.
+        assert len(text.splitlines()) == 5
+
+    def test_pivot_wide_layout(self):
+        result = ExperimentResult(experiment="sweep", columns=["noise", "algorithm", "ami"])
+        result.add_row(noise=0.2, algorithm="A", ami=0.9)
+        result.add_row(noise=0.2, algorithm="B", ami=0.5)
+        result.add_row(noise=0.4, algorithm="A", ami=0.8)
+        wide = pivot(result, index="noise", column="algorithm", value="ami")
+        assert wide.columns == ["noise", "A", "B"]
+        assert wide.rows[0]["A"] == 0.9
+        assert wide.rows[1]["B"] is None
+
+
+class TestExperimentE1:
+    def test_running_example_shape(self):
+        result = run_running_example(n_per_cluster=300, dbscan_max_points=800)
+        algorithms = result.column("algorithm")
+        assert algorithms == ["AdaWave", "k-means", "DBSCAN", "SkinnyDip"]
+        assert all(0.0 <= value <= 1.0 for value in result.column("ami"))
+
+    def test_adawave_beats_skinnydip_on_running_example(self):
+        result = run_running_example(n_per_cluster=500, dbscan_max_points=800, seed=1)
+        scores = {row["algorithm"]: row["ami"] for row in result.rows}
+        assert scores["AdaWave"] > scores["SkinnyDip"]
+
+
+class TestExperimentE2:
+    def test_noise_sweep_small(self):
+        result = run_noise_sweep(
+            noise_levels=(0.3, 0.8), n_per_cluster=400, subsample_quadratic=1200
+        )
+        assert len(result.rows) == 2 * 6
+        adawave = [row["ami"] for row in result.rows if row["algorithm"] == "AdaWave"]
+        # AdaWave stays strong at both noise levels.
+        assert min(adawave) > 0.5
+
+
+class TestExperimentE4:
+    def test_glass_correlations_close_to_paper(self):
+        result = run_glass_correlation()
+        errors = result.column("absolute_error")
+        assert max(errors) < 0.2
+        assert len(result.rows) == 9
+
+
+class TestExperimentE5:
+    def test_roadmap_case_study(self):
+        result = run_roadmap_case_study(n_samples=6000, dbscan_max_points=1500)
+        adawave_row = next(row for row in result.rows if row["algorithm"] == "AdaWave")
+        assert adawave_row["ami"] > 0.4
+        assert adawave_row["cities_recovered"] >= 3
+
+
+class TestExperimentE6:
+    def test_runtime_rows_and_growth(self):
+        result = run_runtime_comparison(sizes=(1000, 2000), max_points_quadratic=2500)
+        algorithms = {row["algorithm"] for row in result.rows}
+        assert "AdaWave" in algorithms
+        growth_rows = [row for row in result.rows if "growth" in row["algorithm"]]
+        assert growth_rows, "expected fitted growth exponents"
+
+
+class TestExperimentE7:
+    def test_threshold_ablation(self):
+        result = run_threshold_ablation(noise_levels=(0.5,), n_per_cluster=600)
+        methods = {row["threshold_method"] for row in result.rows}
+        assert {"auto", "none"}.issubset(methods)
+        auto_row = next(row for row in result.rows if row["threshold_method"] == "auto")
+        none_row = next(row for row in result.rows if row["threshold_method"] == "none")
+        assert auto_row["ami"] >= none_row["ami"]
+
+    def test_memory_ablation_savings_grow_with_dimension(self):
+        result = run_memory_ablation(dimensions=(2, 5, 7), n_samples=1500, scale=8)
+        savings = result.column("savings_factor")
+        assert savings[-1] > savings[0]
+
+    def test_wavelet_ablation(self):
+        result = run_wavelet_ablation(
+            wavelets=("bior2.2", "haar"), n_per_cluster=600, noise_fraction=0.6
+        )
+        assert len(result.rows) == 2
+        assert all(row["ami"] > 0.3 for row in result.rows)

@@ -1,0 +1,106 @@
+"""Hypothesis property tests for the wavelet substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wavelets.dwt import dwt, idwt, smooth_signal, wavedec, waverec
+from repro.wavelets.lifting import inverse_lifting_cdf53, lifting_cdf53
+from repro.wavelets.thresholding import hard_threshold, soft_threshold
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+signals = st.lists(finite_floats, min_size=4, max_size=96).map(np.asarray)
+even_signals = (
+    st.lists(finite_floats, min_size=4, max_size=96)
+    .filter(lambda values: len(values) % 2 == 0)
+    .map(np.asarray)
+)
+wavelet_names = st.sampled_from(["haar", "db2", "db4", "sym4", "bior2.2", "bior1.3"])
+
+
+class TestPerfectReconstructionProperty:
+    @given(signal=signals, wavelet=wavelet_names)
+    @settings(max_examples=60, deadline=None)
+    def test_single_level_roundtrip(self, signal, wavelet):
+        approx, detail = dwt(signal, wavelet)
+        reconstructed = idwt(approx, detail, wavelet, output_length=len(signal))
+        scale = max(1.0, np.max(np.abs(signal)))
+        assert np.max(np.abs(reconstructed - signal)) < 1e-8 * scale
+
+    @given(signal=signals, wavelet=wavelet_names, level=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_multi_level_roundtrip(self, signal, wavelet, level):
+        coefficients = wavedec(signal, wavelet, level=level)
+        reconstructed = waverec(coefficients, wavelet, output_length=len(signal))
+        scale = max(1.0, np.max(np.abs(signal)))
+        assert np.max(np.abs(reconstructed - signal)) < 1e-7 * scale
+
+    @given(signal=even_signals)
+    @settings(max_examples=50, deadline=None)
+    def test_lifting_roundtrip(self, signal):
+        approx, detail = lifting_cdf53(signal)
+        reconstructed = inverse_lifting_cdf53(approx, detail)
+        scale = max(1.0, np.max(np.abs(signal)))
+        assert np.max(np.abs(reconstructed - signal)) < 1e-9 * scale
+
+
+class TestTransformInvariants:
+    @given(signal=signals, wavelet=st.sampled_from(["haar", "db2", "db4", "sym4"]))
+    @settings(max_examples=50, deadline=None)
+    def test_orthogonal_energy_conservation(self, signal, wavelet):
+        approx, detail = dwt(signal, wavelet)
+        energy_in = float(np.sum(signal**2))
+        # Odd-length signals are padded by repeating the last sample, which
+        # adds that sample's energy once.
+        if len(signal) % 2 == 1:
+            energy_in += float(signal[-1] ** 2)
+        energy_out = float(np.sum(approx**2) + np.sum(detail**2))
+        assert energy_out == pytest.approx(energy_in, rel=1e-8, abs=1e-6)
+
+    @given(signal=signals, wavelet=wavelet_names)
+    @settings(max_examples=50, deadline=None)
+    def test_linearity_of_analysis(self, signal, wavelet):
+        approx_a, detail_a = dwt(signal, wavelet)
+        approx_b, detail_b = dwt(3.0 * signal, wavelet)
+        np.testing.assert_allclose(approx_b, 3.0 * approx_a, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(detail_b, 3.0 * detail_a, rtol=1e-9, atol=1e-9)
+
+    @given(signal=signals, wavelet=wavelet_names)
+    @settings(max_examples=40, deadline=None)
+    def test_coefficient_count_is_half(self, signal, wavelet):
+        approx, detail = dwt(signal, wavelet)
+        assert len(approx) == (len(signal) + 1) // 2
+        assert len(approx) == len(detail)
+
+    @given(signal=signals)
+    @settings(max_examples=40, deadline=None)
+    def test_smoothing_preserves_length_and_mass(self, signal):
+        smoothed = smooth_signal(signal, "bior2.2", level=1)
+        assert len(smoothed) == len(signal)
+        if len(signal) % 2 == 0:
+            assert np.sum(smoothed) == pytest.approx(np.sum(signal), rel=1e-6, abs=1e-6)
+
+
+class TestThresholdingProperties:
+    @given(values=st.lists(finite_floats, min_size=1, max_size=50).map(np.asarray),
+           threshold=st.floats(min_value=0.0, max_value=1e3))
+    @settings(max_examples=60, deadline=None)
+    def test_hard_threshold_idempotent(self, values, threshold):
+        once = hard_threshold(values, threshold)
+        twice = hard_threshold(once, threshold)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=50).map(np.asarray),
+           threshold=st.floats(min_value=0.0, max_value=1e3))
+    @settings(max_examples=60, deadline=None)
+    def test_soft_threshold_shrinks_magnitudes(self, values, threshold):
+        shrunk = soft_threshold(values, threshold)
+        assert np.all(np.abs(shrunk) <= np.abs(values) + 1e-12)
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=50).map(np.asarray),
+           threshold=st.floats(min_value=0.0, max_value=1e3))
+    @settings(max_examples=60, deadline=None)
+    def test_hard_threshold_never_increases_support(self, values, threshold):
+        result = hard_threshold(values, threshold)
+        assert np.count_nonzero(result) <= np.count_nonzero(values)

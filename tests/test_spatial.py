@@ -1,0 +1,167 @@
+"""Tests for repro.spatial: union-find, KD-tree and neighbour helpers."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.kdtree import KDTree
+from repro.spatial.neighbors import k_nearest_neighbors, pairwise_distances, radius_neighbors
+from repro.spatial.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        union = UnionFind(["a", "b", "c"])
+        assert union.n_components == 3
+        assert len(union) == 3
+
+    def test_union_reduces_components(self):
+        union = UnionFind(["a", "b", "c"])
+        union.union("a", "b")
+        assert union.n_components == 2
+        assert union.connected("a", "b")
+        assert not union.connected("a", "c")
+
+    def test_union_is_transitive(self):
+        union = UnionFind()
+        union.union(1, 2)
+        union.union(2, 3)
+        assert union.connected(1, 3)
+
+    def test_add_is_idempotent(self):
+        union = UnionFind()
+        union.add("x")
+        union.add("x")
+        assert union.n_components == 1
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            UnionFind().find("missing")
+
+    def test_groups(self):
+        union = UnionFind([1, 2, 3, 4])
+        union.union(1, 2)
+        union.union(3, 4)
+        groups = union.groups()
+        assert sorted(sorted(group) for group in groups.values()) == [[1, 2], [3, 4]]
+
+    def test_component_labels_are_dense(self):
+        union = UnionFind([10, 20, 30])
+        union.union(10, 30)
+        labels = union.component_labels()
+        assert set(labels.values()) == {0, 1}
+        assert labels[10] == labels[30]
+
+    def test_tuple_keys(self):
+        union = UnionFind()
+        union.union((0, 0), (0, 1))
+        assert union.connected((0, 0), (0, 1))
+
+    def test_union_same_set_keeps_count(self):
+        union = UnionFind([1, 2])
+        union.union(1, 2)
+        union.union(1, 2)
+        assert union.n_components == 1
+
+
+class TestKDTree:
+    @pytest.fixture
+    def points(self):
+        return np.random.default_rng(0).uniform(size=(200, 3))
+
+    def test_radius_query_matches_bruteforce(self, points):
+        tree = KDTree(points, leaf_size=8)
+        query = points[17]
+        radius = 0.3
+        expected = np.flatnonzero(np.linalg.norm(points - query, axis=1) <= radius)
+        np.testing.assert_array_equal(tree.query_radius(query, radius), expected)
+
+    def test_knn_matches_bruteforce(self, points):
+        tree = KDTree(points, leaf_size=8)
+        query = np.array([0.5, 0.5, 0.5])
+        distances, indices = tree.query(query, k=5)
+        brute = np.linalg.norm(points - query, axis=1)
+        expected_indices = np.argsort(brute)[:5]
+        np.testing.assert_array_equal(np.sort(indices), np.sort(expected_indices))
+        np.testing.assert_allclose(np.sort(distances), np.sort(brute[expected_indices]))
+
+    def test_knn_distances_sorted(self, points):
+        distances, _ = KDTree(points).query(points[0], k=10)
+        assert np.all(np.diff(distances) >= 0)
+
+    def test_k_larger_than_n_is_capped(self):
+        points = np.random.default_rng(1).uniform(size=(5, 2))
+        distances, indices = KDTree(points).query(points[0], k=50)
+        assert len(indices) == 5
+
+    def test_zero_radius_returns_self(self, points):
+        tree = KDTree(points)
+        result = tree.query_radius(points[3], 0.0)
+        assert 3 in result
+
+    def test_dimension_mismatch_raises(self, points):
+        tree = KDTree(points)
+        with pytest.raises(ValueError, match="features"):
+            tree.query_radius([0.1, 0.2], 0.5)
+        with pytest.raises(ValueError, match="features"):
+            tree.query([0.1, 0.2], k=1)
+
+    def test_invalid_parameters(self, points):
+        with pytest.raises(ValueError):
+            KDTree(points, leaf_size=0)
+        with pytest.raises(ValueError):
+            KDTree(points).query_radius(points[0], -1.0)
+        with pytest.raises(ValueError):
+            KDTree(points).query(points[0], k=0)
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((50, 2))
+        tree = KDTree(points)
+        assert len(tree.query_radius([0.0, 0.0], 0.1)) == 50
+
+
+class TestNeighbors:
+    def test_pairwise_distances_symmetric_and_zero_diagonal(self):
+        X = np.random.default_rng(2).uniform(size=(20, 4))
+        distances = pairwise_distances(X)
+        np.testing.assert_allclose(distances, distances.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(distances), 0.0, atol=1e-6)
+
+    def test_pairwise_distances_known_values(self):
+        X = np.array([[0.0, 0.0], [3.0, 4.0]])
+        np.testing.assert_allclose(pairwise_distances(X)[0, 1], 5.0)
+
+    def test_pairwise_cross(self):
+        X = np.array([[0.0, 0.0]])
+        Y = np.array([[1.0, 0.0], [0.0, 2.0]])
+        np.testing.assert_allclose(pairwise_distances(X, Y), [[1.0, 2.0]])
+
+    def test_feature_mismatch(self):
+        with pytest.raises(ValueError, match="features"):
+            pairwise_distances(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_radius_neighbors_include_self(self):
+        X = np.random.default_rng(3).uniform(size=(30, 2))
+        neighborhoods = radius_neighbors(X, 0.2)
+        for index, neighbors in enumerate(neighborhoods):
+            assert index in neighbors
+
+    def test_radius_neighbors_bruteforce_and_tree_agree(self):
+        X = np.random.default_rng(4).uniform(size=(600, 2))
+        small = radius_neighbors(X[:100], 0.15)
+        tree_based = radius_neighbors(X, 0.15)
+        for index in range(100):
+            expected = np.flatnonzero(np.linalg.norm(X - X[index], axis=1) <= 0.15)
+            np.testing.assert_array_equal(tree_based[index], expected)
+        assert len(small) == 100
+
+    def test_knn_excludes_self(self):
+        X = np.random.default_rng(5).uniform(size=(40, 2))
+        distances, indices = k_nearest_neighbors(X, 3)
+        assert distances.shape == (40, 3)
+        for index in range(40):
+            assert index not in indices[index]
+        assert np.all(distances > 0)
+
+    def test_knn_k_too_large(self):
+        with pytest.raises(ValueError, match="k must be <"):
+            k_nearest_neighbors(np.ones((3, 2)), 3)

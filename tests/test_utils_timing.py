@@ -1,0 +1,48 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        watch = Stopwatch()
+        with watch.measure("task"):
+            time.sleep(0.01)
+        assert watch.total("task") >= 0.005
+        assert watch.count("task") == 1
+
+    def test_accumulates_multiple_measurements(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch.measure("task"):
+                pass
+        assert watch.count("task") == 3
+        assert watch.mean("task") >= 0.0
+
+    def test_unknown_name_is_zero(self):
+        watch = Stopwatch()
+        assert watch.total("missing") == 0.0
+        assert watch.mean("missing") == 0.0
+        assert watch.count("missing") == 0
+
+    def test_records_even_when_block_raises(self):
+        watch = Stopwatch()
+        try:
+            with watch.measure("task"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert watch.count("task") == 1
+
+
+class TestTimed:
+    def test_elapsed_is_populated(self):
+        with timed() as elapsed:
+            time.sleep(0.01)
+        assert elapsed[0] >= 0.005
+
+    def test_elapsed_is_zero_before_exit(self):
+        with timed() as elapsed:
+            assert elapsed[0] == 0.0

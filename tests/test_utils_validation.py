@@ -1,0 +1,144 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    as_feature_matrix,
+    check_array,
+    check_labels,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+    column_or_row,
+)
+
+
+class TestCheckArray:
+    def test_accepts_list_of_rows(self):
+        result = check_array([[1, 2], [3, 4]])
+        assert result.shape == (2, 2)
+        assert result.dtype == np.float64
+
+    def test_rejects_1d_when_2d_required(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_array([1.0, 2.0, 3.0])
+
+    def test_allows_1d_when_not_required(self):
+        result = check_array([1.0, 2.0], ensure_2d=False)
+        assert result.shape == (2,)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="at most 2-D"):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([[np.inf, 1.0]])
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_array(np.empty((0, 2)))
+
+    def test_allows_empty_when_requested(self):
+        result = check_array(np.empty((0, 2)), allow_empty=True)
+        assert result.shape == (0, 2)
+
+    def test_output_is_contiguous(self):
+        strided = np.asfortranarray(np.arange(12, dtype=float).reshape(3, 4))
+        assert check_array(strided).flags["C_CONTIGUOUS"]
+
+
+class TestCheckLabels:
+    def test_basic(self):
+        labels = check_labels([0, 1, 1, -1])
+        assert labels.dtype == np.int64
+        assert labels.tolist() == [0, 1, 1, -1]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            check_labels([0, 1], n_samples=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_labels([[0, 1]])
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError, match="integer"):
+            check_labels([0.5, 1.0])
+
+    def test_accepts_integer_valued_floats(self):
+        assert check_labels([0.0, 1.0, 2.0]).tolist() == [0, 1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_labels([])
+
+
+class TestScalarValidators:
+    def test_positive_int_passes(self):
+        assert check_positive_int(5, name="x") == 5
+
+    def test_positive_int_respects_minimum(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            check_positive_int(1, name="x", minimum=2)
+
+    def test_positive_int_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, name="x")
+
+    def test_positive_int_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, name="x")
+
+    def test_probability_bounds(self):
+        assert check_probability(0.0, name="p") == 0.0
+        assert check_probability(1.0, name="p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.2, name="p")
+
+    def test_probability_exclusive(self):
+        with pytest.raises(ValueError):
+            check_probability(0.0, name="p", inclusive=False)
+
+    def test_probability_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_probability("0.5", name="p")
+
+
+class TestRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        first = check_random_state(42).standard_normal(5)
+        second = check_random_state(42).standard_normal(5)
+        np.testing.assert_array_equal(first, second)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert check_random_state(generator) is generator
+
+    def test_legacy_randomstate_accepted(self):
+        legacy = np.random.RandomState(0)
+        assert isinstance(check_random_state(legacy), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            check_random_state("seed")
+
+
+class TestHelpers:
+    def test_as_feature_matrix_promotes_1d(self):
+        assert as_feature_matrix([1.0, 2.0, 3.0]).shape == (3, 1)
+
+    def test_column_or_row_broadcast_scalar(self):
+        np.testing.assert_array_equal(column_or_row(2.0, 3, name="v"), [2.0, 2.0, 2.0])
+
+    def test_column_or_row_length_check(self):
+        with pytest.raises(ValueError):
+            column_or_row([1.0, 2.0], 3, name="v")

@@ -1,0 +1,146 @@
+"""Tests for repro.wavelets.dwt: 1-D transforms and perfect reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets.dwt import dwt, dwt_max_level, idwt, smooth_signal, wavedec, waverec
+
+ALL_WAVELETS = ["haar", "db2", "db4", "db8", "sym4", "bior1.1", "bior2.2", "bior1.3"]
+ORTHOGONAL = ["haar", "db2", "db4", "sym4"]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestPerfectReconstruction:
+    @pytest.mark.parametrize("wavelet", ALL_WAVELETS)
+    @pytest.mark.parametrize("length", [8, 16, 37, 64])
+    def test_periodization_roundtrip(self, wavelet, length, rng):
+        signal = rng.standard_normal(length)
+        approx, detail = dwt(signal, wavelet)
+        reconstructed = idwt(approx, detail, wavelet, output_length=length)
+        np.testing.assert_allclose(reconstructed, signal, atol=1e-10)
+
+    @pytest.mark.parametrize("wavelet", ORTHOGONAL)
+    @pytest.mark.parametrize("mode", ["zero", "symmetric"])
+    def test_padded_roundtrip(self, wavelet, mode, rng):
+        signal = rng.standard_normal(45)
+        approx, detail = dwt(signal, wavelet, mode=mode)
+        reconstructed = idwt(approx, detail, wavelet, mode=mode, output_length=45)
+        np.testing.assert_allclose(reconstructed, signal, atol=1e-10)
+
+    @pytest.mark.parametrize("wavelet", ALL_WAVELETS)
+    def test_multilevel_roundtrip(self, wavelet, rng):
+        signal = rng.standard_normal(64)
+        coefficients = wavedec(signal, wavelet, level=3)
+        reconstructed = waverec(coefficients, wavelet, output_length=64)
+        np.testing.assert_allclose(reconstructed, signal, atol=1e-9)
+
+
+class TestCoefficientProperties:
+    def test_periodization_halves_length(self, rng):
+        approx, detail = dwt(rng.standard_normal(32), "db2")
+        assert len(approx) == 16
+        assert len(detail) == 16
+
+    def test_odd_length_rounds_up(self, rng):
+        approx, _ = dwt(rng.standard_normal(33), "haar")
+        assert len(approx) == 17
+
+    def test_orthogonal_energy_preservation(self, rng):
+        signal = rng.standard_normal(64)
+        approx, detail = dwt(signal, "db4")
+        energy_in = np.sum(signal**2)
+        energy_out = np.sum(approx**2) + np.sum(detail**2)
+        assert energy_out == pytest.approx(energy_in, rel=1e-10)
+
+    def test_constant_signal_has_zero_detail(self):
+        approx, detail = dwt(np.full(32, 5.0), "db3")
+        np.testing.assert_allclose(detail, 0.0, atol=1e-10)
+        # The approximation carries the (scaled) constant mass.
+        assert approx.sum() == pytest.approx(32 * 5.0 / np.sqrt(2.0))
+
+    def test_linear_signal_annihilated_by_db2(self):
+        """db2 has two vanishing moments: linear ramps give zero detail
+        (periodization wraps, so test away from the seam via a zero mode)."""
+        signal = np.linspace(0.0, 1.0, 64)
+        _, detail = dwt(signal, "db2", mode="zero")
+        interior = detail[2:-2]
+        np.testing.assert_allclose(interior, 0.0, atol=1e-10)
+
+    def test_haar_approximation_is_pairwise_mean(self):
+        signal = np.array([1.0, 3.0, 5.0, 7.0])
+        approx, detail = dwt(signal, "haar")
+        np.testing.assert_allclose(approx, [4.0 / np.sqrt(2), 12.0 / np.sqrt(2)])
+        np.testing.assert_allclose(np.abs(detail), [2.0 / np.sqrt(2), 2.0 / np.sqrt(2)])
+
+
+class TestErrorHandling:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            dwt(np.ones(8), "haar", mode="reflect")
+
+    def test_empty_signal(self):
+        with pytest.raises(ValueError, match="empty"):
+            dwt(np.array([]), "haar")
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            dwt(np.ones((4, 4)), "haar")
+
+    def test_idwt_requires_matching_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            idwt(np.ones(4), np.ones(5), "haar")
+
+    def test_idwt_requires_some_input(self):
+        with pytest.raises(ValueError, match="at least one"):
+            idwt(None, None, "haar")
+
+    def test_idwt_accepts_missing_detail(self):
+        result = idwt(np.ones(4), None, "haar")
+        assert len(result) == 8
+
+    def test_wavedec_rejects_zero_level(self):
+        with pytest.raises(ValueError, match="level"):
+            wavedec(np.ones(8), "haar", level=0)
+
+    def test_waverec_needs_two_arrays(self):
+        with pytest.raises(ValueError, match="at least"):
+            waverec([np.ones(4)], "haar")
+
+
+class TestMaxLevel:
+    def test_known_values(self):
+        assert dwt_max_level(64, 2) == 6
+        assert dwt_max_level(64, 4) == 4
+        assert dwt_max_level(100, 8) == 3
+
+    def test_short_signal(self):
+        assert dwt_max_level(3, 8) == 0
+
+
+class TestSmoothSignal:
+    def test_preserves_length(self, rng):
+        signal = rng.standard_normal(50)
+        assert len(smooth_signal(signal, "bior2.2", level=2)) == 50
+
+    def test_reduces_high_frequency_energy(self, rng):
+        time = np.arange(128)
+        slow = np.sin(2 * np.pi * time / 64)
+        fast = 0.5 * np.sin(2 * np.pi * time / 4)
+        smoothed = smooth_signal(slow + fast, "db4", level=2)
+        residual_fast = np.abs(np.fft.rfft(smoothed))[20:].sum()
+        original_fast = np.abs(np.fft.rfft(slow + fast))[20:].sum()
+        assert residual_fast < 0.3 * original_fast
+
+    def test_preserves_total_mass_approximately(self):
+        signal = np.zeros(64)
+        signal[20:30] = 10.0
+        smoothed = smooth_signal(signal, "bior2.2", level=1)
+        assert smoothed.sum() == pytest.approx(signal.sum(), rel=1e-6)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError, match="level"):
+            smooth_signal(np.ones(16), "haar", level=0)

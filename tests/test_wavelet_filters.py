@@ -1,0 +1,141 @@
+"""Tests for repro.wavelets.filters: filter bank construction."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets.filters import (
+    Wavelet,
+    available_wavelets,
+    build_wavelet,
+    daubechies_scaling_filter,
+    quadrature_mirror,
+    symlet_scaling_filter,
+)
+
+SQRT2 = np.sqrt(2.0)
+
+
+class TestDaubechiesConstruction:
+    def test_db1_is_haar(self):
+        np.testing.assert_allclose(daubechies_scaling_filter(1), [SQRT2 / 2, SQRT2 / 2])
+
+    def test_db2_matches_published_coefficients(self):
+        expected = np.array([0.48296291, 0.83651630, 0.22414387, -0.12940952])
+        np.testing.assert_allclose(daubechies_scaling_filter(2), expected, atol=1e-7)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 6, 8, 10])
+    def test_scaling_filter_sums_to_sqrt2(self, order):
+        assert daubechies_scaling_filter(order).sum() == pytest.approx(SQRT2)
+
+    @pytest.mark.parametrize("order", [2, 3, 4, 5, 6, 8, 10])
+    def test_orthonormality_of_even_shifts(self, order):
+        h = daubechies_scaling_filter(order)
+        for shift in range(0, len(h), 2):
+            inner = np.sum(h[: len(h) - shift] * h[shift:])
+            expected = 1.0 if shift == 0 else 0.0
+            assert inner == pytest.approx(expected, abs=1e-8)
+
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_filter_length_is_twice_order(self, order):
+        assert len(daubechies_scaling_filter(order)) == 2 * order
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            daubechies_scaling_filter(0)
+
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_vanishing_moments_of_wavelet_filter(self, order):
+        """The QMF high-pass must annihilate polynomials up to degree order-1."""
+        h = daubechies_scaling_filter(order)
+        g = quadrature_mirror(h)
+        support = np.arange(len(g))
+        for degree in range(order):
+            assert np.sum(g * support**degree) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestSymletConstruction:
+    @pytest.mark.parametrize("order", [2, 4, 6, 8])
+    def test_orthonormality(self, order):
+        h = symlet_scaling_filter(order)
+        for shift in range(0, len(h), 2):
+            inner = np.sum(h[: len(h) - shift] * h[shift:])
+            expected = 1.0 if shift == 0 else 0.0
+            assert inner == pytest.approx(expected, abs=1e-8)
+
+    def test_sum_is_sqrt2(self):
+        assert symlet_scaling_filter(4).sum() == pytest.approx(SQRT2)
+
+
+class TestBuildWavelet:
+    def test_available_list_is_nonempty_and_buildable(self):
+        names = available_wavelets()
+        assert "db1" in names and "bior2.2" in names
+        for name in names:
+            assert isinstance(build_wavelet(name), Wavelet)
+
+    def test_haar_alias(self):
+        assert build_wavelet("haar").name == "db1"
+
+    def test_cdf22_alias(self):
+        assert build_wavelet("cdf2.2").name == "bior2.2"
+
+    def test_wavelet_instance_passthrough(self):
+        wavelet = build_wavelet("db3")
+        assert build_wavelet(wavelet) is wavelet
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="Unknown wavelet"):
+            build_wavelet("meyer99")
+
+    def test_non_string_raises(self):
+        with pytest.raises(TypeError):
+            build_wavelet(42)
+
+    def test_cache_returns_same_object(self):
+        assert build_wavelet("db4") is build_wavelet("db4")
+
+    def test_orthogonal_flag(self):
+        assert build_wavelet("db2").orthogonal
+        assert not build_wavelet("bior2.2").orthogonal
+
+    def test_bior22_analysis_lowpass_is_legall_53(self):
+        wavelet = build_wavelet("bior2.2")
+        expected = SQRT2 * np.array([-0.125, 0.25, 0.75, 0.25, -0.125])
+        np.testing.assert_allclose(wavelet.dec_lo, expected)
+        expected_rec = SQRT2 * np.array([0.25, 0.5, 0.25])
+        np.testing.assert_allclose(wavelet.rec_lo, expected_rec)
+
+    def test_biorthogonality_of_cdf_pairs(self):
+        """sum_n rec_lo[n] dec_lo[n - 2k] = delta_k for the spline pairs."""
+        for name in ("bior1.1", "bior2.2", "bior1.3"):
+            wavelet = build_wavelet(name)
+            # Place both filters on a common time axis using their offsets.
+            times_rec = np.arange(len(wavelet.rec_lo)) - wavelet.rec_lo_offset
+            times_dec = np.arange(len(wavelet.dec_lo)) - wavelet.dec_lo_offset
+            for k in range(-3, 4):
+                total = 0.0
+                for value_rec, time_rec in zip(wavelet.rec_lo, times_rec):
+                    for value_dec, time_dec in zip(wavelet.dec_lo, times_dec):
+                        if time_dec == time_rec - 2 * k:
+                            total += value_rec * value_dec
+                expected = 1.0 if k == 0 else 0.0
+                assert total == pytest.approx(expected, abs=1e-10), name
+
+    def test_filter_length_property(self):
+        wavelet = build_wavelet("bior2.2")
+        assert wavelet.filter_length == 5
+
+    def test_vanishing_moments_recorded(self):
+        assert build_wavelet("db5").vanishing_moments == 5
+        assert build_wavelet("bior2.2").vanishing_moments == 2
+
+
+class TestQuadratureMirror:
+    def test_alternating_signs(self):
+        h = np.array([1.0, 2.0, 3.0, 4.0])
+        g = quadrature_mirror(h)
+        np.testing.assert_allclose(g, [4.0, -3.0, 2.0, -1.0])
+
+    def test_haar_mirror(self):
+        g = quadrature_mirror(np.array([SQRT2 / 2, SQRT2 / 2]))
+        np.testing.assert_allclose(g, [SQRT2 / 2, -SQRT2 / 2])

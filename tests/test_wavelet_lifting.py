@@ -1,0 +1,91 @@
+"""Tests for repro.wavelets.lifting: lifting-scheme CDF transforms."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets.dwt import dwt
+from repro.wavelets.lifting import (
+    inverse_lifting_cdf53,
+    inverse_lifting_cdf97,
+    lifting_cdf53,
+    lifting_cdf97,
+    lifting_smooth,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestCdf53:
+    @pytest.mark.parametrize("length", [8, 16, 64, 130])
+    def test_perfect_reconstruction(self, length, rng):
+        signal = rng.standard_normal(length)
+        approx, detail = lifting_cdf53(signal)
+        np.testing.assert_allclose(inverse_lifting_cdf53(approx, detail), signal, atol=1e-12)
+
+    def test_output_lengths(self, rng):
+        approx, detail = lifting_cdf53(rng.standard_normal(32))
+        assert len(approx) == 16 and len(detail) == 16
+
+    def test_constant_signal_zero_detail(self):
+        approx, detail = lifting_cdf53(np.full(16, 4.0))
+        np.testing.assert_allclose(detail, 0.0, atol=1e-12)
+        # Same sqrt(2) normalisation as the convolution path.
+        assert approx.sum() == pytest.approx(16 * 4.0 / np.sqrt(2.0))
+
+    def test_linear_signal_zero_detail_away_from_seam(self):
+        signal = np.arange(32, dtype=float)
+        _, detail = lifting_cdf53(signal)
+        np.testing.assert_allclose(detail[1:-1], 0.0, atol=1e-12)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError, match="even-length"):
+            lifting_cdf53(np.ones(9))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            inverse_lifting_cdf53(np.ones(4), np.ones(5))
+
+    def test_agrees_with_convolution_smoothing_on_mass(self, rng):
+        """Both CDF(2,2) code paths preserve total mass identically."""
+        signal = np.abs(rng.standard_normal(64))
+        approx_lift, _ = lifting_cdf53(signal)
+        approx_conv, _ = dwt(signal, "bior2.2")
+        assert approx_lift.sum() == pytest.approx(approx_conv.sum(), rel=1e-9)
+
+
+class TestCdf97:
+    @pytest.mark.parametrize("length", [8, 32, 100])
+    def test_perfect_reconstruction(self, length, rng):
+        signal = rng.standard_normal(length)
+        approx, detail = lifting_cdf97(signal)
+        np.testing.assert_allclose(inverse_lifting_cdf97(approx, detail), signal, atol=1e-10)
+
+    def test_constant_signal_zero_detail(self):
+        _, detail = lifting_cdf97(np.full(16, 2.5))
+        np.testing.assert_allclose(detail, 0.0, atol=1e-10)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            inverse_lifting_cdf97(np.ones(3), np.ones(4))
+
+
+class TestLiftingSmooth:
+    def test_length_preserved_even_and_odd(self, rng):
+        for length in (16, 33):
+            assert len(lifting_smooth(rng.standard_normal(length), level=2)) == length
+
+    def test_smoothing_reduces_variance_of_noise(self, rng):
+        noise = rng.standard_normal(128)
+        smoothed = lifting_smooth(noise, transform="cdf53", level=2)
+        assert smoothed.var() < noise.var()
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(ValueError, match="transform"):
+            lifting_smooth(np.ones(16), transform="cdf44")
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            lifting_smooth(np.ones(16), level=0)

@@ -1,0 +1,116 @@
+"""Tests for repro.wavelets.ndwt: separable multi-dimensional transforms."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets.ndwt import dwt2, dwtn, idwt2, idwtn, smooth_nd
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestDwtn:
+    def test_2d_produces_four_subbands(self, rng):
+        bands = dwtn(rng.standard_normal((16, 16)), "haar")
+        assert set(bands) == {"aa", "ad", "da", "dd"}
+        assert all(band.shape == (8, 8) for band in bands.values())
+
+    def test_3d_produces_eight_subbands(self, rng):
+        bands = dwtn(rng.standard_normal((8, 8, 8)), "haar")
+        assert len(bands) == 8
+        assert all(band.shape == (4, 4, 4) for band in bands.values())
+
+    def test_roundtrip_2d(self, rng):
+        array = rng.standard_normal((16, 12))
+        bands = dwtn(array, "bior2.2")
+        reconstructed = idwtn(bands, "bior2.2", output_shape=array.shape)
+        np.testing.assert_allclose(reconstructed, array, atol=1e-10)
+
+    def test_roundtrip_3d(self, rng):
+        array = rng.standard_normal((8, 6, 10))
+        bands = dwtn(array, "db2")
+        reconstructed = idwtn(bands, "db2", output_shape=array.shape)
+        np.testing.assert_allclose(reconstructed, array, atol=1e-10)
+
+    def test_energy_preserved_orthogonal(self, rng):
+        array = rng.standard_normal((16, 16))
+        bands = dwtn(array, "db4")
+        total = sum(np.sum(band**2) for band in bands.values())
+        assert total == pytest.approx(np.sum(array**2), rel=1e-10)
+
+    def test_constant_array_details_are_zero(self):
+        bands = dwtn(np.full((8, 8), 3.0), "haar")
+        for key, band in bands.items():
+            if "d" in key:
+                np.testing.assert_allclose(band, 0.0, atol=1e-12)
+
+    def test_missing_subbands_treated_as_zero(self, rng):
+        array = rng.standard_normal((16, 16))
+        bands = dwtn(array, "haar")
+        approx_only = idwtn({"aa": bands["aa"]}, "haar", output_shape=array.shape)
+        assert approx_only.shape == array.shape
+        # Approximation-only reconstruction preserves the mean.
+        assert approx_only.mean() == pytest.approx(array.mean(), abs=1e-10)
+
+    def test_invalid_key_rejected(self, rng):
+        with pytest.raises(ValueError, match="invalid subband"):
+            idwtn({"ax": np.zeros((4, 4))}, "haar")
+
+    def test_empty_dict_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            idwtn({}, "haar")
+
+
+class TestDwt2:
+    def test_matches_dwtn(self, rng):
+        array = rng.standard_normal((12, 12))
+        approx, (horizontal, vertical, diagonal) = dwt2(array, "haar")
+        bands = dwtn(array, "haar")
+        np.testing.assert_allclose(approx, bands["aa"])
+        np.testing.assert_allclose(horizontal, bands["ad"])
+        np.testing.assert_allclose(vertical, bands["da"])
+        np.testing.assert_allclose(diagonal, bands["dd"])
+
+    def test_roundtrip(self, rng):
+        array = rng.standard_normal((10, 14))
+        approx, details = dwt2(array, "bior2.2")
+        reconstructed = idwt2(approx, details, "bior2.2", output_shape=array.shape)
+        np.testing.assert_allclose(reconstructed, array, atol=1e-10)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            dwt2(np.ones(16), "haar")
+
+    def test_idwt2_with_none_details(self, rng):
+        array = rng.standard_normal((8, 8))
+        approx, _ = dwt2(array, "haar")
+        smoothed = idwt2(approx, (None, None, None), "haar", output_shape=(8, 8))
+        assert smoothed.shape == (8, 8)
+
+
+class TestSmoothNd:
+    def test_shape_preserved(self, rng):
+        array = rng.standard_normal((16, 16))
+        assert smooth_nd(array, "bior2.2", level=2).shape == (16, 16)
+
+    def test_denoises_impulse_noise(self, rng):
+        base = np.zeros((32, 32))
+        base[10:20, 10:20] = 10.0
+        noisy = base + rng.normal(scale=0.5, size=base.shape)
+        smoothed = smooth_nd(noisy, "bior2.2", level=1)
+        # The dense block is preserved while high-frequency noise shrinks.
+        assert smoothed[12:18, 12:18].mean() == pytest.approx(10.0, abs=1.0)
+        outside_variance = smoothed[:5, :5].var()
+        assert outside_variance < noisy[:5, :5].var()
+
+    def test_mass_preserved(self):
+        array = np.zeros((16, 16))
+        array[4:8, 4:8] = 2.0
+        smoothed = smooth_nd(array, "haar", level=1)
+        assert smoothed.sum() == pytest.approx(array.sum(), rel=1e-9)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError, match="level"):
+            smooth_nd(np.ones((8, 8)), "haar", level=0)

@@ -1,0 +1,97 @@
+"""Tests for repro.wavelets.thresholding."""
+
+import numpy as np
+import pytest
+
+from repro.wavelets.ndwt import dwtn
+from repro.wavelets.thresholding import (
+    hard_threshold,
+    percentile_threshold,
+    soft_threshold,
+    threshold_coefficients,
+    universal_threshold,
+)
+
+
+class TestHardThreshold:
+    def test_zeros_small_values(self):
+        result = hard_threshold([0.1, -0.2, 3.0, -4.0], 1.0)
+        np.testing.assert_allclose(result, [0.0, 0.0, 3.0, -4.0])
+
+    def test_keeps_values_at_threshold(self):
+        np.testing.assert_allclose(hard_threshold([1.0, -1.0], 1.0), [1.0, -1.0])
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            hard_threshold([1.0], -0.5)
+
+    def test_does_not_modify_input(self):
+        values = np.array([0.1, 5.0])
+        hard_threshold(values, 1.0)
+        np.testing.assert_allclose(values, [0.1, 5.0])
+
+
+class TestSoftThreshold:
+    def test_shrinks_toward_zero(self):
+        result = soft_threshold([3.0, -3.0, 0.5], 1.0)
+        np.testing.assert_allclose(result, [2.0, -2.0, 0.0])
+
+    def test_zero_threshold_is_identity(self):
+        values = [1.0, -2.0, 0.3]
+        np.testing.assert_allclose(soft_threshold(values, 0.0), values)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            soft_threshold([1.0], -1.0)
+
+
+class TestUniversalThreshold:
+    def test_scales_with_noise_level(self):
+        rng = np.random.default_rng(0)
+        small = universal_threshold(rng.normal(scale=0.1, size=1000))
+        large = universal_threshold(rng.normal(scale=1.0, size=1000))
+        assert large > 5 * small
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            universal_threshold([])
+
+    def test_positive_for_random_input(self):
+        rng = np.random.default_rng(1)
+        assert universal_threshold(rng.standard_normal(256)) > 0
+
+
+class TestPercentileThreshold:
+    def test_median_of_absolute_values(self):
+        assert percentile_threshold([-4.0, -2.0, 1.0, 3.0, 5.0], 50.0) == pytest.approx(3.0)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile_threshold([1.0], 150.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_threshold([], 50.0)
+
+
+class TestThresholdCoefficients:
+    def test_details_are_thresholded_approximation_kept(self):
+        rng = np.random.default_rng(2)
+        bands = dwtn(rng.standard_normal((16, 16)), "haar")
+        result = threshold_coefficients(bands, threshold=10.0, rule="hard")
+        np.testing.assert_allclose(result["aa"], bands["aa"])
+        assert np.count_nonzero(result["dd"]) < np.count_nonzero(bands["dd"]) or np.count_nonzero(bands["dd"]) == 0
+
+    def test_approximation_can_also_be_thresholded(self):
+        bands = {"aa": np.array([[0.1, 5.0]]), "ad": np.array([[0.1, 5.0]])}
+        result = threshold_coefficients(bands, threshold=1.0, keep_approximation=False)
+        assert result["aa"][0, 0] == 0.0
+
+    def test_soft_rule_applied(self):
+        bands = {"ad": np.array([[3.0]]), "aa": np.array([[3.0]])}
+        result = threshold_coefficients(bands, threshold=1.0, rule="soft")
+        assert result["ad"][0, 0] == pytest.approx(2.0)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="rule"):
+            threshold_coefficients({"aa": np.zeros((2, 2))}, 1.0, rule="garrote")
