@@ -10,6 +10,11 @@ Three design claims from the paper are quantified:
   choosing the basis).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
 from repro.experiments import (
     format_table,
     run_memory_ablation,

@@ -6,6 +6,11 @@ constructed to match them; the benchmark regenerates the measured
 correlations and checks every attribute is within 0.2 of the paper's value.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
 from repro.experiments import format_table, run_glass_correlation
 
 

@@ -9,6 +9,11 @@ The benchmark runs a reduced configuration (three noise levels, 1200 objects
 per cluster) whose curves have the same shape.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
 from repro.experiments import format_table, run_noise_sweep
 from repro.experiments.reporting import pivot
 

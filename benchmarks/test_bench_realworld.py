@@ -7,6 +7,11 @@ headline claim only: AdaWave's average is at least on par with every
 baseline's average.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
 import numpy as np
 
 from repro.experiments import format_table, run_realworld_comparison

@@ -6,6 +6,11 @@ The benchmark runs the road-network simulant and checks that AdaWave scores
 well and recovers the majority of the simulated cities.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
 from repro.experiments import format_table, run_roadmap_case_study
 
 

@@ -6,6 +6,11 @@ must preserve the ordering "AdaWave clearly ahead of SkinnyDip, and at least
 competitive with the best automated baseline", measured on the simulant.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
 from repro.experiments import format_table, run_running_example
 
 

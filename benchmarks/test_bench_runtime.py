@@ -8,7 +8,9 @@ itself only discusses asymptotic trends), so the assertions target the fitted
 growth exponent and the relative ordering at the largest size.
 """
 
-from repro.experiments import format_table, run_runtime_comparison
+import pytest
+
+from repro.experiments import format_table, run_engine_speedup, run_runtime_comparison
 
 
 def _regenerate():
@@ -20,6 +22,33 @@ def _regenerate():
     )
 
 
+def test_bench_engine_speedup(benchmark):
+    """The vectorized engine must beat the seed dict path by >= 3x at scale.
+
+    n = 100k points, d = 2, scale = 128 -- the acceptance configuration.  The
+    two engines are algorithmically identical (the golden-regression tests
+    assert exact agreement), so the ratio measures pure data-structure /
+    vectorization gains.  Not marked slow: both engines together run in a few
+    seconds, and this is the regression guard for the hot path.
+    """
+    result = benchmark.pedantic(
+        lambda: run_engine_speedup(n_points=100_000, scale=128, repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(result))
+    assert result.metadata["labels_identical"]
+    speedup = next(
+        row["seconds"] for row in result.rows if row["engine"].startswith("speedup")
+    )
+    assert speedup >= 3.0, (
+        f"vectorized engine is only {speedup:.2f}x faster than the reference "
+        "dict path; the acceptance bar is 3x."
+    )
+
+
+@pytest.mark.slow
 def test_bench_runtime_scaling(benchmark):
     result = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
     print()

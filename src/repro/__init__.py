@@ -10,8 +10,10 @@ contains:
 * :mod:`repro.wavelets` -- a discrete wavelet transform substrate
   (Mallat filter banks, orthogonal and biorthogonal families, 1-D and
   separable n-D transforms, coefficient thresholding).
-* :mod:`repro.grid` -- the sparse "grid labeling" data structure and grid
-  connectivity / lookup machinery.
+* :mod:`repro.grid` -- the sparse "grid labeling" data structure (vectorized
+  COO storage) and grid connectivity / lookup machinery.
+* :mod:`repro.engine` -- the interchangeable vectorized / reference execution
+  engines and the :class:`~repro.engine.BatchRunner` shared pipeline.
 * :mod:`repro.baselines` -- the comparison algorithms evaluated in the
   paper: k-means, DBSCAN, EM, WaveCluster, SkinnyDip, DipMeans, self-tuning
   spectral clustering and RIC.
@@ -35,11 +37,13 @@ Quickstart::
 
 from repro.core.adawave import AdaWave, AdaWaveResult
 from repro.core.multiresolution import MultiResolutionAdaWave
+from repro.engine import BatchRunner
 from repro.metrics import adjusted_mutual_info, adjusted_rand_index, normalized_mutual_info
 
 __all__ = [
     "AdaWave",
     "AdaWaveResult",
+    "BatchRunner",
     "MultiResolutionAdaWave",
     "adjusted_mutual_info",
     "adjusted_rand_index",

@@ -16,18 +16,31 @@ The algorithm is deterministic, parameter free in the sense that the default
 ``scale = 128`` and the CDF(2,2) wavelet are used for every experiment in the
 paper, runs in ``O(n * m)`` time (``n`` objects, ``m`` occupied cells) and
 never computes pairwise distances.
+
+Two execution engines are available.  ``engine="vectorized"`` (the default)
+runs every stage as numpy array passes over the COO grid; ``engine="reference"``
+runs the literal per-cell implementations of :mod:`repro.engine.reference`.
+Both produce identical results -- the golden-regression tests pin that down --
+but the vectorized engine is an order of magnitude faster at scale.
+
+Because the quantized grid is a mergeable sketch, AdaWave also supports
+out-of-core / streaming ingestion: :meth:`AdaWave.partial_fit` accumulates
+batches into the grid (requires explicit ``bounds`` so every batch quantizes
+identically) and :meth:`AdaWave.finalize` runs the cheap grid-side stages
+(transform, threshold, components, lookup).  Any batch split of a dataset
+yields exactly the labels a one-shot :meth:`fit` with the same bounds gives.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.threshold import ThresholdDiagnostics, adaptive_threshold
-from repro.core.transform import wavelet_smooth_grid
-from repro.grid.connectivity import connected_components
+from repro.core.transform import Workspace, wavelet_smooth_grid
+from repro.grid.connectivity import label_components_array
 from repro.grid.lookup import LookupTable, NOISE_LABEL
 from repro.grid.quantizer import GridQuantizer, QuantizationResult
 from repro.grid.sparse_grid import SparseGrid
@@ -36,6 +49,8 @@ from repro.utils.validation import check_array, check_positive_int
 Cell = Tuple[int, ...]
 
 _FULL_CONNECTIVITY_MAX_DIM = 3
+
+_ENGINES = ("vectorized", "reference")
 
 
 @dataclass
@@ -105,28 +120,41 @@ class AdaWave:
     angle_divisor:
         The Algorithm 4 constant (stop when the turning angle falls to the
         sharpest turn divided by this value).
+    bounds:
+        Optional explicit ``(lower, upper)`` feature-space bounds forwarded
+        to the quantizer.  Required for :meth:`partial_fit` (every batch must
+        quantize against the same grid); optional for :meth:`fit`.
+    engine:
+        ``"vectorized"`` (array passes over the COO grid; default) or
+        ``"reference"`` (the literal per-cell implementations).  Results are
+        identical; the reference engine exists for regression comparison.
 
     Attributes
     ----------
     labels_:
-        Cluster label per object after :meth:`fit`; ``-1`` marks noise.
+        Cluster label per object after :meth:`fit` / :meth:`finalize`;
+        ``-1`` marks noise.
     n_clusters_:
         Number of detected clusters.
     threshold_:
         Density threshold selected by the adaptive rule.
     result_:
         Full :class:`AdaWaveResult` with every intermediate artefact.
+    n_seen_:
+        Number of samples ingested so far via :meth:`partial_fit`.
     """
 
     def __init__(
         self,
-        scale: Union[int, Sequence[int]] = 128,
+        scale: Union[int, Sequence[int], str] = 128,
         wavelet: str = "bior2.2",
         level: int = 1,
         threshold_method: str = "auto",
         connectivity: str = "auto",
         min_cluster_cells: int = 3,
         angle_divisor: float = 3.0,
+        bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+        engine: str = "vectorized",
     ) -> None:
         self.scale = scale
         self.wavelet = wavelet
@@ -144,11 +172,24 @@ class AdaWave:
         self.connectivity = connectivity
         self.min_cluster_cells = check_positive_int(min_cluster_cells, name="min_cluster_cells")
         self.angle_divisor = float(angle_divisor)
+        self.bounds = bounds
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}; got {engine!r}.")
+        self.engine = engine
 
         self.labels_: Optional[np.ndarray] = None
         self.n_clusters_: Optional[int] = None
         self.threshold_: Optional[float] = None
         self.result_: Optional[AdaWaveResult] = None
+        self.n_seen_: int = 0
+
+        # Streaming state (populated by partial_fit).
+        self._stream_quantizer: Optional[GridQuantizer] = None
+        self._stream_grid: Optional[SparseGrid] = None
+        self._stream_cell_chunks: List[np.ndarray] = []
+        # Shared scratch for the batched line transform (a BatchRunner may
+        # inject its own so many estimators reuse one buffer).
+        self._workspace: Optional[Workspace] = None
 
     # -- pipeline stages ------------------------------------------------------
 
@@ -156,6 +197,21 @@ class AdaWave:
         if self.connectivity != "auto":
             return self.connectivity
         return "full" if ndim <= _FULL_CONNECTIVITY_MAX_DIM else "face"
+
+    def _resolve_scale(self, n_samples: int, n_features: int) -> Union[int, Tuple[int, ...]]:
+        scale = self.scale
+        if isinstance(scale, str):
+            if scale != "auto":
+                raise ValueError(f"scale must be an int, a sequence or 'auto'; got {scale!r}.")
+            return self.auto_scale(n_samples, n_features)
+        if not np.isscalar(scale):
+            values = tuple(scale)
+            if len(values) != n_features:
+                raise ValueError(
+                    f"scale has {len(values)} entries but the data has "
+                    f"{n_features} features; pass one interval count per dimension."
+                )
+        return scale
 
     def _select_threshold(self, transformed: SparseGrid) -> ThresholdDiagnostics:
         densities = transformed.densities()
@@ -185,65 +241,65 @@ class AdaWave:
             return diagnostics
         return adaptive_threshold(densities, angle_divisor=self.angle_divisor)
 
-    def _extract_clusters(
+    def _extract_clusters_arrays(
         self, transformed: SparseGrid, threshold: float, ndim: int
-    ) -> Dict[Cell, int]:
-        surviving = [cell for cell, density in transformed.items() if density > threshold]
-        if not surviving:
-            return {}
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized stage 4a: surviving cells and their component labels."""
+        surviving = transformed.prune(threshold)
+        coords = surviving.coords
+        if len(coords) == 0:
+            return coords, np.empty(0, dtype=np.int64)
         connectivity = self._resolve_connectivity(ndim)
-        labels = connected_components(surviving, connectivity=connectivity, shape=transformed.shape)
-        if self.min_cluster_cells > 1:
-            sizes: Dict[int, int] = {}
-            for label in labels.values():
-                sizes[label] = sizes.get(label, 0) + 1
-            keep = {label for label, size in sizes.items() if size >= self.min_cluster_cells}
-            relabel = {old: new for new, old in enumerate(sorted(keep))}
-            labels = {
-                cell: relabel[label] for cell, label in labels.items() if label in keep
-            }
-        return labels
+        labels = label_components_array(coords, connectivity=connectivity)
+        if self.min_cluster_cells > 1 and len(labels):
+            counts = np.bincount(labels)
+            keep = counts >= self.min_cluster_cells
+            if not keep.all():
+                relabel = np.cumsum(keep) - 1
+                cell_keep = keep[labels]
+                coords = coords[cell_keep]
+                labels = relabel[labels[cell_keep]]
+        return coords, labels
 
-    # -- public API ------------------------------------------------------------
+    def _run_pipeline(self, quantization: QuantizationResult, n_features: int) -> "AdaWave":
+        """Stages 2-4 (transform, threshold, components, lookup) on a grid."""
+        if self.engine == "reference":
+            from repro.engine import reference
 
-    @staticmethod
-    def auto_scale(n_samples: int, n_features: int) -> int:
-        """Data-driven grid resolution used when ``scale="auto"``.
-
-        Aims for roughly two objects per occupied cell so the densities the
-        threshold step sees remain informative even for small or
-        high-dimensional datasets, while never exceeding the paper's default
-        of 128 intervals or falling below 4.
-        """
-        target = (max(n_samples, 2) / 2.0) ** (1.0 / max(n_features, 1)) * 2.0
-        return int(min(128, max(4, round(target))))
-
-    def fit(self, X) -> "AdaWave":
-        """Cluster the data matrix ``X`` of shape ``(n_samples, n_features)``."""
-        X = check_array(X, name="X")
-        # Step 1: quantize the feature space into a sparse grid.
-        scale = self.scale
-        if isinstance(scale, str):
-            if scale != "auto":
-                raise ValueError(f"scale must be an int, a sequence or 'auto'; got {scale!r}.")
-            scale = self.auto_scale(X.shape[0], X.shape[1])
-        quantizer = GridQuantizer(scale=scale)
-        quantization = quantizer.fit_transform(X)
-
-        # Step 2: per-dimension wavelet transform, keep the scale space only.
-        transformed, _shape = wavelet_smooth_grid(
-            quantization.grid, wavelet=self.wavelet, level=self.level
-        )
-
-        # Step 3: adaptive threshold filtering of the transformed densities.
-        threshold = self._select_threshold(transformed)
-
-        # Step 4: connected components among surviving cells, then map the
-        # labels back to objects through the lookup table.
-        cell_labels = self._extract_clusters(transformed, threshold.threshold, X.shape[1])
-        lookup = LookupTable(level=self.level)
-        labels = lookup.label_points(quantization.cell_ids, cell_labels)
-        n_clusters = len(set(cell_labels.values())) if cell_labels else 0
+            transformed, _shape = reference.wavelet_smooth_grid_reference(
+                quantization.grid, wavelet=self.wavelet, level=self.level
+            )
+            threshold = self._select_threshold(transformed)
+            cell_labels = reference.extract_clusters_reference(
+                transformed,
+                threshold.threshold,
+                self._resolve_connectivity(n_features),
+                self.min_cluster_cells,
+            )
+            lookup = LookupTable(level=self.level)
+            labels = reference.label_points_reference(
+                lookup, quantization.cell_ids, cell_labels
+            )
+            n_clusters = len(set(cell_labels.values())) if cell_labels else 0
+        else:
+            transformed, _shape = wavelet_smooth_grid(
+                quantization.grid,
+                wavelet=self.wavelet,
+                level=self.level,
+                workspace=self._workspace,
+            )
+            threshold = self._select_threshold(transformed)
+            label_coords, label_values = self._extract_clusters_arrays(
+                transformed, threshold.threshold, n_features
+            )
+            lookup = LookupTable(level=self.level)
+            labels = lookup.label_points_from_arrays(
+                quantization.cell_ids, label_coords, label_values
+            )
+            n_clusters = int(label_values.max()) + 1 if len(label_values) else 0
+            cell_labels = dict(
+                zip(map(tuple, label_coords.tolist()), label_values.tolist())
+            )
 
         self.labels_ = labels
         self.n_clusters_ = n_clusters
@@ -259,6 +315,136 @@ class AdaWave:
         )
         return self
 
+    # -- public API ------------------------------------------------------------
+
+    @staticmethod
+    def auto_scale(n_samples: int, n_features: int) -> int:
+        """Data-driven grid resolution used when ``scale="auto"``.
+
+        Aims for roughly two objects per occupied cell so the densities the
+        threshold step sees remain informative even for small or
+        high-dimensional datasets, while never exceeding the paper's default
+        of 128 intervals or falling below 4.
+        """
+        n_samples = check_positive_int(n_samples, name="n_samples")
+        n_features = check_positive_int(n_features, name="n_features")
+        target = (max(n_samples, 2) / 2.0) ** (1.0 / n_features) * 2.0
+        return int(min(128, max(4, round(target))))
+
+    def fit(self, X) -> "AdaWave":
+        """Cluster the data matrix ``X`` of shape ``(n_samples, n_features)``."""
+        X = check_array(X, name="X")
+        if X.shape[0] < 2 and self.bounds is None:
+            raise ValueError(
+                "AdaWave cannot infer a quantization grid from a single sample; "
+                "provide at least 2 samples or explicit bounds=(lower, upper)."
+            )
+        self._reset_stream()
+        # Step 1: quantize the feature space into a sparse grid.
+        scale = self._resolve_scale(X.shape[0], X.shape[1])
+        quantizer = GridQuantizer(scale=scale, bounds=self.bounds)
+        if self.engine == "reference":
+            from repro.engine import reference
+
+            quantizer.fit(X)
+            quantization = reference.quantize_reference(quantizer, X)
+        else:
+            quantization = quantizer.fit_transform(X)
+        self.n_seen_ = X.shape[0]
+        # Steps 2-4 are shared with the streaming path.
+        return self._run_pipeline(quantization, X.shape[1])
+
+    # -- streaming / out-of-core API -------------------------------------------
+
+    def _reset_stream(self) -> None:
+        self._stream_quantizer = None
+        self._stream_grid = None
+        self._stream_cell_chunks = []
+        self.n_seen_ = 0
+
+    def partial_fit(self, X_batch) -> "AdaWave":
+        """Ingest one batch of samples into the streaming sparse grid.
+
+        The grid is a mergeable sketch, so batches may arrive in any order
+        and any split: after :meth:`finalize`, the labels are identical to a
+        one-shot :meth:`fit` on the concatenated data.  Explicit ``bounds``
+        are required (data-derived bounds would depend on which batches have
+        been seen), and ``scale`` must be concrete (not ``"auto"``).  Batches
+        containing values outside the bounds raise ``ValueError`` rather than
+        silently clipping into the edge cells.  Empty batches are no-ops.
+        """
+        if self.bounds is None:
+            raise ValueError(
+                "partial_fit requires explicit bounds=(lower, upper): streaming "
+                "batches must all quantize against the same grid, which "
+                "data-derived bounds cannot guarantee."
+            )
+        if isinstance(self.scale, str):
+            raise ValueError(
+                "partial_fit requires a concrete scale (int or per-dimension "
+                "sequence); scale='auto' depends on the full dataset size."
+            )
+        X = check_array(X_batch, name="X_batch", allow_empty=True)
+        if X.shape[0] == 0:
+            return self
+        if self._stream_quantizer is None:
+            # Starting a new stream: drop any leftover state (n_seen_ from a
+            # prior fit) so the counter matches exactly what this stream saw.
+            self._reset_stream()
+            scale = self._resolve_scale(max(X.shape[0], 2), X.shape[1])
+            quantizer = GridQuantizer(scale=scale, bounds=self.bounds)
+            quantizer.fit(X)
+            self._stream_quantizer = quantizer
+            self._stream_grid = SparseGrid(quantizer.shape_)
+        quantizer = self._stream_quantizer
+        if X.shape[1] != len(quantizer.shape_):
+            raise ValueError(
+                f"batch has {X.shape[1]} features but the stream was started "
+                f"with {len(quantizer.shape_)}."
+            )
+        if np.any(X < quantizer.lower_ - 1e-12) or np.any(X > quantizer.upper_ + 1e-12):
+            raise ValueError(
+                "batch contains values outside the configured bounds; streaming "
+                "quantization cannot extend the grid after the fact."
+            )
+        cells = quantizer.transform(X)
+        if self.engine == "reference":
+            for cell in map(tuple, cells.tolist()):
+                self._stream_grid.add(cell, 1.0)
+        else:
+            self._stream_grid.add_many(cells, 1.0)
+        self._stream_cell_chunks.append(cells)
+        self.n_seen_ += X.shape[0]
+        return self
+
+    def finalize(self) -> "AdaWave":
+        """Run the grid-side stages on everything ingested via :meth:`partial_fit`.
+
+        Cheap relative to ingestion: the transform, threshold and component
+        stages only touch the (much smaller) occupied-cell arrays, so a
+        streaming consumer can finalize repeatedly to get intermediate
+        clusterings while batches keep arriving.
+        """
+        if self._stream_quantizer is None or self.n_seen_ == 0:
+            raise ValueError("finalize() called before any non-empty partial_fit batch.")
+        quantizer = self._stream_quantizer
+        cell_ids = (
+            np.concatenate(self._stream_cell_chunks, axis=0)
+            if len(self._stream_cell_chunks) > 1
+            else self._stream_cell_chunks[0]
+        )
+        widths = (quantizer.upper_ - quantizer.lower_) / np.asarray(
+            quantizer.shape_, dtype=np.float64
+        )
+        quantization = QuantizationResult(
+            grid=self._stream_grid.copy(),
+            cell_ids=cell_ids,
+            lower=quantizer.lower_.copy(),
+            upper=quantizer.upper_.copy(),
+            widths=widths,
+        )
+        return self._run_pipeline(quantization, len(quantizer.shape_))
+
     def fit_predict(self, X) -> np.ndarray:
         """Convenience wrapper: :meth:`fit` then return :attr:`labels_`."""
         return self.fit(X).labels_
@@ -266,5 +452,5 @@ class AdaWave:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"AdaWave(scale={self.scale}, wavelet={self.wavelet!r}, level={self.level}, "
-            f"threshold_method={self.threshold_method!r})"
+            f"threshold_method={self.threshold_method!r}, engine={self.engine!r})"
         )

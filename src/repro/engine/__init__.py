@@ -1,0 +1,25 @@
+"""Execution engines for the AdaWave pipeline.
+
+The pipeline stages (quantize, per-dimension wavelet transform, threshold,
+connected components, lookup) exist in two interchangeable implementations:
+
+* the **vectorized engine** -- COO arrays, batched DWT, sort-based neighbour
+  joins and an array union-find, spread across :mod:`repro.grid`,
+  :mod:`repro.core.transform` and :mod:`repro.spatial`; selected with
+  ``AdaWave(engine="vectorized")`` (the default);
+* the **reference engine** (:mod:`repro.engine.reference`) -- the literal
+  per-cell Python implementations, selected with
+  ``AdaWave(engine="reference")`` and used by the golden-regression and
+  equivalence tests as the ground truth.
+
+This package also provides :class:`BatchRunner`, which clusters many
+datasets through one shared pipeline: the wavelet filter bank is built once
+and the dense line-matrix scratch buffer of the batched transform is reused
+across datasets instead of being reallocated per fit.
+"""
+
+from repro.core.transform import Workspace
+from repro.engine.batch import BatchRunner
+from repro.engine import reference
+
+__all__ = ["BatchRunner", "Workspace", "reference"]

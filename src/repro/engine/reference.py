@@ -1,0 +1,133 @@
+"""Reference (dict-based) implementations of the AdaWave pipeline stages.
+
+These are the straightforward per-cell Python implementations the project
+started from: a loop over points for quantization, a loop over occupied lines
+for the wavelet pass, hash probing for connected components and a memoised
+per-point loop for the final label lookup.  They are kept for three reasons:
+
+* ``AdaWave(engine="reference")`` runs the whole pipeline through them, which
+  is what the golden-regression layer and the runtime benchmark compare the
+  vectorized engine against;
+* the Hypothesis equivalence tests assert stage-by-stage agreement between
+  the two engines on random inputs;
+* they document the algorithm in its most literal form.
+
+They are deliberately *not* optimised -- the vectorized versions living in
+:mod:`repro.grid`, :mod:`repro.core.transform` and :mod:`repro.spatial` are
+the production path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.grid.connectivity import _connected_components_hash, neighbor_offsets
+from repro.grid.lookup import NOISE_LABEL, LookupTable
+from repro.grid.quantizer import GridQuantizer, QuantizationResult
+from repro.grid.sparse_grid import SparseGrid
+from repro.wavelets.dwt import dwt
+from repro.wavelets.filters import build_wavelet
+
+Cell = Tuple[int, ...]
+
+_NEGLIGIBLE = 1e-9
+
+
+def quantize_reference(quantizer: GridQuantizer, X: np.ndarray) -> QuantizationResult:
+    """Per-point accumulation into the sparse grid (Algorithm 2, literal)."""
+    cell_ids = quantizer.transform(X)
+    grid = SparseGrid(quantizer.shape_)
+    for cell in map(tuple, cell_ids.tolist()):
+        grid.add(cell, 1.0)
+    widths = (quantizer.upper_ - quantizer.lower_) / np.asarray(
+        quantizer.shape_, dtype=np.float64
+    )
+    return QuantizationResult(
+        grid=grid,
+        cell_ids=cell_ids,
+        lower=quantizer.lower_.copy(),
+        upper=quantizer.upper_.copy(),
+        widths=widths,
+    )
+
+
+def _transform_axis_reference(grid: SparseGrid, wavelet, axis: int) -> SparseGrid:
+    """Single-level low-pass transform along one axis, one line at a time."""
+    new_shape = list(grid.shape)
+    new_shape[axis] = (grid.shape[axis] + 1) // 2
+    transformed = SparseGrid(new_shape)
+    for key, line in grid.lines_along(axis):
+        approx, _detail = dwt(line, wavelet, mode="periodization")
+        for position, value in enumerate(approx):
+            if abs(value) <= _NEGLIGIBLE:
+                continue
+            cell = key[:axis] + (position,) + key[axis:]
+            transformed.add(cell, float(value))
+    return transformed
+
+
+def wavelet_smooth_grid_reference(
+    grid: SparseGrid, wavelet: str = "bior2.2", level: int = 1
+) -> Tuple[SparseGrid, Tuple[int, ...]]:
+    """Per-line wavelet smoothing of the grid (Algorithm 3, literal)."""
+    if level < 1:
+        raise ValueError(f"level must be >= 1; got {level}.")
+    bank = build_wavelet(wavelet)
+    current = grid
+    for _ in range(level):
+        if min(current.shape) < 2:
+            break
+        for axis in range(current.ndim):
+            current = _transform_axis_reference(current, bank, axis)
+    return current, current.shape
+
+
+def connected_components_reference(cells, connectivity: str = "face") -> Dict[Cell, int]:
+    """Hash-probing connected components with sorted-cell deterministic labels."""
+    cell_list = sorted(set(tuple(int(c) for c in cell) for cell in cells))
+    if not cell_list:
+        return {}
+    ndim = len(cell_list[0])
+    if any(len(cell) != ndim for cell in cell_list):
+        raise ValueError("all cells must have the same dimensionality.")
+    neighbor_offsets(ndim, connectivity)
+    return _connected_components_hash(cell_list, connectivity)
+
+
+def label_points_reference(
+    lookup: LookupTable,
+    point_cells: np.ndarray,
+    transformed_labels: Dict[Cell, int],
+) -> np.ndarray:
+    """Memoised per-point label lookup (the original ``label_points``)."""
+    transformed = lookup.to_transformed_many(point_cells)
+    labels = np.full(transformed.shape[0], NOISE_LABEL, dtype=np.int64)
+    cache: Dict[Cell, int] = {}
+    for index, cell in enumerate(map(tuple, transformed.tolist())):
+        if cell not in cache:
+            cache[cell] = transformed_labels.get(cell, NOISE_LABEL)
+        labels[index] = cache[cell]
+    return labels
+
+
+def extract_clusters_reference(
+    transformed: SparseGrid,
+    threshold: float,
+    connectivity: str,
+    min_cluster_cells: int,
+) -> Dict[Cell, int]:
+    """Threshold filter + components + small-component suppression (literal)."""
+    surviving = [cell for cell, density in transformed.items() if density > threshold]
+    if not surviving:
+        return {}
+    labels = connected_components_reference(surviving, connectivity=connectivity)
+    if min_cluster_cells > 1:
+        sizes: Dict[int, int] = {}
+        for label in labels.values():
+            sizes[label] = sizes.get(label, 0) + 1
+        keep = {label for label, size in sizes.items() if size >= min_cluster_cells}
+        relabel = {old: new for new, old in enumerate(sorted(keep))}
+        labels = {cell: relabel[label] for cell, label in labels.items() if label in keep}
+    return labels

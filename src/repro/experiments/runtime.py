@@ -90,3 +90,52 @@ def run_runtime_comparison(
             exponent = _fit_growth_exponent(measured_sizes[name], timings[name])
             result.add_row(algorithm=f"{name} (growth exponent)", n=None, seconds=exponent)
     return result
+
+
+def run_engine_speedup(
+    n_points: int = 100_000,
+    scale: int = 128,
+    noise_fraction: float = 0.75,
+    seed: int = 0,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Head-to-head runtime of the vectorized and reference AdaWave engines.
+
+    Both engines run the identical pipeline (same grid, transform, threshold
+    and labeling semantics -- the golden-regression tests pin that down), so
+    the ratio isolates the cost of the per-cell Python data structures the
+    vectorized engine replaced.  Reports one row per engine with the best
+    wall-clock over ``repeats`` runs, plus a ``speedup`` summary row, and
+    asserts nothing itself -- the benchmark layer does.
+    """
+    dataset = scaled_runtime_dataset(n_points, noise_fraction=noise_fraction, seed=seed)
+    result = ExperimentResult(
+        experiment="engine speedup: vectorized vs reference",
+        columns=["engine", "n", "seconds"],
+        metadata={
+            "n_points": dataset.n_samples,
+            "scale": scale,
+            "noise_fraction": noise_fraction,
+            "seed": seed,
+        },
+    )
+    seconds: Dict[str, float] = {}
+    labels: Dict[str, np.ndarray] = {}
+    for engine in ("vectorized", "reference"):
+        best = np.inf
+        for _ in range(max(repeats, 1)):
+            estimator = AdaWave(scale=scale, engine=engine)
+            start = time.perf_counter()
+            labels[engine] = estimator.fit_predict(dataset.points)
+            best = min(best, time.perf_counter() - start)
+        seconds[engine] = best
+        result.add_row(engine=engine, n=dataset.n_samples, seconds=float(best))
+    result.metadata["labels_identical"] = bool(
+        np.array_equal(labels["vectorized"], labels["reference"])
+    )
+    result.add_row(
+        engine="speedup (reference / vectorized)",
+        n=None,
+        seconds=float(seconds["reference"] / max(seconds["vectorized"], 1e-9)),
+    )
+    return result

@@ -2,14 +2,23 @@
 
 The paper's "grid labeling" idea is that a d-dimensional quantized feature
 space should never be materialised densely: only cells that actually contain
-points are stored, as a mapping ``{cell id: density}``.  This keeps memory
-proportional to the number of occupied cells rather than ``M ** d`` and is
-what lets AdaWave scale to higher dimensional data than WaveCluster.
+points are stored.  :class:`SparseGrid` keeps them COO-style -- an ``(m, d)``
+coordinate array plus an ``(m,)`` density vector in canonical lexicographic
+order -- which keeps memory proportional to the number of occupied cells
+rather than ``M ** d`` *and* makes every pipeline stage a vectorized array
+pass: bulk accumulation (:meth:`SparseGrid.add_many`), sketch merging for
+streaming ingestion (:meth:`SparseGrid.merge`), sort-based neighbour joins
+(:meth:`SparseGrid.neighbor_pairs` / :func:`label_components_array`) and the
+single-pass point labeling of :class:`LookupTable`.
 """
 
 from repro.grid.sparse_grid import SparseGrid
 from repro.grid.quantizer import GridQuantizer, QuantizationResult
-from repro.grid.connectivity import connected_components, neighbor_offsets
+from repro.grid.connectivity import (
+    connected_components,
+    label_components_array,
+    neighbor_offsets,
+)
 from repro.grid.lookup import LookupTable
 
 __all__ = [
@@ -17,6 +26,7 @@ __all__ = [
     "GridQuantizer",
     "QuantizationResult",
     "connected_components",
+    "label_components_array",
     "neighbor_offsets",
     "LookupTable",
 ]

@@ -6,6 +6,14 @@ paper (like WaveCluster) uses grid adjacency, so this module provides both
 face adjacency (cells differing by one step along a single axis -- 2d
 neighbours) and full adjacency (all ``3**d - 1`` surrounding cells, useful in
 2-D where diagonal contact should connect ring-shaped clusters).
+
+The labeling itself is vectorized: the occupied cells are encoded as sorted
+int64 linear codes, each positive neighbour offset becomes one shifted-code
+binary search (a sort-based neighbour join), and the resulting adjacency
+pairs are merged with the array union-find of
+:class:`repro.spatial.union_find.ArrayUnionFind`.  The per-cell hash-probing
+implementation is kept as a fallback for grids whose dense extent does not
+fit an int64 code, and as the reference the property tests compare against.
 """
 
 from __future__ import annotations
@@ -13,11 +21,16 @@ from __future__ import annotations
 from itertools import product
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro.spatial.union_find import UnionFind
+import numpy as np
+
+from repro.spatial.union_find import ArrayUnionFind, UnionFind
 
 Cell = Tuple[int, ...]
 
 _FULL_CONNECTIVITY_MAX_DIM = 8
+
+#: Largest dense extent for which int64 linear codes are used.
+_MAX_ENCODABLE = 2**62
 
 
 def neighbor_offsets(ndim: int, connectivity: str = "face") -> List[Cell]:
@@ -53,6 +66,96 @@ def neighbor_offsets(ndim: int, connectivity: str = "face") -> List[Cell]:
     raise ValueError(f"connectivity must be 'face' or 'full'; got {connectivity!r}.")
 
 
+def label_components_array(coords: np.ndarray, connectivity: str = "face") -> np.ndarray:
+    """Component labels of unique, lexicographically sorted cell coordinates.
+
+    Parameters
+    ----------
+    coords:
+        ``(m, d)`` int array of *distinct* cells sorted in lexicographic row
+        order (the canonical order of :class:`~repro.grid.sparse_grid.SparseGrid`).
+    connectivity:
+        ``"face"`` or ``"full"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m,)`` dense labels ``0, 1, 2, ...`` numbered by the first
+        appearance of each component in row order -- identical to the
+        labelling :func:`connected_components` assigns in sorted-cell order.
+    """
+    coords = np.asarray(coords, dtype=np.int64)
+    m = len(coords)
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    # Shift into the occupied bounding box so arbitrary (even negative)
+    # coordinates encode compactly; cells outside the box cannot be occupied,
+    # so masking shifted neighbours against the box is exact.
+    mins = coords.min(axis=0)
+    shifted = coords - mins
+    extent = shifted.max(axis=0) + 1
+    total = 1
+    for size in extent.tolist():
+        total *= int(size)
+    if total >= _MAX_ENCODABLE:
+        labels_map = _connected_components_hash(
+            [tuple(row) for row in coords.tolist()], connectivity
+        )
+        return np.fromiter(
+            (labels_map[tuple(row)] for row in coords.tolist()), dtype=np.int64, count=m
+        )
+
+    strides = np.empty(len(extent), dtype=np.int64)
+    strides[-1] = 1
+    for axis in range(len(extent) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * extent[axis + 1]
+    codes = shifted @ strides
+
+    union = ArrayUnionFind(m)
+    sources: List[np.ndarray] = []
+    targets: List[np.ndarray] = []
+    for offset in neighbor_offsets(coords.shape[1], connectivity):
+        moved = shifted + np.asarray(offset, dtype=np.int64)
+        in_box = np.all((moved >= 0) & (moved < extent), axis=1)
+        if not in_box.any():
+            continue
+        src = np.flatnonzero(in_box)
+        neighbor_codes = moved[in_box] @ strides
+        pos = np.searchsorted(codes, neighbor_codes)
+        pos = np.minimum(pos, m - 1)
+        found = codes[pos] == neighbor_codes
+        if found.any():
+            sources.append(src[found])
+            targets.append(pos[found])
+    if sources:
+        union.union_pairs(np.concatenate(sources), np.concatenate(targets))
+    return union.labels()
+
+
+def _connected_components_hash(
+    cell_list: List[Cell], connectivity: str
+) -> Dict[Cell, int]:
+    """The original per-cell hash-probing labeling (reference / fallback)."""
+    occupied = set(cell_list)
+    union = UnionFind(cell_list)
+    offsets = neighbor_offsets(len(cell_list[0]), connectivity)
+    for cell in cell_list:
+        for offset in offsets:
+            neighbor = tuple(c + o for c, o in zip(cell, offset))
+            if neighbor in occupied:
+                union.union(cell, neighbor)
+    labels: Dict[Cell, int] = {}
+    root_to_label: Dict[Cell, int] = {}
+    next_label = 0
+    for cell in cell_list:
+        root = union.find(cell)
+        if root not in root_to_label:
+            root_to_label[root] = next_label
+            next_label += 1
+        labels[cell] = root_to_label[root]
+    return labels
+
+
 def connected_components(
     cells: Iterable[Cell],
     connectivity: str = "face",
@@ -67,9 +170,9 @@ def connected_components(
     connectivity:
         ``"face"`` (2d neighbours) or ``"full"`` (3**d - 1 neighbours).
     shape:
-        Optional grid shape; when provided, neighbours outside the grid are
-        never probed (a micro-optimisation -- correctness does not depend on
-        it because only occupied cells can match).
+        Optional grid shape, accepted for backward compatibility.  The
+        vectorized join already restricts probes to the occupied bounding
+        box, so the argument no longer changes the work done.
 
     Returns
     -------
@@ -83,32 +186,13 @@ def connected_components(
     ndim = len(cell_list[0])
     if any(len(cell) != ndim for cell in cell_list):
         raise ValueError("all cells must have the same dimensionality.")
-
-    occupied = set(cell_list)
-    union = UnionFind(cell_list)
-    offsets = neighbor_offsets(ndim, connectivity)
-    for cell in cell_list:
-        for offset in offsets:
-            neighbor = tuple(c + o for c, o in zip(cell, offset))
-            if shape is not None and any(
-                not 0 <= coordinate < size for coordinate, size in zip(neighbor, shape)
-            ):
-                continue
-            if neighbor in occupied:
-                union.union(cell, neighbor)
-
-    # Dense labels in sorted-cell order so the labelling is deterministic and
-    # independent of hash iteration order.
-    labels: Dict[Cell, int] = {}
-    root_to_label: Dict[Cell, int] = {}
-    next_label = 0
-    for cell in cell_list:
-        root = union.find(cell)
-        if root not in root_to_label:
-            root_to_label[root] = next_label
-            next_label += 1
-        labels[cell] = root_to_label[root]
-    return labels
+    # Validate connectivity eagerly (and fail on unsupported dimensions) the
+    # same way the per-cell implementation did.
+    neighbor_offsets(ndim, connectivity)
+    del shape
+    coords = np.asarray(cell_list, dtype=np.int64)
+    labels = label_components_array(coords, connectivity=connectivity)
+    return dict(zip(cell_list, labels.tolist()))
 
 
 def component_sizes(labels: Dict[Cell, int]) -> Dict[int, int]:

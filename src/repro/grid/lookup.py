@@ -93,13 +93,69 @@ class LookupTable:
         numpy.ndarray
             Integer labels with ``-1`` for objects in filtered (noise) cells.
         """
+        if not transformed_labels:
+            return np.full(len(np.asarray(point_cells)), NOISE_LABEL, dtype=np.int64)
+        label_cells = np.asarray(list(transformed_labels.keys()), dtype=np.int64)
+        label_values = np.fromiter(
+            transformed_labels.values(), dtype=np.int64, count=len(label_cells)
+        )
+        return self.label_points_from_arrays(point_cells, label_cells, label_values)
+
+    def label_points_from_arrays(
+        self,
+        point_cells: np.ndarray,
+        label_cells: np.ndarray,
+        label_values: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`label_points` over array-shaped label tables.
+
+        ``label_cells`` is the ``(k, d)`` array of labelled transformed cells
+        and ``label_values`` the matching ``(k,)`` labels.  All points are
+        mapped in a single encode / ``searchsorted`` / fancy-index pass; cells
+        without a labelled counterpart get :data:`NOISE_LABEL`.
+        """
         transformed = self.to_transformed_many(point_cells)
-        labels = np.full(transformed.shape[0], NOISE_LABEL, dtype=np.int64)
-        # Memoise per distinct transformed cell: the number of distinct cells
-        # is far smaller than the number of points.
-        cache: Dict[Cell, int] = {}
-        for index, cell in enumerate(map(tuple, transformed.tolist())):
-            if cell not in cache:
-                cache[cell] = transformed_labels.get(cell, NOISE_LABEL)
-            labels[index] = cache[cell]
+        n_points = len(transformed)
+        labels = np.full(n_points, NOISE_LABEL, dtype=np.int64)
+        label_cells = np.asarray(label_cells, dtype=np.int64)
+        label_values = np.asarray(label_values, dtype=np.int64)
+        if len(label_cells) == 0 or n_points == 0:
+            return labels
+        if label_cells.ndim != 2 or label_cells.shape[1] != transformed.shape[1]:
+            raise ValueError(
+                f"label_cells must have shape (k, {transformed.shape[1]}); "
+                f"got {label_cells.shape}."
+            )
+        # Encode both sides against the joint bounding box so arbitrary
+        # coordinates stay collision free.
+        mins = np.minimum(transformed.min(axis=0), label_cells.min(axis=0))
+        maxs = np.maximum(transformed.max(axis=0), label_cells.max(axis=0))
+        extent = maxs - mins + 1
+        total = 1
+        for size in extent.tolist():
+            total *= int(size)
+        if total >= 2**62:
+            # int64 codes would overflow and collide; fall back to a memoised
+            # per-distinct-cell dict lookup (the number of distinct
+            # transformed cells is far smaller than the number of points).
+            table = dict(zip(map(tuple, label_cells.tolist()), label_values.tolist()))
+            cache: Dict[Cell, int] = {}
+            for index, cell in enumerate(map(tuple, transformed.tolist())):
+                if cell not in cache:
+                    cache[cell] = table.get(cell, NOISE_LABEL)
+                labels[index] = cache[cell]
+            return labels
+        strides = np.empty(len(extent), dtype=np.int64)
+        strides[-1] = 1
+        for axis in range(len(extent) - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * extent[axis + 1]
+        point_codes = (transformed - mins) @ strides
+        table_codes = (label_cells - mins) @ strides
+        order = np.argsort(table_codes, kind="stable")
+        table_codes = table_codes[order]
+        table_values = label_values[order]
+        pos = np.searchsorted(table_codes, point_codes)
+        pos = np.minimum(pos, len(table_codes) - 1)
+        found = table_codes[pos] == point_codes
+        labels[found] = table_values[pos[found]]
         return labels

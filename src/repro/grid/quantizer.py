@@ -96,6 +96,12 @@ class GridQuantizer:
         if self.bounds is not None:
             lower = column_or_row(self.bounds[0], n_features, name="bounds[0]")
             upper = column_or_row(self.bounds[1], n_features, name="bounds[1]")
+            if np.any(upper <= lower):
+                bad = int(np.flatnonzero(upper <= lower)[0])
+                raise ValueError(
+                    f"bounds are degenerate in dimension {bad}: upper "
+                    f"({upper[bad]}) must be strictly greater than lower ({lower[bad]})."
+                )
         else:
             lower = X.min(axis=0)
             upper = X.max(axis=0)
@@ -140,9 +146,7 @@ class GridQuantizer:
         """Quantize ``X`` into a :class:`QuantizationResult` using fitted bounds."""
         self._check_fitted()
         cell_ids = self.transform(X)
-        grid = SparseGrid(self.shape_)
-        for cell in map(tuple, cell_ids.tolist()):
-            grid.add(cell, 1.0)
+        grid = SparseGrid.from_coo(self.shape_, cell_ids, 1.0)
         widths = (self.upper_ - self.lower_) / np.asarray(self.shape_, dtype=np.float64)
         return QuantizationResult(
             grid=grid,

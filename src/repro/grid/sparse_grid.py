@@ -1,21 +1,48 @@
-"""The sparse ``{cell id: density}`` grid data structure ("grid labeling").
+"""The sparse cell/density grid data structure ("grid labeling").
 
 Algorithm 2 of the paper quantizes the feature space and stores *only* the
-grids with non-zero density.  :class:`SparseGrid` is that structure: a
-mapping from integer cell coordinates to a floating point density, together
-with the grid shape (number of intervals per dimension).  It supports the
-operations the rest of the pipeline needs -- accumulation, per-dimension line
-extraction for the wavelet pass, dense materialisation for low-dimensional
-baselines, and memory accounting for the ablation benchmarks.
+grids with non-zero density.  :class:`SparseGrid` is that structure.  It is
+stored COO-style -- an ``(m, d)`` integer coordinate array plus an ``(m,)``
+density vector, kept in lexicographic (row-major) cell order -- so every hot
+operation (bulk accumulation, merging, per-dimension line extraction for the
+wavelet pass, neighbour joins) is a vectorized array pass instead of a Python
+loop over a dict.  The dict-flavoured scalar API of the original
+implementation (``add``/``get``/``items``/``in``) is preserved on top of the
+arrays: scalar mutations land in a small pending buffer that is folded into
+the canonical arrays on the next read.
+
+Canonical ordering makes the structure a *mergeable sketch*: two grids built
+from disjoint batches of points merge into exactly the grid the union of the
+batches would have produced, which is what enables the streaming
+``AdaWave.partial_fit`` path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 Cell = Tuple[int, ...]
+
+#: Largest dense cell count for which int64 linear codes are used; beyond it
+#: (e.g. 128 intervals in 9+ dimensions) the code falls back to purely
+#: lexicographic row operations to avoid integer overflow.
+_MAX_ENCODABLE = 2**62
+
+
+def _lexsort_rows(coords: np.ndarray) -> np.ndarray:
+    """Indices sorting the rows of ``coords`` lexicographically (first column
+    most significant)."""
+    return np.lexsort(coords.T[::-1])
+
+
+def _row_change_mask(sorted_coords: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first row of every run of equal sorted rows."""
+    mask = np.empty(len(sorted_coords), dtype=bool)
+    mask[:1] = True
+    np.any(sorted_coords[1:] != sorted_coords[:-1], axis=1, out=mask[1:])
+    return mask
 
 
 class SparseGrid:
@@ -37,10 +64,113 @@ class SparseGrid:
         if any(s < 1 for s in shape):
             raise ValueError(f"every dimension must have at least one interval; got {shape}.")
         self._shape = shape
-        self._cells: Dict[Cell, float] = {}
+        ndim = len(shape)
+
+        total = 1
+        for s in shape:
+            total *= s
+        if total < _MAX_ENCODABLE:
+            # C-order strides: the linear code of a cell is ``coords @ strides``
+            # and code order coincides with lexicographic cell order.
+            strides = np.empty(ndim, dtype=np.int64)
+            strides[-1] = 1
+            for axis in range(ndim - 2, -1, -1):
+                strides[axis] = strides[axis + 1] * shape[axis + 1]
+            self._strides: Optional[np.ndarray] = strides
+        else:
+            self._strides = None
+
+        self._coords = np.empty((0, ndim), dtype=np.int64)
+        self._values = np.empty(0, dtype=np.float64)
+        self._codes: Optional[np.ndarray] = np.empty(0, dtype=np.int64) if self._strides is not None else None
+        self._pending_chunks: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._pending_scalar: Dict[Cell, float] = {}
         if cells:
             for cell, density in cells.items():
                 self.add(cell, density)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, shape: Sequence[int], coords, values) -> "SparseGrid":
+        """Build a grid from parallel coordinate / density arrays.
+
+        Duplicate coordinates are accumulated.  This is the vectorized bulk
+        constructor the quantizer and the wavelet transform use.
+        """
+        grid = cls(shape)
+        grid.add_many(coords, values)
+        grid._consolidate()
+        return grid
+
+    @classmethod
+    def _from_sorted(
+        cls,
+        shape: Tuple[int, ...],
+        coords: np.ndarray,
+        values: np.ndarray,
+        codes: Optional[np.ndarray],
+    ) -> "SparseGrid":
+        """Internal fast path: adopt already-canonical (sorted, unique) arrays."""
+        grid = cls(shape)
+        grid._coords = coords
+        grid._values = values
+        if grid._strides is not None:
+            grid._codes = codes if codes is not None else coords @ grid._strides
+        return grid
+
+    # -- pending-buffer management -------------------------------------------
+
+    def _dirty(self) -> bool:
+        return bool(self._pending_chunks or self._pending_scalar)
+
+    def _consolidate(self) -> None:
+        """Fold pending scalar / bulk additions into the canonical arrays."""
+        if not self._dirty():
+            return
+        parts_c: List[np.ndarray] = [self._coords]
+        parts_v: List[np.ndarray] = [self._values]
+        parts_c.extend(chunk for chunk, _ in self._pending_chunks)
+        parts_v.extend(vals for _, vals in self._pending_chunks)
+        if self._pending_scalar:
+            parts_c.append(np.array(list(self._pending_scalar.keys()), dtype=np.int64))
+            parts_v.append(np.fromiter(self._pending_scalar.values(), dtype=np.float64))
+        coords = np.concatenate(parts_c, axis=0)
+        values = np.concatenate(parts_v)
+        self._pending_chunks = []
+        self._pending_scalar = {}
+
+        if self._strides is not None:
+            codes = coords @ self._strides
+            order = np.argsort(codes, kind="stable")
+            sorted_codes = codes[order]
+            keep = np.empty(len(sorted_codes), dtype=bool)
+            keep[:1] = True
+            np.not_equal(sorted_codes[1:], sorted_codes[:-1], out=keep[1:])
+        else:
+            order = _lexsort_rows(coords)
+            keep = _row_change_mask(coords[order])
+            sorted_codes = None
+        starts = np.flatnonzero(keep)
+        self._values = np.add.reduceat(values[order], starts)
+        self._coords = np.ascontiguousarray(coords[order][starts])
+        if sorted_codes is not None:
+            self._codes = sorted_codes[starts]
+
+    def _find_row(self, cell: Cell) -> int:
+        """Row index of ``cell`` in the canonical arrays, or -1 if absent."""
+        self._consolidate()
+        if len(self._values) == 0:
+            return -1
+        cell_arr = np.asarray(cell, dtype=np.int64)
+        if self._strides is not None:
+            code = int(cell_arr @ self._strides)
+            row = int(np.searchsorted(self._codes, code))
+            if row < len(self._codes) and self._codes[row] == code:
+                return row
+            return -1
+        matches = np.flatnonzero(np.all(self._coords == cell_arr, axis=1))
+        return int(matches[0]) if len(matches) else -1
 
     # -- basic container protocol -------------------------------------------
 
@@ -57,40 +187,66 @@ class SparseGrid:
     @property
     def n_occupied(self) -> int:
         """Number of cells with stored density."""
-        return len(self._cells)
+        self._consolidate()
+        return len(self._values)
 
     @property
     def n_total_cells(self) -> int:
         """Total number of cells the dense grid would have (``prod(shape)``)."""
         return int(np.prod([float(s) for s in self._shape]))
 
+    @property
+    def coords(self) -> np.ndarray:
+        """``(m, d)`` occupied cell coordinates in lexicographic order.
+
+        The returned array is the grid's internal storage -- treat it as
+        read-only.
+        """
+        self._consolidate()
+        return self._coords
+
+    @property
+    def values(self) -> np.ndarray:
+        """``(m,)`` densities aligned with :attr:`coords` (read-only view)."""
+        self._consolidate()
+        return self._values
+
     def __len__(self) -> int:
-        return len(self._cells)
+        return self.n_occupied
 
     def __iter__(self) -> Iterator[Cell]:
-        return iter(self._cells)
+        self._consolidate()
+        for row in self._coords.tolist():
+            yield tuple(row)
 
     def __contains__(self, cell: Cell) -> bool:
-        return tuple(cell) in self._cells
+        return self._find_row(tuple(cell)) >= 0
 
     def __getitem__(self, cell: Cell) -> float:
-        return self._cells[tuple(cell)]
+        row = self._find_row(tuple(cell))
+        if row < 0:
+            raise KeyError(tuple(cell))
+        return float(self._values[row])
 
     def get(self, cell: Cell, default: float = 0.0) -> float:
         """Density of ``cell`` (0.0 when the cell is unoccupied)."""
-        return self._cells.get(tuple(cell), default)
+        row = self._find_row(tuple(cell))
+        return float(self._values[row]) if row >= 0 else default
 
     def items(self) -> Iterable[Tuple[Cell, float]]:
-        """Iterate over ``(cell, density)`` pairs."""
-        return self._cells.items()
+        """Iterate over ``(cell, density)`` pairs in lexicographic cell order."""
+        self._consolidate()
+        return list(zip(map(tuple, self._coords.tolist()), self._values.tolist()))
 
     def cells(self) -> List[Cell]:
-        """List of occupied cell coordinates."""
-        return list(self._cells.keys())
+        """List of occupied cell coordinates (lexicographic order)."""
+        self._consolidate()
+        return [tuple(row) for row in self._coords.tolist()]
 
     def densities(self) -> np.ndarray:
-        """Densities of the occupied cells, in iteration order."""
-        return np.fromiter(self._cells.values(), dtype=np.float64, count=len(self._cells))
+        """Densities of the occupied cells, aligned with :meth:`cells`."""
+        self._consolidate()
+        return self._values.copy()
 
     # -- mutation -------------------------------------------------------------
 
@@ -103,28 +259,100 @@ class SparseGrid:
                 raise ValueError(f"cell {cell} is outside the grid of shape {self._shape}.")
         return cell
 
+    def _validate_coords(self, coords) -> np.ndarray:
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.ndim != 2 or coords.shape[1] != self.ndim:
+            raise ValueError(
+                f"coords must have shape (k, {self.ndim}); got {coords.shape}."
+            )
+        if len(coords):
+            shape_arr = np.asarray(self._shape, dtype=np.int64)
+            if np.any(coords < 0) or np.any(coords >= shape_arr):
+                bad = coords[np.any((coords < 0) | (coords >= shape_arr), axis=1)][0]
+                raise ValueError(
+                    f"cell {tuple(int(c) for c in bad)} is outside the grid of shape {self._shape}."
+                )
+        return coords
+
     def add(self, cell: Cell, density: float = 1.0) -> None:
         """Accumulate ``density`` into ``cell`` (Algorithm 2's ``G.get(gid) += 1``)."""
         cell = self._validate_cell(cell)
-        self._cells[cell] = self._cells.get(cell, 0.0) + float(density)
+        self._pending_scalar[cell] = self._pending_scalar.get(cell, 0.0) + float(density)
+
+    def add_many(self, coords, values) -> None:
+        """Accumulate densities into many cells at once (vectorized).
+
+        Parameters
+        ----------
+        coords:
+            ``(k, d)`` integer cell coordinates; duplicates accumulate.
+        values:
+            Scalar or ``(k,)`` array of densities.
+        """
+        coords = self._validate_coords(coords)
+        values = np.broadcast_to(
+            np.asarray(values, dtype=np.float64), (len(coords),)
+        ).copy()
+        if len(coords):
+            self._pending_chunks.append((np.ascontiguousarray(coords), values))
+
+    def merge(self, other: "SparseGrid") -> "SparseGrid":
+        """Accumulate every cell of ``other`` into this grid (in place).
+
+        Both grids must share the same shape.  Because the storage is a
+        canonical COO sketch, merging per-batch grids is equivalent to having
+        quantized the concatenated batches in one pass.
+        """
+        if not isinstance(other, SparseGrid):
+            raise TypeError(f"can only merge another SparseGrid; got {type(other).__name__}.")
+        if other.shape != self._shape:
+            raise ValueError(
+                f"cannot merge a grid of shape {other.shape} into one of shape {self._shape}."
+            )
+        other._consolidate()
+        if len(other._values):
+            self._pending_chunks.append((other._coords.copy(), other._values.copy()))
+        return self
 
     def set(self, cell: Cell, density: float) -> None:
         """Overwrite the density of ``cell``."""
         cell = self._validate_cell(cell)
-        self._cells[cell] = float(density)
+        row = self._find_row(cell)
+        if row >= 0:
+            self._values[row] = float(density)
+        else:
+            self._pending_scalar[cell] = float(density)
 
     def discard(self, cell: Cell) -> None:
         """Remove ``cell`` if present."""
-        self._cells.pop(tuple(cell), None)
+        cell = tuple(int(c) for c in cell)
+        row = self._find_row(cell)
+        if row >= 0:
+            self._coords = np.delete(self._coords, row, axis=0)
+            self._values = np.delete(self._values, row)
+            if self._codes is not None:
+                self._codes = np.delete(self._codes, row)
 
     def prune(self, threshold: float) -> "SparseGrid":
         """Return a new grid keeping only cells with ``density > threshold``."""
-        kept = {cell: density for cell, density in self._cells.items() if density > threshold}
-        return SparseGrid(self._shape, kept)
+        self._consolidate()
+        mask = self._values > threshold
+        return SparseGrid._from_sorted(
+            self._shape,
+            np.ascontiguousarray(self._coords[mask]),
+            self._values[mask].copy(),
+            self._codes[mask] if self._codes is not None else None,
+        )
 
     def copy(self) -> "SparseGrid":
         """Deep copy of the grid."""
-        return SparseGrid(self._shape, dict(self._cells))
+        self._consolidate()
+        return SparseGrid._from_sorted(
+            self._shape,
+            self._coords.copy(),
+            self._values.copy(),
+            self._codes.copy() if self._codes is not None else None,
+        )
 
     # -- conversions -----------------------------------------------------------
 
@@ -135,21 +363,46 @@ class SparseGrid:
                 f"refusing to densify a {self.ndim}-D grid; it would need "
                 f"{self.n_total_cells} cells."
             )
+        self._consolidate()
         dense = np.zeros(self._shape)
-        for cell, density in self._cells.items():
-            dense[cell] = density
+        if len(self._values):
+            dense[tuple(self._coords.T)] = self._values
         return dense
 
     @classmethod
     def from_dense(cls, array: np.ndarray, *, tolerance: float = 0.0) -> "SparseGrid":
         """Build a sparse grid from a dense array, skipping ``|value| <= tolerance``."""
         array = np.asarray(array, dtype=np.float64)
-        grid = cls(array.shape)
-        for cell in zip(*np.nonzero(np.abs(array) > tolerance)):
-            grid.set(tuple(int(c) for c in cell), float(array[cell]))
-        return grid
+        mask = np.abs(array) > tolerance
+        coords = np.argwhere(mask)
+        return cls.from_coo(array.shape, coords, array[mask])
 
     # -- structure queries -------------------------------------------------------
+
+    def _line_grouping(self, axis: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Group the occupied cells into 1-D lines parallel to ``axis``.
+
+        Returns ``(keys, line_ids, positions, values)`` where ``keys`` is the
+        ``(n_lines, d-1)`` array of distinct line keys in lexicographic order
+        and ``line_ids``/``positions``/``values`` describe every occupied cell
+        (``line_ids[i]`` indexes into ``keys``).
+        """
+        if not 0 <= axis < self.ndim:
+            raise ValueError(f"axis must be in [0, {self.ndim}); got {axis}.")
+        self._consolidate()
+        keys_all = np.delete(self._coords, axis, axis=1)
+        positions = self._coords[:, axis]
+        if self.ndim == 1:
+            keys = np.empty((1 if len(positions) else 0, 0), dtype=np.int64)
+            line_ids = np.zeros(len(positions), dtype=np.int64)
+            return keys, line_ids, positions, self._values
+        order = np.lexsort((positions,) + tuple(keys_all[:, j] for j in range(self.ndim - 2, -1, -1)))
+        keys_sorted = keys_all[order]
+        if len(keys_sorted) == 0:
+            return keys_sorted, np.empty(0, dtype=np.int64), positions, self._values
+        new_line = _row_change_mask(keys_sorted)
+        line_ids = np.cumsum(new_line) - 1
+        return keys_sorted[new_line], line_ids, positions[order], self._values[order]
 
     def lines_along(self, axis: int) -> Iterator[Tuple[Cell, np.ndarray]]:
         """Iterate over the occupied 1-D lines parallel to ``axis``.
@@ -157,25 +410,89 @@ class SparseGrid:
         Yields ``(key, values)`` where ``key`` is the cell coordinate with the
         ``axis`` entry removed and ``values`` is the dense length-``shape[axis]``
         density vector of that line.  Only lines containing at least one
-        occupied cell are produced -- this is what keeps the per-dimension
-        wavelet pass proportional to the number of occupied cells.
+        occupied cell are produced, in sorted key order.
         """
-        if not 0 <= axis < self.ndim:
-            raise ValueError(f"axis must be in [0, {self.ndim}); got {axis}.")
-        lines: Dict[Cell, List[Tuple[int, float]]] = {}
-        for cell, density in self._cells.items():
-            key = cell[:axis] + cell[axis + 1 :]
-            lines.setdefault(key, []).append((cell[axis], density))
+        keys, line_ids, positions, values = self._line_grouping(axis)
         length = self._shape[axis]
-        for key in sorted(lines):
-            values = np.zeros(length)
-            for position, density in lines[key]:
-                values[position] = density
-            yield key, values
+        # line_ids is non-decreasing, so every line is a contiguous slice.
+        starts = np.searchsorted(line_ids, np.arange(len(keys)))
+        ends = np.append(starts[1:], len(line_ids))
+        for line_index, key in enumerate(tuple(row) for row in keys.tolist()):
+            lo, hi = starts[line_index], ends[line_index]
+            dense = np.zeros(length)
+            dense[positions[lo:hi]] = values[lo:hi]
+            yield key, dense
+
+    def line_matrix(self, axis: int, out: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense matrix of every occupied line along ``axis`` (vectorized).
+
+        Returns ``(keys, matrix)``: ``keys`` is ``(n_lines, d - 1)`` and
+        ``matrix`` is ``(n_lines, shape[axis])`` with the density vectors of
+        the lines as rows, in the same (sorted) order as :meth:`lines_along`.
+        ``out`` may supply a pre-allocated scratch array at least that big; it
+        is zeroed and sliced, which lets a batch runner reuse one buffer
+        across many transforms.
+        """
+        keys, line_ids, positions, values = self._line_grouping(axis)
+        length = self._shape[axis]
+        n_lines = len(keys)
+        if out is not None and out.shape[0] >= n_lines and out.shape[1] >= length:
+            matrix = out[:n_lines, :length]
+            matrix[:] = 0.0
+        else:
+            matrix = np.zeros((n_lines, length))
+        if n_lines:
+            matrix[line_ids, positions] = values
+        return keys, matrix
+
+    def neighbor_pairs(self, connectivity: str = "face") -> Tuple[np.ndarray, np.ndarray]:
+        """Index pairs of adjacent occupied cells (sort-based neighbour join).
+
+        For every positive neighbour offset the occupied coordinates are
+        shifted and matched against the canonical (sorted) cell codes with a
+        binary search, so the join costs ``O(offsets * m log m)`` instead of a
+        hash probe per cell and offset.  Returns ``(a, b)`` row-index arrays
+        into :attr:`coords`; each adjacent pair appears exactly once.
+        """
+        from repro.grid.connectivity import neighbor_offsets
+
+        self._consolidate()
+        offsets = neighbor_offsets(self.ndim, connectivity)
+        sources: List[np.ndarray] = []
+        targets: List[np.ndarray] = []
+        m = len(self._values)
+        if m == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        shape_arr = np.asarray(self._shape, dtype=np.int64)
+        for offset in offsets:
+            shifted = self._coords + np.asarray(offset, dtype=np.int64)
+            in_bounds = np.all((shifted >= 0) & (shifted < shape_arr), axis=1)
+            if not in_bounds.any():
+                continue
+            src = np.flatnonzero(in_bounds)
+            if self._strides is not None:
+                codes = shifted[in_bounds] @ self._strides
+                pos = np.searchsorted(self._codes, codes)
+                pos_clipped = np.minimum(pos, m - 1)
+                found = self._codes[pos_clipped] == codes
+                sources.append(src[found])
+                targets.append(pos_clipped[found])
+            else:
+                # Lexicographic fallback: match shifted rows via a per-offset
+                # sorted merge (rare; only for astronomically large shapes).
+                for row_index, row in zip(src, shifted[in_bounds]):
+                    hit = self._find_row(tuple(int(c) for c in row))
+                    if hit >= 0:
+                        sources.append(np.array([row_index], dtype=np.int64))
+                        targets.append(np.array([hit], dtype=np.int64))
+        if not sources:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return np.concatenate(sources), np.concatenate(targets)
 
     def total_mass(self) -> float:
         """Sum of all stored densities."""
-        return float(sum(self._cells.values()))
+        self._consolidate()
+        return float(self._values.sum())
 
     def memory_cells(self) -> int:
         """Number of stored entries -- the paper's memory-saving metric.
@@ -183,7 +500,7 @@ class SparseGrid:
         A dense representation would store :attr:`n_total_cells` values; the
         sparse "grid labeling" representation stores only this many.
         """
-        return len(self._cells)
+        return self.n_occupied
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -6,7 +6,7 @@ baseline algorithms (range queries for DBSCAN, nearest neighbours for the
 self-tuning spectral clustering scale estimate).
 """
 
-from repro.spatial.union_find import UnionFind
+from repro.spatial.union_find import ArrayUnionFind, UnionFind
 from repro.spatial.kdtree import KDTree
 from repro.spatial.neighbors import (
     pairwise_distances,
@@ -15,6 +15,7 @@ from repro.spatial.neighbors import (
 )
 
 __all__ = [
+    "ArrayUnionFind",
     "UnionFind",
     "KDTree",
     "pairwise_distances",

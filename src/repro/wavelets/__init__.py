@@ -23,6 +23,7 @@ transform is implemented here from scratch:
 from repro.wavelets.filters import Wavelet, available_wavelets, build_wavelet
 from repro.wavelets.dwt import (
     dwt,
+    dwt_batch,
     idwt,
     wavedec,
     waverec,
@@ -43,6 +44,7 @@ __all__ = [
     "available_wavelets",
     "build_wavelet",
     "dwt",
+    "dwt_batch",
     "idwt",
     "wavedec",
     "waverec",

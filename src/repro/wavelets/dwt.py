@@ -78,6 +78,42 @@ def dwt_max_level(data_length: int, filter_length: int) -> int:
 # Periodized transform (exact, non-redundant).
 # ---------------------------------------------------------------------------
 
+# The periodized analysis pass is a gather (``signal[idx]``) followed by a
+# filter dot product.  The gather index matrices depend only on the wavelet
+# and the (even) signal length, so they are memoised here: the per-dimension
+# grid transform applies the same-length DWT to every occupied line of the
+# grid and would otherwise rebuild the indices once per line.
+_PERIODIZED_INDEX_CACHE: dict = {}
+_PERIODIZED_INDEX_CACHE_MAX = 64
+
+
+def _periodized_indices(wavelet: Wavelet, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached ``(lo_idx, hi_idx)`` gather matrices for an even length ``n``."""
+    # The key captures everything the index matrices depend on, so two banks
+    # sharing a name but differing in support (e.g. a hand-built Wavelet)
+    # never collide in the cache.
+    key = (
+        wavelet.name,
+        len(wavelet.dec_lo),
+        len(wavelet.dec_hi),
+        wavelet.dec_lo_offset,
+        wavelet.dec_hi_offset,
+        n,
+    )
+    cached = _PERIODIZED_INDEX_CACHE.get(key)
+    if cached is not None:
+        return cached
+    half = n // 2
+    even_positions = 2 * np.arange(half)[:, None]
+    # a[k] = sum_m dec_lo[m] * x[(2k + m - offset) mod n], the inner product of
+    # the signal with the analysis filter shifted by 2k on the circle.
+    lo_idx = np.mod(even_positions + np.arange(len(wavelet.dec_lo))[None, :] - wavelet.dec_lo_offset, n)
+    hi_idx = np.mod(even_positions + np.arange(len(wavelet.dec_hi))[None, :] - wavelet.dec_hi_offset, n)
+    if len(_PERIODIZED_INDEX_CACHE) >= _PERIODIZED_INDEX_CACHE_MAX:
+        _PERIODIZED_INDEX_CACHE.pop(next(iter(_PERIODIZED_INDEX_CACHE)))
+    _PERIODIZED_INDEX_CACHE[key] = (lo_idx, hi_idx)
+    return lo_idx, hi_idx
+
 
 def _dwt_periodized(signal: np.ndarray, wavelet: Wavelet) -> Tuple[np.ndarray, np.ndarray]:
     n = len(signal)
@@ -86,15 +122,46 @@ def _dwt_periodized(signal: np.ndarray, wavelet: Wavelet) -> Tuple[np.ndarray, n
         # back to the original length after synthesis.
         signal = np.concatenate([signal, signal[-1:]])
         n += 1
-    half = n // 2
-    even_positions = 2 * np.arange(half)[:, None]
-
-    # a[k] = sum_m dec_lo[m] * x[(2k + m - offset) mod n], the inner product of
-    # the signal with the analysis filter shifted by 2k on the circle.
-    lo_idx = np.mod(even_positions + np.arange(len(wavelet.dec_lo))[None, :] - wavelet.dec_lo_offset, n)
-    hi_idx = np.mod(even_positions + np.arange(len(wavelet.dec_hi))[None, :] - wavelet.dec_hi_offset, n)
+    lo_idx, hi_idx = _periodized_indices(wavelet, n)
     approx = signal[lo_idx] @ wavelet.dec_lo
     detail = signal[hi_idx] @ wavelet.dec_hi
+    return approx, detail
+
+
+def dwt_batch(signals, wavelet, mode: str = "periodization") -> Tuple[np.ndarray, np.ndarray]:
+    """Single-level DWT of many equal-length signals at once.
+
+    Parameters
+    ----------
+    signals:
+        ``(batch, n)`` array; every row is transformed independently.
+    wavelet:
+        Wavelet name or :class:`Wavelet`.
+    mode:
+        Only ``"periodization"`` is supported (the non-redundant mode the
+        grid transform uses).
+
+    Returns
+    -------
+    (cA, cD):
+        Arrays of shape ``(batch, ceil(n / 2))``, row ``i`` being exactly
+        ``dwt(signals[i], wavelet, mode)``.
+    """
+    if mode != "periodization":
+        raise ValueError(f"dwt_batch only supports mode='periodization'; got {mode!r}.")
+    signals = np.asarray(signals, dtype=np.float64)
+    if signals.ndim != 2:
+        raise ValueError(f"signals must be a 2-D (batch, n) array; got shape {signals.shape}.")
+    if signals.shape[1] == 0:
+        raise ValueError("cannot transform empty signals.")
+    bank = build_wavelet(wavelet)
+    n = signals.shape[1]
+    if n % 2 == 1:
+        signals = np.concatenate([signals, signals[:, -1:]], axis=1)
+        n += 1
+    lo_idx, hi_idx = _periodized_indices(bank, n)
+    approx = signals[:, lo_idx] @ bank.dec_lo
+    detail = signals[:, hi_idx] @ bank.dec_hi
     return approx, detail
 
 

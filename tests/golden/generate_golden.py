@@ -1,0 +1,101 @@
+"""Regenerate the golden-regression fixtures under ``tests/golden/``.
+
+Each fixture freezes the full AdaWave output (labels, threshold, cluster
+count) of the dict-based seed implementation on one canonical dataset, so the
+vectorized engine introduced later can be asserted to reproduce the original
+results.  The fixtures were generated once from the seed implementation and
+are committed; rerun this script only when an *intentional* behaviour change
+makes the frozen outputs obsolete::
+
+    PYTHONPATH=src python tests/golden/generate_golden.py
+
+The datasets cover the regimes the paper exercises: the running example,
+arbitrarily shaped clusters (two moons) in noise, the Roadmap case study,
+higher-dimensional Gaussians, pure noise and a single cluster.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.core.adawave import AdaWave  # noqa: E402
+from repro.datasets.roadmap import roadmap_simulant  # noqa: E402
+from repro.datasets.shapes import gaussian_blob, uniform_noise  # noqa: E402
+from repro.datasets.synthetic import running_example  # noqa: E402
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+
+def _two_moons(n_per_moon: int, noise_std: float, rng: np.random.Generator) -> np.ndarray:
+    """Two interleaving half circles (the classic two-moons layout)."""
+    theta = rng.uniform(0.0, np.pi, size=n_per_moon)
+    upper = np.column_stack([np.cos(theta), np.sin(theta)])
+    theta = rng.uniform(0.0, np.pi, size=n_per_moon)
+    lower = np.column_stack([1.0 - np.cos(theta), 0.5 - np.sin(theta)])
+    moons = np.vstack([upper, lower])
+    moons += rng.normal(scale=noise_std, size=moons.shape)
+    return moons
+
+
+def golden_cases() -> dict:
+    """The six canonical datasets, each with the AdaWave parameters to freeze."""
+    cases = {}
+
+    data = running_example(noise_fraction=0.75, n_per_cluster=1000, seed=0)
+    cases["running_example"] = (data.points, {"scale": 128})
+
+    rng = np.random.default_rng(7)
+    moons = _two_moons(900, noise_std=0.04, rng=rng)
+    noise = rng.uniform([-1.4, -1.2], [2.4, 1.6], size=(1800, 2))
+    cases["two_moons_noise"] = (np.vstack([moons, noise]), {"scale": 64})
+
+    data = roadmap_simulant(n_samples=8000, seed=0)
+    cases["roadmap_case"] = (data.points, {"scale": 128})
+
+    rng = np.random.default_rng(11)
+    centers = np.array(
+        [[0.0, 0.0, 0.0, 0.0], [4.0, 4.0, 0.0, 0.0], [0.0, 4.0, 4.0, 4.0]]
+    )
+    blobs = [rng.normal(loc=c, scale=0.35, size=(400, 4)) for c in centers]
+    noise = rng.uniform(-2.0, 6.0, size=(600, 4))
+    cases["gaussians_4d"] = (np.vstack(blobs + [noise]), {"scale": 16})
+
+    rng = np.random.default_rng(13)
+    cases["uniform_noise_only"] = (
+        uniform_noise(2000, [0.0, 0.0], [1.0, 1.0], random_state=rng),
+        {"scale": 64},
+    )
+
+    rng = np.random.default_rng(17)
+    cases["single_cluster"] = (
+        gaussian_blob(1200, center=[0.5, 0.5], std=0.05, random_state=rng),
+        {"scale": 64},
+    )
+    return cases
+
+
+def main() -> None:
+    for name, (points, params) in golden_cases().items():
+        model = AdaWave(**params).fit(points)
+        path = GOLDEN_DIR / f"{name}.npz"
+        np.savez_compressed(
+            path,
+            points=points,
+            labels=model.labels_,
+            threshold=np.float64(model.threshold_),
+            n_clusters=np.int64(model.n_clusters_),
+            scale=np.int64(params["scale"]),
+        )
+        print(
+            f"{name}: n={points.shape[0]} d={points.shape[1]} "
+            f"clusters={model.n_clusters_} threshold={model.threshold_:.4f} -> {path.name}"
+        )
+
+
+if __name__ == "__main__":
+    main()

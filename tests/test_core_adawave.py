@@ -175,6 +175,47 @@ class TestAdaWaveParameters:
         assert "scale=64" in repr(AdaWave(scale=64))
 
 
+class TestAdaWaveEdgeCases:
+    def test_single_sample_raises_clear_error(self):
+        with pytest.raises(ValueError, match="single sample"):
+            AdaWave(scale=8).fit(np.array([[0.5, 0.5]]))
+
+    def test_single_sample_allowed_with_explicit_bounds(self):
+        model = AdaWave(
+            scale=8, bounds=([0.0, 0.0], [1.0, 1.0]), min_cluster_cells=1,
+            threshold_method="none",
+        ).fit(np.array([[0.5, 0.5]]))
+        assert model.labels_.shape == (1,)
+
+    def test_constant_feature_dimension_is_handled(self):
+        rng = np.random.default_rng(9)
+        points = np.column_stack([rng.uniform(size=300), np.full(300, 2.5)])
+        model = AdaWave(scale=16).fit(points)
+        assert model.labels_.shape == (300,)
+
+    def test_degenerate_explicit_bounds_raise(self):
+        points = np.random.default_rng(0).uniform(size=(50, 2))
+        with pytest.raises(ValueError, match="degenerate"):
+            AdaWave(scale=16, bounds=([0.0, 1.0], [1.0, 1.0])).fit(points)
+
+    def test_scale_sequence_length_mismatch_raises(self):
+        points = np.random.default_rng(0).uniform(size=(50, 2))
+        with pytest.raises(ValueError, match="entries"):
+            AdaWave(scale=(8, 8, 8)).fit(points)
+
+    def test_auto_scale_rejects_invalid_counts(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            AdaWave.auto_scale(0, 2)
+        with pytest.raises(ValueError, match="n_features"):
+            AdaWave.auto_scale(100, 0)
+        with pytest.raises(TypeError, match="n_features"):
+            AdaWave.auto_scale(100, 2.5)
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            AdaWave(engine="turbo")
+
+
 class TestAdaWaveOnRunningExample:
     def test_recovers_five_clusters_in_heavy_noise(self):
         data = running_example(noise_fraction=0.75, n_per_cluster=1500, seed=0)

@@ -89,12 +89,14 @@ class TestReporting:
 
 
 class TestExperimentE1:
+    @pytest.mark.slow
     def test_running_example_shape(self):
         result = run_running_example(n_per_cluster=300, dbscan_max_points=800)
         algorithms = result.column("algorithm")
         assert algorithms == ["AdaWave", "k-means", "DBSCAN", "SkinnyDip"]
         assert all(0.0 <= value <= 1.0 for value in result.column("ami"))
 
+    @pytest.mark.slow
     def test_adawave_beats_skinnydip_on_running_example(self):
         result = run_running_example(n_per_cluster=500, dbscan_max_points=800, seed=1)
         scores = {row["algorithm"]: row["ami"] for row in result.rows}
@@ -102,6 +104,7 @@ class TestExperimentE1:
 
 
 class TestExperimentE2:
+    @pytest.mark.slow
     def test_noise_sweep_small(self):
         result = run_noise_sweep(
             noise_levels=(0.3, 0.8), n_per_cluster=400, subsample_quadratic=1200

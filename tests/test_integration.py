@@ -41,6 +41,7 @@ class TestHeadlineClaims:
         assert scores[-1] > 0.5
         assert scores[0] - scores[-1] < 0.35
 
+    @pytest.mark.slow
     def test_dbscan_collapses_at_extreme_noise_while_adawave_survives(self):
         data = noise_sweep_dataset(noise_fraction=0.85, n_per_cluster=1200, seed=2)
         adawave_ami = ami_on_true_clusters(

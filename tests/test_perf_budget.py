@@ -1,0 +1,46 @@
+"""Fast perf-budget smoke test for the vectorized engine.
+
+Runs in tier-1 (not marked slow) so a hot-path regression that drags the
+pipeline back toward per-cell Python speed is caught on every test run,
+without the multi-minute full benchmark suite.  The budget is generous --
+the vectorized engine clusters this workload in well under half a second on
+commodity hardware -- so the assertion only trips on order-of-magnitude
+regressions, not machine noise.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.adawave import AdaWave
+from repro.datasets.synthetic import scaled_runtime_dataset
+
+
+def test_vectorized_engine_stays_within_budget():
+    dataset = scaled_runtime_dataset(50_000, noise_fraction=0.75, seed=0)
+    model = AdaWave(scale=128)
+    start = time.perf_counter()
+    model.fit(dataset.points)
+    elapsed = time.perf_counter() - start
+    assert model.n_clusters_ >= 1
+    assert model.labels_.shape == (dataset.n_samples,)
+    assert elapsed < 2.0, (
+        f"vectorized AdaWave took {elapsed:.2f}s on 50k points at scale=128; "
+        "budget is 2s -- a hot path has regressed."
+    )
+
+
+def test_streaming_ingest_stays_within_budget():
+    dataset = scaled_runtime_dataset(50_000, noise_fraction=0.75, seed=0)
+    points = dataset.points
+    bounds = (points.min(axis=0), points.max(axis=0))
+    model = AdaWave(scale=128, bounds=bounds)
+    start = time.perf_counter()
+    for batch in np.array_split(points, 20):
+        model.partial_fit(batch)
+    model.finalize()
+    elapsed = time.perf_counter() - start
+    assert elapsed < 2.0, (
+        f"streaming AdaWave took {elapsed:.2f}s over 20 batches of a 50k point "
+        "dataset; budget is 2s."
+    )

@@ -1,0 +1,160 @@
+"""Streaming (partial_fit / finalize) behaviour of AdaWave.
+
+The quantized grid is a mergeable sketch, so ingesting a dataset in batches
+-- any split, any order -- must produce exactly the labels a one-shot fit
+with the same explicit bounds produces.  These tests pin that invariance
+down, together with the edge cases of the streaming API.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BatchRunner
+from repro.core.adawave import AdaWave
+
+BOUNDS = ([0.0, 0.0], [1.0, 1.0])
+
+
+@pytest.fixture(scope="module")
+def noisy_blobs():
+    rng = np.random.default_rng(42)
+    blob_a = np.clip(rng.normal(0.25, 0.03, size=(600, 2)), 0.0, 1.0)
+    blob_b = np.clip(rng.normal(0.72, 0.03, size=(600, 2)), 0.0, 1.0)
+    noise = rng.uniform(size=(2400, 2))
+    return np.vstack([blob_a, blob_b, noise])
+
+
+@pytest.fixture(scope="module")
+def one_shot(noisy_blobs):
+    return AdaWave(scale=64, bounds=BOUNDS).fit(noisy_blobs)
+
+
+def _stream_labels(points, batch_indices, **params):
+    """partial_fit the batches, finalize, and reassemble original point order."""
+    model = AdaWave(scale=64, bounds=BOUNDS, **params)
+    for indices in batch_indices:
+        model.partial_fit(points[indices])
+    model.finalize()
+    labels = np.empty(len(points), dtype=np.int64)
+    labels[np.concatenate([np.asarray(ix, dtype=np.int64) for ix in batch_indices])] = model.labels_
+    return labels, model
+
+
+class TestStreamingOrderInvariance:
+    @pytest.mark.parametrize("n_batches", [1, 3, 7])
+    def test_sequential_splits_match_fit(self, noisy_blobs, one_shot, n_batches):
+        batches = np.array_split(np.arange(len(noisy_blobs)), n_batches)
+        labels, model = _stream_labels(noisy_blobs, batches)
+        np.testing.assert_array_equal(labels, one_shot.labels_)
+        assert model.n_clusters_ == one_shot.n_clusters_
+        assert model.threshold_ == one_shot.threshold_
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_shuffled_splits_match_fit(self, noisy_blobs, one_shot, seed):
+        rng = np.random.default_rng(seed)
+        permutation = rng.permutation(len(noisy_blobs))
+        batches = np.array_split(permutation, rng.integers(2, 9))
+        labels, _model = _stream_labels(noisy_blobs, batches)
+        np.testing.assert_array_equal(labels, one_shot.labels_)
+
+    def test_reference_engine_streams_identically(self, noisy_blobs, one_shot):
+        batches = np.array_split(np.arange(len(noisy_blobs)), 4)
+        labels, _model = _stream_labels(noisy_blobs, batches, engine="reference")
+        np.testing.assert_array_equal(labels, one_shot.labels_)
+
+    def test_single_point_batches(self, noisy_blobs, one_shot):
+        head = [np.array([i]) for i in range(25)]
+        rest = [np.arange(25, len(noisy_blobs))]
+        labels, model = _stream_labels(noisy_blobs, head + rest)
+        np.testing.assert_array_equal(labels, one_shot.labels_)
+        assert model.n_seen_ == len(noisy_blobs)
+
+    def test_empty_batch_is_noop(self, noisy_blobs, one_shot):
+        model = AdaWave(scale=64, bounds=BOUNDS)
+        model.partial_fit(np.empty((0, 2)))  # before the stream starts
+        model.partial_fit(noisy_blobs)
+        model.partial_fit(np.empty((0, 2)))  # mid-stream
+        model.finalize()
+        np.testing.assert_array_equal(model.labels_, one_shot.labels_)
+
+    def test_finalize_is_repeatable_and_resumable(self, noisy_blobs, one_shot):
+        halves = np.array_split(np.arange(len(noisy_blobs)), 2)
+        model = AdaWave(scale=64, bounds=BOUNDS)
+        model.partial_fit(noisy_blobs[halves[0]])
+        model.finalize()
+        intermediate = model.labels_.copy()
+        assert len(intermediate) == len(halves[0])
+        model.partial_fit(noisy_blobs[halves[1]])
+        model.finalize()
+        labels = np.empty(len(noisy_blobs), dtype=np.int64)
+        labels[np.concatenate(halves)] = model.labels_
+        np.testing.assert_array_equal(labels, one_shot.labels_)
+
+    def test_fit_resets_streaming_state(self, noisy_blobs, one_shot):
+        model = AdaWave(scale=64, bounds=BOUNDS)
+        model.partial_fit(noisy_blobs[:100])
+        model.fit(noisy_blobs)
+        np.testing.assert_array_equal(model.labels_, one_shot.labels_)
+        assert model.n_seen_ == len(noisy_blobs)
+
+    def test_partial_fit_after_fit_starts_a_fresh_stream(self, noisy_blobs):
+        model = AdaWave(scale=64, bounds=BOUNDS)
+        model.fit(noisy_blobs)
+        model.partial_fit(noisy_blobs[:300])
+        model.finalize()
+        assert model.n_seen_ == 300
+        assert model.labels_.shape == (300,)
+
+
+class TestStreamingEdgeCases:
+    def test_requires_bounds(self, noisy_blobs):
+        with pytest.raises(ValueError, match="bounds"):
+            AdaWave(scale=64).partial_fit(noisy_blobs)
+
+    def test_rejects_auto_scale(self, noisy_blobs):
+        with pytest.raises(ValueError, match="auto"):
+            AdaWave(scale="auto", bounds=BOUNDS).partial_fit(noisy_blobs)
+
+    def test_out_of_range_batch_raises(self, noisy_blobs):
+        model = AdaWave(scale=64, bounds=BOUNDS)
+        model.partial_fit(noisy_blobs)
+        with pytest.raises(ValueError, match="outside"):
+            model.partial_fit(np.array([[1.5, 0.5]]))
+
+    def test_out_of_range_first_batch_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            AdaWave(scale=64, bounds=BOUNDS).partial_fit(np.array([[2.0, 2.0]]))
+
+    def test_feature_mismatch_raises(self, noisy_blobs):
+        model = AdaWave(scale=64, bounds=BOUNDS)
+        model.partial_fit(noisy_blobs)
+        with pytest.raises(ValueError, match="features"):
+            model.partial_fit(np.zeros((3, 3)))
+
+    def test_finalize_before_data_raises(self):
+        with pytest.raises(ValueError, match="finalize"):
+            AdaWave(scale=64, bounds=BOUNDS).finalize()
+
+
+class TestBatchRunner:
+    def test_run_many_matches_individual_fits(self, noisy_blobs):
+        datasets = [noisy_blobs, noisy_blobs[::2], noisy_blobs[1::3]]
+        runner = BatchRunner(scale=64)
+        results = runner.run_many(datasets)
+        assert runner.n_runs_ == 3
+        for X, result in zip(datasets, results):
+            solo = AdaWave(scale=64).fit(X)
+            np.testing.assert_array_equal(result.labels, solo.labels_)
+            assert result.n_clusters == solo.n_clusters_
+
+    def test_run_stream_matches_one_shot(self, noisy_blobs, one_shot):
+        runner = BatchRunner(scale=64)
+        model = runner.run_stream(
+            np.array_split(noisy_blobs, 5), bounds=BOUNDS, finalize_every=2
+        )
+        np.testing.assert_array_equal(model.labels_, one_shot.labels_)
+
+    def test_run_stream_rejects_all_empty(self):
+        runner = BatchRunner(scale=64)
+        with pytest.raises(ValueError, match="no non-empty"):
+            runner.run_stream([np.empty((0, 2))], bounds=BOUNDS)
