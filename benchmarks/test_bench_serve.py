@@ -1,0 +1,114 @@
+"""E8 benchmark -- serving layer: predict throughput and parallel ingestion.
+
+Fast tier-1 budgets (not marked slow) guard the two serving hot paths:
+
+* the frozen :class:`~repro.serve.ClusterModel` lookup must label at least
+  half a million points per second (it measures 5M+/s on commodity
+  hardware, so only an order-of-magnitude regression trips this);
+* sharded parallel ingestion must beat serial ingestion by >= 1.5x at
+  n = 200k with two workers.  The speedup assertion requires >= 2 physical
+  CPUs -- on a single-core host the measurement is meaningless and the test
+  skips with an explicit message rather than passing vacuously.
+
+The slow-marked deep sweep scales both workloads up and prints the full
+tables (run with ``pytest benchmarks/ -m slow``).
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import format_table, run_parallel_ingest, run_predict_throughput
+
+PREDICT_THROUGHPUT_FLOOR = 500_000  # points / second
+PARALLEL_SPEEDUP_FLOOR = 1.5
+
+
+def test_bench_predict_throughput(benchmark):
+    """Frozen-model predict must stay a pure vectorized lookup.
+
+    The artifact is round-tripped through save/load inside the run, so this
+    also guards the deserialization path, and the metadata assertion pins
+    serving-vs-training label equality.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        result = benchmark.pedantic(
+            lambda: run_predict_throughput(
+                n_train=50_000,
+                n_queries=200_000,
+                scale=128,
+                repeats=3,
+                save_path=Path(tmp) / "model.npz",
+            ),
+            rounds=1,
+            iterations=1,
+        )
+    print()
+    print(format_table(result))
+    assert result.metadata["labels_match"], (
+        "the frozen ClusterModel does not reproduce the one-shot fit labels"
+    )
+    throughput = next(
+        row["points_per_sec"] for row in result.rows if row["stage"] == "predict"
+    )
+    assert throughput >= PREDICT_THROUGHPUT_FLOOR, (
+        f"frozen-model predict ran at {throughput:,.0f} points/s; the floor is "
+        f"{PREDICT_THROUGHPUT_FLOOR:,} -- the lookup path has regressed."
+    )
+
+
+def test_bench_parallel_ingest_speedup(benchmark):
+    """Sharded 2-worker ingestion must beat serial by >= 1.5x at n = 200k."""
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip(
+            "parallel-vs-serial ingestion speedup needs >= 2 CPUs; "
+            f"this host reports {os.cpu_count()}."
+        )
+    result = benchmark.pedantic(
+        lambda: run_parallel_ingest(
+            n_points=200_000, n_batches=32, workers=(1, 2), scale=128, repeats=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(result))
+    assert result.metadata["labels_identical"], (
+        "parallel ingestion produced different labels than serial ingestion; "
+        "grid merging must be exact."
+    )
+    speedup = next(
+        row["speedup"] for row in result.rows if row["workers"] == 2
+    )
+    assert speedup >= PARALLEL_SPEEDUP_FLOOR, (
+        f"2-worker sharded ingestion is only {speedup:.2f}x faster than serial "
+        f"at n=200k; the acceptance bar is {PARALLEL_SPEEDUP_FLOOR}x."
+    )
+
+
+@pytest.mark.slow
+def test_bench_serve_deep_sweep(benchmark):
+    """Larger serving sweep: 500k-point ingestion across worker counts and
+    a 1M-query predict pass, printed as tables."""
+    def _sweep():
+        ingest = run_parallel_ingest(
+            n_points=500_000,
+            n_batches=64,
+            workers=(1, 2, 4),
+            scale=128,
+            repeats=2,
+        )
+        predict = run_predict_throughput(
+            n_train=200_000, n_queries=1_000_000, scale=128, repeats=2
+        )
+        return ingest, predict
+
+    ingest, predict = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(ingest))
+    print()
+    print(format_table(predict))
+    assert ingest.metadata["labels_identical"]
+    assert predict.metadata["labels_match"]

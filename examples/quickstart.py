@@ -68,6 +68,15 @@ def main() -> None:
     print(f"streaming over 8 batches   : {stream.n_seen_} points ingested, "
           f"labels identical to one-shot fit: {identical}")
 
+    # 6. Serving: the fitted clustering freezes into a tiny artifact that
+    #    labels new points with a pure lookup -- no training data retained.
+    #    See examples/serving.py for the full save -> load -> registry ->
+    #    concurrent-service flow.
+    frozen = model.export_model()
+    lookup_labels = frozen.predict(data.points)
+    print(f"frozen ClusterModel        : {frozen.n_cells} cells, predict "
+          f"reproduces fit labels: {np.array_equal(lookup_labels, model.labels_)}")
+
 
 if __name__ == "__main__":
     main()

@@ -14,6 +14,11 @@ contains:
   COO storage) and grid connectivity / lookup machinery.
 * :mod:`repro.engine` -- the interchangeable vectorized / reference execution
   engines and the :class:`~repro.engine.BatchRunner` shared pipeline.
+* :mod:`repro.serve` -- the model-serving layer: frozen
+  :class:`~repro.serve.ClusterModel` artifacts with versioned save/load and
+  lookup-only predict, a thread-safe :class:`~repro.serve.ModelRegistry`,
+  the micro-batching :class:`~repro.serve.ClusteringService` and sharded
+  :func:`~repro.serve.parallel_ingest`.
 * :mod:`repro.baselines` -- the comparison algorithms evaluated in the
   paper: k-means, DBSCAN, EM, WaveCluster, SkinnyDip, DipMeans, self-tuning
   spectral clustering and RIC.
@@ -39,12 +44,19 @@ from repro.core.adawave import AdaWave, AdaWaveResult
 from repro.core.multiresolution import MultiResolutionAdaWave
 from repro.engine import BatchRunner
 from repro.metrics import adjusted_mutual_info, adjusted_rand_index, normalized_mutual_info
+from repro.serve import ClusterModel, ClusteringService, ModelRegistry, parallel_ingest
+from repro.utils.validation import NotFittedError
 
 __all__ = [
     "AdaWave",
     "AdaWaveResult",
     "BatchRunner",
+    "ClusterModel",
+    "ClusteringService",
+    "ModelRegistry",
     "MultiResolutionAdaWave",
+    "NotFittedError",
+    "parallel_ingest",
     "adjusted_mutual_info",
     "adjusted_rand_index",
     "normalized_mutual_info",

@@ -33,8 +33,9 @@ yields exactly the labels a one-shot :meth:`fit` with the same bounds gives.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,7 +45,10 @@ from repro.grid.connectivity import label_components_array
 from repro.grid.lookup import LookupTable, NOISE_LABEL
 from repro.grid.quantizer import GridQuantizer, QuantizationResult
 from repro.grid.sparse_grid import SparseGrid
-from repro.utils.validation import check_array, check_positive_int
+from repro.utils.validation import NotFittedError, check_array, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.serve.model import ClusterModel
 
 Cell = Tuple[int, ...]
 
@@ -127,7 +131,15 @@ class AdaWave:
     engine:
         ``"vectorized"`` (array passes over the COO grid; default) or
         ``"reference"`` (the literal per-cell implementations).  Results are
-        identical; the reference engine exists for regression comparison.
+        identical; the reference engine exists for regression comparison and
+        selecting it here is deprecated (it stays importable from
+        :mod:`repro.engine.reference` for the regression tests).
+    lookup_only:
+        When true, the streaming path (:meth:`partial_fit` /
+        :meth:`finalize`) retains no per-point state: ingestion is
+        ``O(occupied cells)`` regardless of the number of samples, and
+        :attr:`labels_` comes out empty after :meth:`finalize`.  Label
+        points -- training or new -- through :meth:`predict` instead.
 
     Attributes
     ----------
@@ -155,6 +167,7 @@ class AdaWave:
         angle_divisor: float = 3.0,
         bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
         engine: str = "vectorized",
+        lookup_only: bool = False,
     ) -> None:
         self.scale = scale
         self.wavelet = wavelet
@@ -175,7 +188,17 @@ class AdaWave:
         self.bounds = bounds
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}; got {engine!r}.")
+        if engine == "reference":
+            warnings.warn(
+                "AdaWave(engine='reference') is deprecated: the reference "
+                "engine is retained only as the ground truth of the golden / "
+                "equivalence regression tests (import repro.engine.reference "
+                "directly for that). Use the default vectorized engine.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.engine = engine
+        self.lookup_only = bool(lookup_only)
 
         self.labels_: Optional[np.ndarray] = None
         self.n_clusters_: Optional[int] = None
@@ -187,6 +210,12 @@ class AdaWave:
         self._stream_quantizer: Optional[GridQuantizer] = None
         self._stream_grid: Optional[SparseGrid] = None
         self._stream_cell_chunks: List[np.ndarray] = []
+        # True while partial_fit batches have been ingested but not yet
+        # clustered by finalize(); guards against fit() silently discarding
+        # a stream in flight.
+        self._stream_dirty: bool = False
+        # Cached frozen artifact backing predict(); invalidated per (re)fit.
+        self._served_model: Optional["ClusterModel"] = None
         # Shared scratch for the batched line transform (a BatchRunner may
         # inject its own so many estimators reuse one buffer).
         self._workspace: Optional[Workspace] = None
@@ -313,6 +342,7 @@ class AdaWave:
             n_clusters=n_clusters,
             level=self.level,
         )
+        self._served_model = None
         return self
 
     # -- public API ------------------------------------------------------------
@@ -333,6 +363,12 @@ class AdaWave:
 
     def fit(self, X) -> "AdaWave":
         """Cluster the data matrix ``X`` of shape ``(n_samples, n_features)``."""
+        if self._stream_dirty:
+            raise ValueError(
+                "fit() called mid-stream: partial_fit batches have been "
+                "ingested but not clustered. Call finalize() to cluster them "
+                "or reset() to discard the stream before fitting."
+            )
         X = check_array(X, name="X")
         if X.shape[0] < 2 and self.bounds is None:
             raise ValueError(
@@ -360,7 +396,23 @@ class AdaWave:
         self._stream_quantizer = None
         self._stream_grid = None
         self._stream_cell_chunks = []
+        self._stream_dirty = False
         self.n_seen_ = 0
+
+    def reset(self) -> "AdaWave":
+        """Discard all fitted and streaming state, returning to pristine.
+
+        The explicit escape hatch for abandoning a stream mid-flight:
+        :meth:`fit` refuses to run while unfinalized :meth:`partial_fit`
+        batches exist, so call this first to intentionally drop them.
+        """
+        self._reset_stream()
+        self.labels_ = None
+        self.n_clusters_ = None
+        self.threshold_ = None
+        self.result_ = None
+        self._served_model = None
+        return self
 
     def partial_fit(self, X_batch) -> "AdaWave":
         """Ingest one batch of samples into the streaming sparse grid.
@@ -413,7 +465,12 @@ class AdaWave:
                 self._stream_grid.add(cell, 1.0)
         else:
             self._stream_grid.add_many(cells, 1.0)
-        self._stream_cell_chunks.append(cells)
+        if not self.lookup_only:
+            # Per-point assignments are only needed to emit labels_ for the
+            # ingested points; lookup-only streams label through predict()
+            # and keep ingestion memory proportional to the occupied cells.
+            self._stream_cell_chunks.append(cells)
+        self._stream_dirty = True
         self.n_seen_ += X.shape[0]
         return self
 
@@ -428,11 +485,12 @@ class AdaWave:
         if self._stream_quantizer is None or self.n_seen_ == 0:
             raise ValueError("finalize() called before any non-empty partial_fit batch.")
         quantizer = self._stream_quantizer
-        cell_ids = (
-            np.concatenate(self._stream_cell_chunks, axis=0)
-            if len(self._stream_cell_chunks) > 1
-            else self._stream_cell_chunks[0]
-        )
+        if self.lookup_only:
+            cell_ids = np.empty((0, len(quantizer.shape_)), dtype=np.int64)
+        elif len(self._stream_cell_chunks) > 1:
+            cell_ids = np.concatenate(self._stream_cell_chunks, axis=0)
+        else:
+            cell_ids = self._stream_cell_chunks[0]
         widths = (quantizer.upper_ - quantizer.lower_) / np.asarray(
             quantizer.shape_, dtype=np.float64
         )
@@ -443,11 +501,107 @@ class AdaWave:
             upper=quantizer.upper_.copy(),
             widths=widths,
         )
+        self._stream_dirty = False
         return self._run_pipeline(quantization, len(quantizer.shape_))
+
+    def merge_stream(self, other: "AdaWave") -> "AdaWave":
+        """Merge another estimator's streaming state into this one.
+
+        The quantized grid is an associative, commutative sketch, so two
+        estimators that ingested disjoint shards of a dataset (against the
+        same bounds and scale) can be reduced into one -- this is what makes
+        sharded parallel ingestion (:func:`repro.serve.parallel_ingest`)
+        exact rather than approximate.  ``other`` is left untouched.
+        """
+        if not isinstance(other, AdaWave):
+            raise TypeError(f"can only merge another AdaWave; got {type(other).__name__}.")
+        if other._stream_quantizer is None or other.n_seen_ == 0:
+            return self
+        if self._stream_quantizer is None:
+            if self.bounds is None:
+                raise ValueError("merge_stream requires explicit bounds on both estimators.")
+            if isinstance(self.scale, str):
+                raise ValueError(
+                    "merge_stream requires a concrete scale (int or per-dimension "
+                    "sequence); scale='auto' depends on the full dataset size."
+                )
+            self._reset_stream()
+            # Build the grid from *this* estimator's configuration; the
+            # compatibility check below then genuinely verifies the shards
+            # quantized against the same grid instead of adopting theirs.
+            ndim = len(other._stream_quantizer.shape_)
+            quantizer = GridQuantizer(
+                scale=self._resolve_scale(2, ndim), bounds=self.bounds
+            )
+            quantizer.fit(np.vstack([self.bounds[0], self.bounds[1]]).astype(np.float64))
+            self._stream_quantizer = quantizer
+            self._stream_grid = SparseGrid(quantizer.shape_)
+        if self._stream_quantizer.shape_ != other._stream_quantizer.shape_ or not (
+            np.allclose(self._stream_quantizer.lower_, other._stream_quantizer.lower_)
+            and np.allclose(self._stream_quantizer.upper_, other._stream_quantizer.upper_)
+        ):
+            raise ValueError(
+                "cannot merge streams quantized against different grids; both "
+                "estimators must share identical bounds and scale."
+            )
+        self._stream_grid.merge(other._stream_grid)
+        if not self.lookup_only:
+            if other.lookup_only:
+                raise ValueError(
+                    "cannot merge a lookup-only stream into one that tracks "
+                    "per-point labels; the merged labels_ would be incomplete."
+                )
+            # Chunk arrays are append-only (finalize just concatenates and
+            # reads), so sharing them instead of copying keeps parallel
+            # ingestion at the serial path's peak memory.
+            self._stream_cell_chunks.extend(other._stream_cell_chunks)
+        self._stream_dirty = True
+        self.n_seen_ += other.n_seen_
+        return self
 
     def fit_predict(self, X) -> np.ndarray:
         """Convenience wrapper: :meth:`fit` then return :attr:`labels_`."""
         return self.fit(X).labels_
+
+    # -- serving API -------------------------------------------------------------
+
+    def export_model(self) -> "ClusterModel":
+        """Freeze the fitted clustering into a shippable, queryable artifact.
+
+        The returned :class:`~repro.serve.ClusterModel` holds only the
+        quantizer bounds, the surviving transformed-cell -> cluster map and
+        the threshold/level metadata -- ``O(occupied cells)`` memory, no
+        reference to the training points -- and supports versioned
+        ``save``/``load`` plus vectorized ``predict``.
+        """
+        from repro.serve.model import ClusterModel
+
+        if self.result_ is None:
+            raise NotFittedError(
+                "this AdaWave instance is not fitted yet; call fit() (or "
+                "partial_fit batches followed by finalize()) before exporting "
+                "a ClusterModel."
+            )
+        return ClusterModel.from_estimator(self)
+
+    def predict(self, X) -> np.ndarray:
+        """Label arbitrary points against the fitted clustering.
+
+        A pure lookup: points are quantized with the fitted bounds, mapped to
+        transformed-space cells and matched against the surviving-cell index
+        in one encode / ``searchsorted`` pass.  Points in unmapped cells --
+        including anything outside the fitted bounds -- get the noise label.
+        Requires :meth:`fit` or :meth:`finalize` first; never touches the
+        training points.
+        """
+        if self.result_ is None:
+            raise NotFittedError(
+                "this AdaWave instance is not fitted yet; call fit() (or "
+                "partial_fit batches followed by finalize()) before predict()."
+            )
+        if self._served_model is None:
+            self._served_model = self.export_model()
+        return self._served_model.predict(X)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -8,9 +8,11 @@ connected components, lookup) exist in two interchangeable implementations:
   :mod:`repro.core.transform` and :mod:`repro.spatial`; selected with
   ``AdaWave(engine="vectorized")`` (the default);
 * the **reference engine** (:mod:`repro.engine.reference`) -- the literal
-  per-cell Python implementations, selected with
-  ``AdaWave(engine="reference")`` and used by the golden-regression and
-  equivalence tests as the ground truth.
+  per-cell Python implementations, used by the golden-regression and
+  equivalence tests as the ground truth.  Selecting it through
+  ``AdaWave(engine="reference")`` is deprecated (it emits a
+  ``DeprecationWarning``); import :mod:`repro.engine.reference` directly
+  for regression comparison.
 
 This package also provides :class:`BatchRunner`, which clusters many
 datasets through one shared pipeline: the wavelet filter bank is built once

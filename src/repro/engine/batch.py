@@ -12,6 +12,7 @@ per-dataset results completely independent.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -56,9 +57,30 @@ class BatchRunner:
         self.n_runs_ += 1
         return model.result_
 
-    def run_many(self, datasets: Iterable[np.ndarray]) -> List[AdaWaveResult]:
-        """Cluster every dataset in ``datasets`` through the shared pipeline."""
-        return [self.run(X) for X in datasets]
+    def _run_isolated(self, X) -> AdaWaveResult:
+        """One fit with a private workspace (safe to run on a pool thread)."""
+        model = AdaWave(**self._params)
+        model._workspace = Workspace()
+        return model.fit(X).result_
+
+    def run_many(
+        self, datasets: Iterable[np.ndarray], n_workers: Optional[int] = None
+    ) -> List[AdaWaveResult]:
+        """Cluster every dataset in ``datasets`` through the shared pipeline.
+
+        With ``n_workers`` greater than one the datasets fan out over a
+        :class:`~concurrent.futures.ThreadPoolExecutor` -- each worker fits
+        through a private scratch workspace, so the runs stay independent
+        while the numpy-heavy stages (which release the GIL) overlap.
+        Results are returned in input order either way.
+        """
+        datasets = list(datasets)
+        if n_workers is None or n_workers <= 1 or len(datasets) <= 1:
+            return [self.run(X) for X in datasets]
+        with ThreadPoolExecutor(max_workers=min(n_workers, len(datasets))) as pool:
+            results = list(pool.map(self._run_isolated, datasets))
+        self.n_runs_ += len(datasets)
+        return results
 
     def run_stream(
         self, batches: Iterable[np.ndarray], bounds: Sequence, finalize_every: Optional[int] = None

@@ -14,6 +14,7 @@ E4        Table II Glass correlations              :mod:`repro.experiments.glass
 E5        Fig. 9 Roadmap case study                :mod:`repro.experiments.roadmap_case`
 E6        Fig. 10 runtime scaling                  :mod:`repro.experiments.runtime`
 E7        Design-choice ablations (this repo)      :mod:`repro.experiments.ablation`
+E8        Serving-layer performance (this repo)    :mod:`repro.experiments.serving`
 ========  =======================================  ===========================
 
 The benchmark harness under ``benchmarks/`` simply calls these functions with
@@ -33,6 +34,7 @@ from repro.experiments.glass_correlation import run_glass_correlation
 from repro.experiments.roadmap_case import run_roadmap_case_study
 from repro.experiments.runtime import run_engine_speedup, run_runtime_comparison
 from repro.experiments.ablation import run_threshold_ablation, run_memory_ablation, run_wavelet_ablation
+from repro.experiments.serving import run_parallel_ingest, run_predict_throughput
 from repro.experiments.reporting import format_table
 
 __all__ = [
@@ -50,5 +52,7 @@ __all__ = [
     "run_threshold_ablation",
     "run_memory_ablation",
     "run_wavelet_ablation",
+    "run_parallel_ingest",
+    "run_predict_throughput",
     "format_table",
 ]

@@ -1,0 +1,179 @@
+"""E8 -- serving-layer performance: predict throughput and parallel ingestion.
+
+Not a paper artefact: this experiment characterises the repo's serving
+extensions (ROADMAP items).  Two workloads:
+
+* :func:`run_predict_throughput` -- freeze a fitted model into a
+  :class:`~repro.serve.ClusterModel`, round-trip it through ``save``/``load``
+  and measure lookup-only ``predict`` over a large query set, verifying the
+  served labels match the one-shot fit exactly.
+* :func:`run_parallel_ingest` -- compare serial streaming ingestion against
+  :func:`~repro.serve.parallel_ingest` at several worker counts, verifying
+  every configuration predicts identical labels (grid merging is exact, not
+  approximate).
+
+Both report rows through the shared :class:`ExperimentResult` machinery so
+the benchmark layer can print them as tables, and assert nothing themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.adawave import AdaWave
+from repro.datasets.synthetic import scaled_runtime_dataset
+from repro.experiments.runner import ExperimentResult
+from repro.serve.model import ClusterModel
+from repro.serve.parallel import _ingest_shard, parallel_ingest
+
+
+def run_predict_throughput(
+    n_train: int = 50_000,
+    n_queries: int = 200_000,
+    scale: int = 128,
+    noise_fraction: float = 0.75,
+    seed: int = 0,
+    repeats: int = 3,
+    save_path=None,
+) -> ExperimentResult:
+    """Throughput of the frozen-artifact serving path.
+
+    Fits once, freezes, optionally round-trips the artifact through disk
+    (``save_path``), then times ``predict`` over a fresh query set (best of
+    ``repeats``).  Metadata records whether the served labels reproduce the
+    training labels bit-for-bit and the artifact's resident cell count --
+    the number that stays flat as ``n_train`` grows.
+    """
+    train = scaled_runtime_dataset(n_train, noise_fraction=noise_fraction, seed=seed)
+    queries = scaled_runtime_dataset(
+        n_queries, noise_fraction=noise_fraction, seed=seed + 1
+    ).points
+
+    result = ExperimentResult(
+        experiment="serving: frozen-model predict throughput",
+        columns=["stage", "n", "seconds", "points_per_sec"],
+        metadata={
+            "n_train": train.n_samples,
+            "n_queries": len(queries),
+            "scale": scale,
+            "seed": seed,
+        },
+    )
+
+    start = time.perf_counter()
+    estimator = AdaWave(scale=scale).fit(train.points)
+    fit_seconds = time.perf_counter() - start
+    result.add_row(
+        stage="fit", n=train.n_samples, seconds=float(fit_seconds),
+        points_per_sec=float(train.n_samples / max(fit_seconds, 1e-9)),
+    )
+
+    model = estimator.export_model()
+    if save_path is not None:
+        model.save(save_path)
+        model = ClusterModel.load(save_path)
+
+    best = np.inf
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        labels = model.predict(queries)
+        best = min(best, time.perf_counter() - start)
+    result.add_row(
+        stage="predict", n=len(queries), seconds=float(best),
+        points_per_sec=float(len(queries) / max(best, 1e-9)),
+    )
+
+    result.metadata["labels_match"] = bool(
+        np.array_equal(model.predict(train.points), estimator.labels_)
+    )
+    result.metadata["model_cells"] = model.n_cells
+    result.metadata["n_clusters"] = model.n_clusters
+    result.metadata["predicted_noise_fraction"] = float(np.mean(labels == -1))
+    return result
+
+
+def run_parallel_ingest(
+    n_points: int = 200_000,
+    n_batches: int = 32,
+    workers: Sequence[int] = (1, 2, 4),
+    scale: int = 128,
+    noise_fraction: float = 0.75,
+    seed: int = 0,
+    repeats: int = 3,
+    executor: str = "thread",
+) -> ExperimentResult:
+    """Serial vs sharded-parallel streaming ingestion at ``n_points``.
+
+    Times the ingestion phase -- quantize, accumulate, consolidate the
+    sketch, everything up to (but excluding) the shared ``finalize``
+    pipeline -- serially and through :func:`parallel_ingest` at each worker
+    count, best of ``repeats``.  One ``speedup`` row per worker count
+    reports ``serial_seconds / parallel_seconds``; metadata records whether
+    all configurations predict identical labels.
+    """
+    dataset = scaled_runtime_dataset(n_points, noise_fraction=noise_fraction, seed=seed)
+    points = dataset.points
+    bounds = (points.min(axis=0), points.max(axis=0))
+    batches = np.array_split(points, n_batches)
+    params = dict(scale=scale, bounds=bounds, lookup_only=True)
+
+    result = ExperimentResult(
+        experiment=f"serving: parallel ingestion ({executor} executor)",
+        columns=["configuration", "workers", "seconds", "speedup"],
+        metadata={
+            "n_points": dataset.n_samples,
+            "n_batches": n_batches,
+            "scale": scale,
+            "seed": seed,
+            "executor": executor,
+        },
+    )
+
+    serial_best = np.inf
+    serial_model: Optional[AdaWave] = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        serial_model = _ingest_shard(params, list(batches))
+        serial_best = min(serial_best, time.perf_counter() - start)
+    serial_model.finalize()
+    reference_labels = serial_model.predict(points)
+    result.add_row(
+        configuration="serial", workers=1, seconds=float(serial_best), speedup=1.0
+    )
+
+    all_identical = True
+    for n_workers in workers:
+        if n_workers <= 1:
+            continue
+        best = np.inf
+        model: Optional[AdaWave] = None
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            model = parallel_ingest(
+                batches,
+                bounds=bounds,
+                scale=scale,
+                n_workers=n_workers,
+                executor=executor,
+                finalize=False,
+            )
+            # Force the merged sketch consolidation inside the timed region
+            # so serial and parallel pay for identical work.
+            model._stream_grid.n_occupied
+            best = min(best, time.perf_counter() - start)
+        model.finalize()
+        identical = bool(np.array_equal(model.predict(points), reference_labels))
+        all_identical = all_identical and identical
+        result.add_row(
+            configuration=f"parallel x{n_workers}",
+            workers=n_workers,
+            seconds=float(best),
+            speedup=float(serial_best / max(best, 1e-9)),
+        )
+
+    result.metadata["labels_identical"] = all_identical
+    result.metadata["n_clusters"] = serial_model.n_clusters_
+    return result

@@ -19,7 +19,7 @@ from repro.grid.connectivity import (
     label_components_array,
     neighbor_offsets,
 )
-from repro.grid.lookup import LookupTable
+from repro.grid.lookup import CellLabelIndex, LookupTable
 
 __all__ = [
     "SparseGrid",
@@ -28,5 +28,6 @@ __all__ = [
     "connected_components",
     "label_components_array",
     "neighbor_offsets",
+    "CellLabelIndex",
     "LookupTable",
 ]

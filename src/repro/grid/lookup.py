@@ -11,13 +11,113 @@ transformed grids to original grids and finally to the objects themselves
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
 Cell = Tuple[int, ...]
 
 NOISE_LABEL = -1
+
+#: Largest dense extent for which int64 linear codes are collision free.
+_MAX_ENCODABLE = 2**62
+
+
+class CellLabelIndex:
+    """Immutable cell -> cluster-label index over the surviving cells.
+
+    The index is the heart of the lookup-only ("serving") path: it stores the
+    ``(k, d)`` labelled transformed cells as linear codes sorted once at
+    construction, so labelling ``n`` query cells afterwards is a single
+    encode / ``searchsorted`` / fancy-index pass costing ``O(n log k)`` time
+    and ``O(k)`` resident memory -- it never grows with the training-set
+    size.  Cells outside the index (including anything outside the bounding
+    box of the labelled cells) map to :data:`NOISE_LABEL`.
+
+    For astronomically large extents whose linear codes would overflow
+    ``int64`` (e.g. 128 intervals in 9+ dimensions), the index degrades to a
+    hash table over cell tuples with a memoised per-distinct-cell probe.
+
+    Parameters
+    ----------
+    cells:
+        ``(k, d)`` integer coordinates of the labelled cells (duplicates are
+        not allowed; the pipeline never produces them).
+    labels:
+        ``(k,)`` integer cluster labels aligned with ``cells``.
+    """
+
+    __slots__ = (
+        "ndim", "n_cells", "_mins", "_maxs", "_strides",
+        "_codes", "_values", "_table",
+    )
+
+    def __init__(self, cells, labels) -> None:
+        cells = np.asarray(cells, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if cells.ndim != 2:
+            raise ValueError(f"cells must be a 2-D array; got shape {cells.shape}.")
+        if labels.shape != (len(cells),):
+            raise ValueError(
+                f"labels must have shape ({len(cells)},); got {labels.shape}."
+            )
+        self.ndim = cells.shape[1]
+        self.n_cells = len(cells)
+        self._table: Optional[Dict[Cell, int]] = None
+        self._strides: Optional[np.ndarray] = None
+        if self.n_cells == 0:
+            self._mins = self._maxs = None
+            self._codes = np.empty(0, dtype=np.int64)
+            self._values = np.empty(0, dtype=np.int64)
+            return
+        self._mins = cells.min(axis=0)
+        self._maxs = cells.max(axis=0)
+        extent = self._maxs - self._mins + 1
+        total = 1
+        for size in extent.tolist():
+            total *= int(size)
+        if total >= _MAX_ENCODABLE:
+            self._table = dict(zip(map(tuple, cells.tolist()), labels.tolist()))
+            self._codes = np.empty(0, dtype=np.int64)
+            self._values = np.empty(0, dtype=np.int64)
+            return
+        strides = np.empty(len(extent), dtype=np.int64)
+        strides[-1] = 1
+        for axis in range(len(extent) - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * extent[axis + 1]
+        self._strides = strides
+        codes = (cells - self._mins) @ strides
+        order = np.argsort(codes, kind="stable")
+        self._codes = codes[order]
+        self._values = labels[order]
+
+    def lookup(self, cells: np.ndarray) -> np.ndarray:
+        """Labels of the query ``(n, d)`` cells; unmapped cells get noise."""
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.ndim != 2 or cells.shape[1] != self.ndim:
+            raise ValueError(
+                f"query cells must have shape (n, {self.ndim}); got {cells.shape}."
+            )
+        labels = np.full(len(cells), NOISE_LABEL, dtype=np.int64)
+        if self.n_cells == 0 or len(cells) == 0:
+            return labels
+        if self._table is not None:
+            cache: Dict[Cell, int] = {}
+            for index, cell in enumerate(map(tuple, cells.tolist())):
+                if cell not in cache:
+                    cache[cell] = self._table.get(cell, NOISE_LABEL)
+                labels[index] = cache[cell]
+            return labels
+        inside = np.all((cells >= self._mins) & (cells <= self._maxs), axis=1)
+        if not inside.any():
+            return labels
+        query = np.flatnonzero(inside)
+        codes = (cells[inside] - self._mins) @ self._strides
+        pos = np.searchsorted(self._codes, codes)
+        pos = np.minimum(pos, len(self._codes) - 1)
+        found = self._codes[pos] == codes
+        labels[query[found]] = self._values[pos[found]]
+        return labels
 
 
 class LookupTable:
@@ -111,51 +211,18 @@ class LookupTable:
 
         ``label_cells`` is the ``(k, d)`` array of labelled transformed cells
         and ``label_values`` the matching ``(k,)`` labels.  All points are
-        mapped in a single encode / ``searchsorted`` / fancy-index pass; cells
-        without a labelled counterpart get :data:`NOISE_LABEL`.
+        mapped in a single encode / ``searchsorted`` / fancy-index pass
+        through a throwaway :class:`CellLabelIndex`; cells without a labelled
+        counterpart get :data:`NOISE_LABEL`.
         """
         transformed = self.to_transformed_many(point_cells)
-        n_points = len(transformed)
-        labels = np.full(n_points, NOISE_LABEL, dtype=np.int64)
         label_cells = np.asarray(label_cells, dtype=np.int64)
         label_values = np.asarray(label_values, dtype=np.int64)
-        if len(label_cells) == 0 or n_points == 0:
-            return labels
+        if len(label_cells) == 0 or len(transformed) == 0:
+            return np.full(len(transformed), NOISE_LABEL, dtype=np.int64)
         if label_cells.ndim != 2 or label_cells.shape[1] != transformed.shape[1]:
             raise ValueError(
                 f"label_cells must have shape (k, {transformed.shape[1]}); "
                 f"got {label_cells.shape}."
             )
-        # Encode both sides against the joint bounding box so arbitrary
-        # coordinates stay collision free.
-        mins = np.minimum(transformed.min(axis=0), label_cells.min(axis=0))
-        maxs = np.maximum(transformed.max(axis=0), label_cells.max(axis=0))
-        extent = maxs - mins + 1
-        total = 1
-        for size in extent.tolist():
-            total *= int(size)
-        if total >= 2**62:
-            # int64 codes would overflow and collide; fall back to a memoised
-            # per-distinct-cell dict lookup (the number of distinct
-            # transformed cells is far smaller than the number of points).
-            table = dict(zip(map(tuple, label_cells.tolist()), label_values.tolist()))
-            cache: Dict[Cell, int] = {}
-            for index, cell in enumerate(map(tuple, transformed.tolist())):
-                if cell not in cache:
-                    cache[cell] = table.get(cell, NOISE_LABEL)
-                labels[index] = cache[cell]
-            return labels
-        strides = np.empty(len(extent), dtype=np.int64)
-        strides[-1] = 1
-        for axis in range(len(extent) - 2, -1, -1):
-            strides[axis] = strides[axis + 1] * extent[axis + 1]
-        point_codes = (transformed - mins) @ strides
-        table_codes = (label_cells - mins) @ strides
-        order = np.argsort(table_codes, kind="stable")
-        table_codes = table_codes[order]
-        table_values = label_values[order]
-        pos = np.searchsorted(table_codes, point_codes)
-        pos = np.minimum(pos, len(table_codes) - 1)
-        found = table_codes[pos] == point_codes
-        labels[found] = table_values[pos[found]]
-        return labels
+        return CellLabelIndex(label_cells, label_values).lookup(transformed)

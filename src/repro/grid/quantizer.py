@@ -118,6 +118,40 @@ class GridQuantizer:
         self.upper_ = np.asarray(upper, dtype=np.float64)
         return self
 
+    @classmethod
+    def from_fitted(
+        cls,
+        lower: Sequence[float],
+        upper: Sequence[float],
+        shape: Sequence[int],
+    ) -> "GridQuantizer":
+        """Rebuild a fitted quantizer from frozen bounds and interval counts.
+
+        This is the deserialization path of the serving layer: a saved
+        :class:`~repro.serve.ClusterModel` stores exactly ``(lower_, upper_,
+        shape_)``, and this constructor restores a quantizer that maps new
+        points onto the identical grid without ever seeing the training data.
+        """
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        shape = tuple(check_positive_int(s, name="shape", minimum=1) for s in shape)
+        if lower.ndim != 1 or lower.shape != upper.shape or len(shape) != len(lower):
+            raise ValueError(
+                "lower, upper and shape must be 1-D and of equal length; got "
+                f"{lower.shape}, {upper.shape} and {len(shape)} entries."
+            )
+        if np.any(upper <= lower):
+            bad = int(np.flatnonzero(upper <= lower)[0])
+            raise ValueError(
+                f"bounds are degenerate in dimension {bad}: upper "
+                f"({upper[bad]}) must be strictly greater than lower ({lower[bad]})."
+            )
+        quantizer = cls(scale=shape)
+        quantizer.shape_ = shape
+        quantizer.lower_ = lower.copy()
+        quantizer.upper_ = upper.copy()
+        return quantizer
+
     def _check_fitted(self) -> None:
         if self.lower_ is None or self.upper_ is None or self.shape_ is None:
             raise RuntimeError("GridQuantizer must be fitted before use.")
@@ -136,6 +170,28 @@ class GridQuantizer:
         # (or passed through explicit bounds) stay inside the grid.
         cells = np.clip(cells, 0, np.asarray(self.shape_, dtype=np.int64) - 1)
         return cells
+
+    def transform_with_mask(self, X) -> Tuple[np.ndarray, np.ndarray]:
+        """Quantize arbitrary points, flagging the ones outside the grid.
+
+        Unlike :meth:`transform` -- whose callers have already validated that
+        every sample lies inside the bounds -- this is the serving-side entry
+        point: new points may fall anywhere.  Returns ``(cells, inside)``
+        where ``inside`` is a boolean mask of the points within the fitted
+        bounds; the cell coordinates of outside points are clipped into the
+        grid but should be ignored (the serving layer labels them noise).
+        """
+        self._check_fitted()
+        X = check_array(X, name="X", allow_empty=True)
+        if X.shape[1] != len(self.shape_):
+            raise ValueError(
+                f"X has {X.shape[1]} features but the quantizer was fitted on {len(self.shape_)}."
+            )
+        inside = np.all((X >= self.lower_) & (X <= self.upper_), axis=1)
+        widths = (self.upper_ - self.lower_) / np.asarray(self.shape_, dtype=np.float64)
+        cells = np.floor((X - self.lower_) / widths).astype(np.int64)
+        np.clip(cells, 0, np.asarray(self.shape_, dtype=np.int64) - 1, out=cells)
+        return cells, inside
 
     def fit_transform(self, X) -> QuantizationResult:
         """Fit the bounds and quantize ``X`` in one call (Algorithm 2)."""

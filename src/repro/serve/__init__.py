@@ -1,0 +1,43 @@
+"""Model-serving layer: frozen artifacts, registries and concurrent predict.
+
+A fitted AdaWave run compresses into a tiny, immutable artifact -- the
+quantizer geometry plus the surviving transformed-cell -> cluster map --
+that labels arbitrary new points in one vectorized lookup pass without ever
+touching the training data.  This package turns that observation into a
+serving stack:
+
+* :class:`ClusterModel` -- the frozen artifact, with versioned
+  ``save``/``load`` (npz + JSON header) and ``O(n log cells)`` ``predict``;
+* :class:`ModelRegistry` -- a thread-safe map of named models with atomic
+  hot-swap semantics;
+* :class:`ClusteringService` -- concurrent, micro-batched ``predict`` over
+  many registered models;
+* :func:`parallel_ingest` -- sharded thread/process ingestion of batched
+  datasets, exploiting that the quantized grid is an associative sketch.
+
+Typical flow::
+
+    from repro import AdaWave
+    from repro.serve import ClusteringService, ClusterModel
+
+    frozen = AdaWave(scale=128).fit(X_train).export_model()
+    frozen.save("clusters.npz")
+
+    service = ClusteringService()
+    service.load("prod", "clusters.npz")
+    labels = service.predict("prod", X_new)
+"""
+
+from repro.serve.model import FORMAT_MAGIC, FORMAT_VERSION, ClusterModel
+from repro.serve.parallel import parallel_ingest
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import ClusteringService
+
+__all__ = [
+    "ClusterModel",
+    "ModelRegistry",
+    "ClusteringService",
+    "parallel_ingest",
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+]

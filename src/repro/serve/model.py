@@ -1,0 +1,294 @@
+"""Frozen, shippable AdaWave clustering artifacts.
+
+AdaWave's quantized grid is a tiny sketch of the data: once the pipeline has
+run, everything needed to label *new* points is the quantizer geometry
+(bounds and interval counts), the surviving transformed-cell -> cluster-id
+map and the level/threshold metadata.  :class:`ClusterModel` freezes exactly
+that -- ``O(occupied cells)`` memory, no reference to the training points --
+so a fitted clustering can be saved, copied across machines and served
+without the training set ever leaving the ingestion host.
+
+The on-disk format is a plain ``.npz`` archive whose numeric members hold
+the arrays and whose ``header`` member is a UTF-8 JSON document with a magic
+string, a format version and the scalar metadata.  :meth:`ClusterModel.load`
+validates both before touching any array, so corrupted files and artifacts
+written by a future incompatible version are rejected with a clear error
+instead of mislabelling traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+import numpy as np
+
+from repro.grid.lookup import NOISE_LABEL, CellLabelIndex
+from repro.grid.quantizer import GridQuantizer
+from repro.utils.validation import NotFittedError, check_array
+
+#: Magic string identifying a serialized ClusterModel.
+FORMAT_MAGIC = "repro.serve/cluster-model"
+
+#: Current on-disk format version.  Bump on any incompatible layout change;
+#: :meth:`ClusterModel.load` refuses files with a different major version.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, eq=False)
+class ClusterModel:
+    """Immutable serving artifact extracted from a fitted AdaWave run.
+
+    Attributes
+    ----------
+    lower, upper:
+        Fitted per-dimension quantizer bounds (post edge-expansion, so new
+        points quantize onto the identical grid).
+    grid_shape:
+        Interval counts of the original quantization grid.
+    level:
+        Wavelet decomposition levels; a point's transformed cell is its
+        original cell floor-divided by ``2 ** level``.
+    threshold:
+        The adaptive density threshold the run selected (metadata; already
+        applied to the cell map).
+    cell_coords:
+        ``(k, d)`` surviving transformed-cell coordinates in sorted
+        (lexicographic) COO order.
+    cell_labels:
+        ``(k,)`` cluster ids aligned with :attr:`cell_coords`.
+    n_clusters:
+        Number of clusters in the map.
+    metadata:
+        Free-form scalar metadata (wavelet name, threshold method, training
+        sample count, ...) persisted verbatim in the JSON header.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    grid_shape: Tuple[int, ...]
+    level: int
+    threshold: float
+    cell_coords: np.ndarray
+    cell_labels: np.ndarray
+    n_clusters: int
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lower = np.asarray(self.lower, dtype=np.float64)
+        upper = np.asarray(self.upper, dtype=np.float64)
+        coords = np.asarray(self.cell_coords, dtype=np.int64)
+        labels = np.asarray(self.cell_labels, dtype=np.int64)
+        grid_shape = tuple(int(s) for s in self.grid_shape)
+        if coords.ndim != 2:
+            raise ValueError(f"cell_coords must be 2-D; got shape {coords.shape}.")
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ValueError("lower and upper must be 1-D arrays of equal length.")
+        if len(grid_shape) != len(lower) or coords.shape[1] != len(lower):
+            raise ValueError(
+                "dimension mismatch between bounds, grid_shape and cell_coords: "
+                f"{len(lower)} vs {len(grid_shape)} vs {coords.shape[1]}."
+            )
+        if labels.shape != (len(coords),):
+            raise ValueError(
+                f"cell_labels must have shape ({len(coords)},); got {labels.shape}."
+            )
+        if len(coords):
+            # Canonicalise to sorted COO order so saved artifacts are
+            # byte-stable regardless of how the map was assembled.
+            order = np.lexsort(coords.T[::-1])
+            coords = np.ascontiguousarray(coords[order])
+            labels = labels[order]
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+        object.__setattr__(self, "grid_shape", grid_shape)
+        object.__setattr__(self, "level", int(self.level))
+        object.__setattr__(self, "threshold", float(self.threshold))
+        object.__setattr__(self, "cell_coords", coords)
+        object.__setattr__(self, "cell_labels", labels)
+        object.__setattr__(self, "n_clusters", int(self.n_clusters))
+        object.__setattr__(self, "metadata", dict(self.metadata))
+        # Derived lookup machinery, built once: predict() afterwards is a
+        # pure encode / searchsorted pass with no per-call allocation beyond
+        # the outputs.
+        object.__setattr__(
+            self, "_quantizer", GridQuantizer.from_fitted(lower, upper, grid_shape)
+        )
+        object.__setattr__(self, "_index", CellLabelIndex(coords, labels))
+        object.__setattr__(self, "_factor", 2 ** int(self.level))
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the feature space the model was trained on."""
+        return len(self.grid_shape)
+
+    @property
+    def n_cells(self) -> int:
+        """Number of surviving transformed cells in the map."""
+        return len(self.cell_labels)
+
+    def memory_cells(self) -> int:
+        """Stored entries -- the artifact's size never scales with ``n_seen``."""
+        return self.n_cells
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_estimator(cls, estimator) -> "ClusterModel":
+        """Freeze a fitted :class:`~repro.core.adawave.AdaWave` estimator."""
+        result = getattr(estimator, "result_", None)
+        if result is None:
+            raise NotFittedError(
+                "cannot export a ClusterModel from an unfitted estimator; "
+                "call fit() or partial_fit/finalize first."
+            )
+        quantization = result.quantization
+        ndim = quantization.grid.ndim
+        surviving = result.surviving_cells
+        if surviving:
+            coords = np.asarray(list(surviving.keys()), dtype=np.int64)
+            labels = np.fromiter(surviving.values(), dtype=np.int64, count=len(surviving))
+        else:
+            coords = np.empty((0, ndim), dtype=np.int64)
+            labels = np.empty(0, dtype=np.int64)
+        wavelet = getattr(estimator, "wavelet", None)
+        metadata = {
+            "wavelet": getattr(wavelet, "name", None) or str(wavelet),
+            "threshold_method": getattr(estimator, "threshold_method", None),
+            "threshold_rule": result.threshold.method,
+            "n_seen": int(getattr(estimator, "n_seen_", 0)),
+        }
+        return cls(
+            lower=quantization.lower,
+            upper=quantization.upper,
+            grid_shape=quantization.grid.shape,
+            level=result.level,
+            threshold=result.threshold.threshold,
+            cell_coords=coords,
+            cell_labels=labels,
+            n_clusters=result.n_clusters,
+            metadata=metadata,
+        )
+
+    # -- serving ---------------------------------------------------------------
+
+    def predict(self, X) -> np.ndarray:
+        """Label arbitrary points in one vectorized lookup pass.
+
+        Points are quantized against the frozen bounds, mapped to
+        transformed-space cells (``// 2 ** level``) and matched against the
+        sorted cell map via a single encode / ``searchsorted`` pass.  Points
+        in unmapped cells -- or outside the fitted bounds entirely -- get
+        :data:`~repro.grid.lookup.NOISE_LABEL`.  Runs in ``O(n log k)`` for
+        ``n`` points against ``k`` surviving cells and never materialises
+        anything proportional to the training-set size.
+        """
+        X = check_array(X, name="X", allow_empty=True)
+        cells, inside = self._quantizer.transform_with_mask(X)
+        labels = self._index.lookup(cells // self._factor)
+        labels[~inside] = NOISE_LABEL
+        return labels
+
+    # -- persistence -----------------------------------------------------------
+
+    def _header(self) -> Dict[str, Any]:
+        return {
+            "format": FORMAT_MAGIC,
+            "version": FORMAT_VERSION,
+            "level": self.level,
+            "threshold": self.threshold,
+            "n_clusters": self.n_clusters,
+            "n_features": self.n_features,
+            "n_cells": self.n_cells,
+            "metadata": self.metadata,
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Serialize the artifact to ``path`` (npz + JSON header); returns it."""
+        path = Path(path)
+        header = json.dumps(self._header(), sort_keys=True).encode("utf-8")
+        with open(path, "wb") as stream:
+            np.savez_compressed(
+                stream,
+                header=np.frombuffer(header, dtype=np.uint8),
+                lower=self.lower,
+                upper=self.upper,
+                grid_shape=np.asarray(self.grid_shape, dtype=np.int64),
+                cell_coords=self.cell_coords,
+                cell_labels=self.cell_labels,
+            )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ClusterModel":
+        """Deserialize an artifact, validating magic, version and layout.
+
+        Raises
+        ------
+        ValueError
+            If the file is not a ClusterModel archive, is corrupted, or was
+            written with an incompatible format version.
+        """
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                members = {name: archive[name] for name in archive.files}
+        except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError) as error:
+            raise ValueError(
+                f"{path} is not a readable ClusterModel artifact: {error}"
+            ) from error
+        if "header" not in members:
+            raise ValueError(
+                f"{path} is missing the ClusterModel JSON header; not a "
+                "ClusterModel artifact."
+            )
+        try:
+            header = json.loads(bytes(members["header"].astype(np.uint8)).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"{path} has a corrupted ClusterModel header.") from error
+        if not isinstance(header, dict) or header.get("format") != FORMAT_MAGIC:
+            raise ValueError(
+                f"{path} does not declare the {FORMAT_MAGIC!r} format; refusing to load."
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path} uses ClusterModel format version {header.get('version')!r}; "
+                f"this build reads version {FORMAT_VERSION}. Re-export the model."
+            )
+        required = ("lower", "upper", "grid_shape", "cell_coords", "cell_labels")
+        missing = [name for name in required if name not in members]
+        if missing:
+            raise ValueError(f"{path} is missing required arrays: {missing}.")
+        try:
+            model = cls(
+                lower=members["lower"],
+                upper=members["upper"],
+                grid_shape=tuple(int(s) for s in members["grid_shape"]),
+                level=int(header["level"]),
+                threshold=float(header["threshold"]),
+                cell_coords=members["cell_coords"],
+                cell_labels=members["cell_labels"],
+                n_clusters=int(header["n_clusters"]),
+                metadata=dict(header.get("metadata") or {}),
+            )
+        except (TypeError, KeyError, ValueError) as error:
+            raise ValueError(
+                f"{path} holds inconsistent ClusterModel contents: {error}"
+            ) from error
+        if model.n_cells != int(header.get("n_cells", model.n_cells)):
+            raise ValueError(
+                f"{path} header declares {header.get('n_cells')} cells but the "
+                f"arrays hold {model.n_cells}; artifact is corrupted."
+            )
+        return model
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterModel(d={self.n_features}, cells={self.n_cells}, "
+            f"clusters={self.n_clusters}, level={self.level})"
+        )

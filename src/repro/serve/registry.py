@@ -1,0 +1,108 @@
+"""Thread-safe registry of named, frozen cluster models.
+
+A serving host typically keeps many models resident at once -- one per
+tenant, per data stream, per resolution level -- and swaps them atomically
+as retrained artifacts arrive.  :class:`ModelRegistry` is that map: a lock-
+protected ``name -> ClusterModel`` dictionary.  The models themselves are
+immutable, so readers never need the lock while predicting; only the
+name-to-model binding is guarded.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.serve.model import ClusterModel
+
+
+class ModelRegistry:
+    """Concurrent ``name -> ClusterModel`` map with atomic swap semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._models: Dict[str, ClusterModel] = {}
+
+    def register(
+        self, name: str, model: ClusterModel, *, overwrite: bool = True
+    ) -> ClusterModel:
+        """Bind ``model`` under ``name`` (atomically replacing any previous one).
+
+        With ``overwrite=False`` an existing binding raises ``ValueError``
+        instead of being replaced.  Returns the registered model.
+        """
+        if not isinstance(model, ClusterModel):
+            raise TypeError(
+                f"can only register ClusterModel artifacts; got {type(model).__name__}. "
+                "Freeze an estimator with AdaWave.export_model() first."
+            )
+        name = str(name)
+        with self._lock:
+            if not overwrite and name in self._models:
+                raise ValueError(
+                    f"model {name!r} is already registered; pass overwrite=True "
+                    "to replace it."
+                )
+            self._models[name] = model
+        return model
+
+    def get(self, name: str) -> ClusterModel:
+        """The model bound to ``name``; raises ``KeyError`` with the known names."""
+        with self._lock:
+            try:
+                return self._models[name]
+            except KeyError:
+                known = ", ".join(sorted(self._models)) or "<none>"
+                raise KeyError(
+                    f"no model named {name!r} is registered (known: {known})."
+                ) from None
+
+    def unregister(self, name: str) -> ClusterModel:
+        """Remove and return the model bound to ``name``."""
+        with self._lock:
+            try:
+                return self._models.pop(name)
+            except KeyError:
+                raise KeyError(f"no model named {name!r} is registered.") from None
+
+    def names(self) -> List[str]:
+        """Sorted snapshot of the registered model names."""
+        with self._lock:
+            return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    # -- persistence conveniences ---------------------------------------------
+
+    def load(self, name: str, path: Union[str, Path]) -> ClusterModel:
+        """Load a saved artifact from ``path`` and register it under ``name``."""
+        return self.register(name, ClusterModel.load(path))
+
+    def save_all(self, directory: Union[str, Path]) -> Dict[str, Path]:
+        """Save every registered model as ``<directory>/<name>.npz``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            snapshot = dict(self._models)
+        return {
+            name: model.save(directory / f"{name}.npz")
+            for name, model in snapshot.items()
+        }
+
+    def load_dir(self, directory: Union[str, Path]) -> List[str]:
+        """Register every ``*.npz`` artifact in ``directory`` under its stem."""
+        names: List[str] = []
+        for path in sorted(Path(directory).glob("*.npz")):
+            self.load(path.stem, path)
+            names.append(path.stem)
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelRegistry({self.names()!r})"

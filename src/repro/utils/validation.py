@@ -16,6 +16,15 @@ import numpy as np
 RandomStateLike = Union[None, int, np.random.Generator, np.random.RandomState]
 
 
+class NotFittedError(ValueError):
+    """Raised when an estimator or artifact is used before fitting.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError`` callers
+    (and tests written against the generic message) keep working, mirroring
+    the scikit-learn convention.
+    """
+
+
 def check_array(
     X,
     *,

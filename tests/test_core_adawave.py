@@ -215,6 +215,64 @@ class TestAdaWaveEdgeCases:
         with pytest.raises(ValueError, match="engine"):
             AdaWave(engine="turbo")
 
+    def test_reference_engine_is_deprecated(self):
+        """Satellite: engine='reference' stays functional but warns."""
+        with pytest.warns(DeprecationWarning, match="reference"):
+            AdaWave(engine="reference")
+
+    def test_vectorized_engine_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            AdaWave()  # must not raise
+
+    def test_reference_module_stays_importable(self):
+        from repro.engine import reference
+
+        assert hasattr(reference, "quantize_reference")
+
+
+class TestAdaWavePredict:
+    def test_predict_on_training_points_matches_labels(self):
+        points, _ = two_blob_dataset(seed=3)
+        model = AdaWave(scale=64).fit(points)
+        np.testing.assert_array_equal(model.predict(points), model.labels_)
+
+    def test_predict_on_fresh_points_is_lookup_consistent(self):
+        points, _ = two_blob_dataset(seed=3)
+        model = AdaWave(scale=64).fit(points)
+        rng = np.random.default_rng(0)
+        fresh = rng.uniform(size=(500, 2))
+        labels = model.predict(fresh)
+        # Predicting twice is deterministic, and jittering a point within its
+        # own grid cell cannot change its label.
+        np.testing.assert_array_equal(labels, model.predict(fresh))
+        assert labels.shape == (500,)
+        assert set(np.unique(labels)) <= set(range(-1, model.n_clusters_))
+
+    def test_predict_before_fit_raises_not_fitted(self):
+        from repro.utils.validation import NotFittedError
+
+        points, _ = two_blob_dataset(seed=3)
+        model = AdaWave(scale=64)
+        with pytest.raises(NotFittedError, match="not fitted"):
+            model.predict(points)
+        streaming = AdaWave(
+            scale=64, bounds=(points.min(axis=0), points.max(axis=0))
+        )
+        streaming.partial_fit(points[:50])  # ingested but not finalized
+        with pytest.raises(NotFittedError, match="not fitted"):
+            streaming.predict(points)
+
+    def test_predict_cache_invalidated_by_refit(self):
+        points_a, _ = two_blob_dataset(seed=3)
+        points_b, _ = two_blob_dataset(seed=4, noise_fraction=0.3)
+        model = AdaWave(scale=64).fit(points_a)
+        model.predict(points_a)  # populate the cached artifact
+        model.fit(points_b)
+        np.testing.assert_array_equal(model.predict(points_b), model.labels_)
+
 
 class TestAdaWaveOnRunningExample:
     def test_recovers_five_clusters_in_heavy_noise(self):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.grid.connectivity import component_sizes, connected_components, neighbor_offsets
-from repro.grid.lookup import NOISE_LABEL, LookupTable
+from repro.grid.lookup import NOISE_LABEL, CellLabelIndex, LookupTable
 
 
 class TestNeighborOffsets:
@@ -129,3 +129,48 @@ class TestLookupTable:
     def test_label_points_requires_2d(self):
         with pytest.raises(ValueError, match="2-D"):
             LookupTable().to_transformed_many(np.array([1, 2, 3]))
+
+
+class TestCellLabelIndex:
+    def test_lookup_matches_dict_semantics(self):
+        cells = np.array([[0, 0], [1, 2], [5, 5]])
+        index = CellLabelIndex(cells, np.array([3, 1, 0]))
+        queries = np.array([[1, 2], [0, 0], [4, 4], [5, 5], [-3, 0]])
+        np.testing.assert_array_equal(
+            index.lookup(queries), [1, 3, NOISE_LABEL, 0, NOISE_LABEL]
+        )
+
+    def test_empty_index_everything_noise(self):
+        index = CellLabelIndex(np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int64))
+        np.testing.assert_array_equal(
+            index.lookup(np.array([[0, 0], [1, 1]])), [NOISE_LABEL, NOISE_LABEL]
+        )
+
+    def test_empty_query(self):
+        index = CellLabelIndex(np.array([[0, 0]]), np.array([2]))
+        assert index.lookup(np.empty((0, 2), dtype=np.int64)).shape == (0,)
+
+    def test_outside_bounding_box_is_noise_without_encoding(self):
+        index = CellLabelIndex(np.array([[10, 10], [11, 10]]), np.array([0, 0]))
+        np.testing.assert_array_equal(
+            index.lookup(np.array([[0, 0], [10, 10], [2**40, 2**40]])),
+            [NOISE_LABEL, 0, NOISE_LABEL],
+        )
+
+    def test_overflow_extent_falls_back_to_hash_table(self):
+        huge = np.array([[0] * 9, [2**8] * 9], dtype=np.int64) * (2**32 // 2**8)
+        index = CellLabelIndex(huge, np.array([4, 5]))
+        assert index._table is not None  # the int64-code path would collide
+        np.testing.assert_array_equal(
+            index.lookup(np.vstack([huge, np.ones((1, 9), dtype=np.int64)])),
+            [4, 5, NOISE_LABEL],
+        )
+
+    def test_dimension_mismatch_rejected(self):
+        index = CellLabelIndex(np.array([[0, 0]]), np.array([1]))
+        with pytest.raises(ValueError, match="shape"):
+            index.lookup(np.array([[1, 2, 3]]))
+
+    def test_misaligned_labels_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            CellLabelIndex(np.array([[0, 0], [1, 1]]), np.array([1]))

@@ -1,0 +1,253 @@
+"""ModelRegistry and ClusteringService: concurrency and micro-batching.
+
+The acceptance bar: a service hosting several named models must return
+labels identical to direct ``ClusterModel.predict`` calls under at least 8
+threads of mixed-model traffic, with registration swaps staying atomic.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.adawave import AdaWave
+from repro.serve import ClusterModel, ClusteringService, ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Three differently-shaped datasets and their frozen models."""
+    rng = np.random.default_rng(11)
+    datasets = {}
+    models = {}
+    for index, name in enumerate(["alpha", "beta", "gamma"]):
+        centers = rng.uniform(0.2, 0.8, size=(2 + index, 2))
+        blobs = [
+            np.clip(rng.normal(c, 0.03, size=(500, 2)), 0.0, 1.0) for c in centers
+        ]
+        noise = rng.uniform(size=(1500, 2))
+        X = np.vstack(blobs + [noise])
+        datasets[name] = X
+        models[name] = AdaWave(scale=64).fit(X).export_model()
+    return datasets, models
+
+
+class TestModelRegistry:
+    def test_register_get_roundtrip(self, corpus):
+        _, models = corpus
+        registry = ModelRegistry()
+        registry.register("alpha", models["alpha"])
+        assert registry.get("alpha") is models["alpha"]
+        assert "alpha" in registry
+        assert len(registry) == 1
+        assert registry.names() == ["alpha"]
+
+    def test_unknown_name_lists_known(self, corpus):
+        _, models = corpus
+        registry = ModelRegistry()
+        registry.register("alpha", models["alpha"])
+        with pytest.raises(KeyError, match="alpha"):
+            registry.get("missing")
+
+    def test_overwrite_control(self, corpus):
+        _, models = corpus
+        registry = ModelRegistry()
+        registry.register("m", models["alpha"])
+        with pytest.raises(ValueError, match="overwrite"):
+            registry.register("m", models["beta"], overwrite=False)
+        registry.register("m", models["beta"])  # default overwrites
+        assert registry.get("m") is models["beta"]
+
+    def test_unregister(self, corpus):
+        _, models = corpus
+        registry = ModelRegistry()
+        registry.register("m", models["alpha"])
+        assert registry.unregister("m") is models["alpha"]
+        assert "m" not in registry
+        with pytest.raises(KeyError):
+            registry.unregister("m")
+
+    def test_rejects_non_models(self):
+        with pytest.raises(TypeError, match="ClusterModel"):
+            ModelRegistry().register("m", object())
+
+    def test_save_all_load_dir_roundtrip(self, corpus, tmp_path):
+        datasets, models = corpus
+        registry = ModelRegistry()
+        for name, model in models.items():
+            registry.register(name, model)
+        paths = registry.save_all(tmp_path)
+        assert sorted(paths) == sorted(models)
+
+        fresh = ModelRegistry()
+        assert fresh.load_dir(tmp_path) == sorted(models)
+        for name, X in datasets.items():
+            np.testing.assert_array_equal(
+                fresh.get(name).predict(X), models[name].predict(X)
+            )
+
+    def test_concurrent_register_and_get(self, corpus):
+        _, models = corpus
+        registry = ModelRegistry()
+        registry.register("hot", models["alpha"])
+        stop = threading.Event()
+        errors = []
+
+        def swapper():
+            flip = True
+            while not stop.is_set():
+                registry.register("hot", models["alpha" if flip else "beta"])
+                flip = not flip
+
+        def reader():
+            try:
+                for _ in range(500):
+                    model = registry.get("hot")
+                    assert isinstance(model, ClusterModel)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        writer = threading.Thread(target=swapper)
+        writer.start()
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        for thread in readers:
+            thread.join()
+        stop.set()
+        writer.join()
+        assert not errors
+
+
+class TestClusteringService:
+    def test_predict_matches_direct_model(self, corpus):
+        datasets, models = corpus
+        service = ClusteringService()
+        for name, model in models.items():
+            service.register(name, model)
+        for name, X in datasets.items():
+            np.testing.assert_array_equal(
+                service.predict(name, X), models[name].predict(X)
+            )
+
+    def test_unknown_model_raises_immediately(self, corpus):
+        service = ClusteringService()
+        with pytest.raises(KeyError, match="missing"):
+            service.predict("missing", np.zeros((2, 2)))
+
+    def test_shared_registry(self, corpus):
+        _, models = corpus
+        registry = ModelRegistry()
+        registry.register("alpha", models["alpha"])
+        service = ClusteringService(registry)
+        assert service.registry is registry
+        assert "alpha" in service.registry
+
+    def test_bad_request_does_not_kill_the_queue(self, corpus):
+        datasets, models = corpus
+        service = ClusteringService()
+        service.register("alpha", models["alpha"])
+        with pytest.raises(ValueError):
+            service.predict("alpha", np.zeros((3, 7)))  # wrong width
+        X = datasets["alpha"]
+        np.testing.assert_array_equal(
+            service.predict("alpha", X), models["alpha"].predict(X)
+        )
+
+    @pytest.mark.parametrize("n_threads", [8, 16])
+    def test_concurrent_mixed_model_traffic(self, corpus, n_threads):
+        """>= 8 threads querying mixed models must see exact labels."""
+        datasets, models = corpus
+        service = ClusteringService()
+        for name, model in models.items():
+            service.register(name, model)
+        expected = {
+            name: models[name].predict(X) for name, X in datasets.items()
+        }
+        names = sorted(datasets)
+        rng = np.random.default_rng(5)
+        # Each worker issues a deterministic schedule of slice queries.
+        schedules = [
+            [
+                (
+                    names[int(rng.integers(len(names)))],
+                    int(rng.integers(0, 1000)),
+                    int(rng.integers(1001, 2000)),
+                )
+                for _ in range(25)
+            ]
+            for _ in range(n_threads)
+        ]
+
+        def worker(schedule):
+            mismatches = 0
+            for name, lo, hi in schedule:
+                labels = service.predict(name, datasets[name][lo:hi])
+                if not np.array_equal(labels, expected[name][lo:hi]):
+                    mismatches += 1
+            return mismatches
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            results = list(pool.map(worker, schedules))
+        assert sum(results) == 0
+        assert service.n_requests_ == n_threads * 25
+        # Micro-batching never runs more passes than requests.
+        assert service.n_batches_ <= service.n_requests_
+
+    def test_micro_batching_coalesces_queued_requests(self, corpus):
+        """Requests enqueued while a leader is draining ride along in one pass."""
+        datasets, models = corpus
+        service = ClusteringService()
+        service.register("alpha", models["alpha"])
+        X = datasets["alpha"]
+        barrier = threading.Barrier(8)
+
+        def worker(_):
+            barrier.wait()
+            return service.predict("alpha", X[:500])
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(worker, range(8)))
+        for labels in results:
+            np.testing.assert_array_equal(labels, models["alpha"].predict(X[:500]))
+        assert service.n_requests_ == 8
+
+    def test_cancelled_future_does_not_strand_the_queue(self, corpus):
+        """A request cancelled before the leader drains it must not crash the
+        leader or leave leader_active stuck (which would hang every later
+        predict for that model)."""
+        from concurrent.futures import Future
+
+        datasets, models = corpus
+        service = ClusteringService()
+        service.register("alpha", models["alpha"])
+        X = datasets["alpha"][:200]
+
+        cancelled: Future = Future()
+        assert cancelled.cancel()
+        # Simulate the race: a cancelled request sits in the batch the leader
+        # is about to execute.
+        service._execute("alpha", [(X, cancelled), (X, Future())])
+        # The queue still serves normally afterwards.
+        np.testing.assert_array_equal(
+            service.predict("alpha", X), models["alpha"].predict(X)
+        )
+        queue = service._queue_for("alpha")
+        assert not queue.leader_active
+        assert queue.pending == []
+
+    def test_ingest_registers_served_model(self, corpus):
+        datasets, _ = corpus
+        X = datasets["alpha"]
+        bounds = ([0.0, 0.0], [1.0, 1.0])
+        service = ClusteringService()
+        frozen = service.ingest(
+            "streamed", np.array_split(X, 6), bounds=bounds, scale=64, n_workers=2
+        )
+        assert "streamed" in service.registry
+        reference = AdaWave(scale=64, bounds=bounds).fit(X)
+        np.testing.assert_array_equal(
+            service.predict("streamed", X), reference.labels_
+        )
+        assert frozen.metadata["n_seen"] == len(X)

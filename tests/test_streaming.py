@@ -90,12 +90,34 @@ class TestStreamingOrderInvariance:
         labels[np.concatenate(halves)] = model.labels_
         np.testing.assert_array_equal(labels, one_shot.labels_)
 
-    def test_fit_resets_streaming_state(self, noisy_blobs, one_shot):
+    def test_fit_mid_stream_raises(self, noisy_blobs):
+        """fit() must not silently discard unfinalized partial_fit batches."""
         model = AdaWave(scale=64, bounds=BOUNDS)
         model.partial_fit(noisy_blobs[:100])
+        with pytest.raises(ValueError, match="mid-stream"):
+            model.fit(noisy_blobs)
+
+    def test_fit_after_reset_discards_stream(self, noisy_blobs, one_shot):
+        model = AdaWave(scale=64, bounds=BOUNDS)
+        model.partial_fit(noisy_blobs[:100])
+        model.reset()
         model.fit(noisy_blobs)
         np.testing.assert_array_equal(model.labels_, one_shot.labels_)
         assert model.n_seen_ == len(noisy_blobs)
+
+    def test_fit_after_finalize_is_allowed(self, noisy_blobs, one_shot):
+        model = AdaWave(scale=64, bounds=BOUNDS)
+        model.partial_fit(noisy_blobs[:100])
+        model.finalize()
+        model.fit(noisy_blobs)
+        np.testing.assert_array_equal(model.labels_, one_shot.labels_)
+
+    def test_reset_clears_fitted_state(self, noisy_blobs):
+        model = AdaWave(scale=64, bounds=BOUNDS).fit(noisy_blobs)
+        model.reset()
+        assert model.labels_ is None
+        assert model.result_ is None
+        assert model.n_seen_ == 0
 
     def test_partial_fit_after_fit_starts_a_fresh_stream(self, noisy_blobs):
         model = AdaWave(scale=64, bounds=BOUNDS)
@@ -104,6 +126,37 @@ class TestStreamingOrderInvariance:
         model.finalize()
         assert model.n_seen_ == 300
         assert model.labels_.shape == (300,)
+
+
+class TestLookupOnlyStreaming:
+    """The O(occupied cells) ingestion mode: no per-point state retained."""
+
+    def test_predict_matches_one_shot(self, noisy_blobs, one_shot):
+        model = AdaWave(scale=64, bounds=BOUNDS, lookup_only=True)
+        for batch in np.array_split(noisy_blobs, 6):
+            model.partial_fit(batch)
+        model.finalize()
+        np.testing.assert_array_equal(model.predict(noisy_blobs), one_shot.labels_)
+        assert model.n_clusters_ == one_shot.n_clusters_
+        assert model.threshold_ == one_shot.threshold_
+        assert model.n_seen_ == len(noisy_blobs)
+
+    def test_no_per_point_state_is_retained(self, noisy_blobs):
+        model = AdaWave(scale=64, bounds=BOUNDS, lookup_only=True)
+        for batch in np.array_split(noisy_blobs, 6):
+            model.partial_fit(batch)
+        assert model._stream_cell_chunks == []
+        model.finalize()
+        assert model.labels_.shape == (0,)
+        assert model.result_.quantization.cell_ids.shape == (0, 2)
+
+    def test_export_model_works_without_labels(self, noisy_blobs, one_shot):
+        model = AdaWave(scale=64, bounds=BOUNDS, lookup_only=True)
+        model.partial_fit(noisy_blobs)
+        model.finalize()
+        frozen = model.export_model()
+        np.testing.assert_array_equal(frozen.predict(noisy_blobs), one_shot.labels_)
+        assert frozen.metadata["n_seen"] == len(noisy_blobs)
 
 
 class TestStreamingEdgeCases:
