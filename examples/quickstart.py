@@ -77,6 +77,15 @@ def main() -> None:
     print(f"frozen ClusterModel        : {frozen.n_cells} cells, predict "
           f"reproduces fit labels: {np.array_equal(lookup_labels, model.labels_)}")
 
+    # 7. Letting AdaWave pick its scale: scale="tune" sweeps every dyadic
+    #    resolution derived from one quantization and keeps the most stable
+    #    clustering -- no ground-truth labels involved.  See
+    #    examples/tuning.py for the full walkthrough.
+    tuned = AdaWave(scale="tune").fit(data.points)
+    print(f"scale='tune'               : chose scale {tuned.tune_result_.scale} "
+          f"({tuned.n_clusters_} clusters) from "
+          f"{len(tuned.tune_result_.scores)} candidates")
+
 
 if __name__ == "__main__":
     main()

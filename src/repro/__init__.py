@@ -19,6 +19,10 @@ contains:
   lookup-only predict, a thread-safe :class:`~repro.serve.ModelRegistry`,
   the micro-batching :class:`~repro.serve.ClusteringService` and sharded
   :func:`~repro.serve.parallel_ingest`.
+* :mod:`repro.tune` -- grid-pyramid auto-tuning: ``AdaWave(scale="tune")``
+  picks the quantization scale (and optionally the decomposition level)
+  from one quantization pass, scoring every dyadic resolution without
+  ground-truth labels.
 * :mod:`repro.baselines` -- the comparison algorithms evaluated in the
   paper: k-means, DBSCAN, EM, WaveCluster, SkinnyDip, DipMeans, self-tuning
   spectral clustering and RIC.
@@ -45,6 +49,7 @@ from repro.core.multiresolution import MultiResolutionAdaWave
 from repro.engine import BatchRunner
 from repro.metrics import adjusted_mutual_info, adjusted_rand_index, normalized_mutual_info
 from repro.serve import ClusterModel, ClusteringService, ModelRegistry, parallel_ingest
+from repro.tune import GridPyramid, TuneResult, tune_pyramid
 from repro.utils.validation import NotFittedError
 
 __all__ = [
@@ -53,10 +58,13 @@ __all__ = [
     "BatchRunner",
     "ClusterModel",
     "ClusteringService",
+    "GridPyramid",
     "ModelRegistry",
     "MultiResolutionAdaWave",
     "NotFittedError",
+    "TuneResult",
     "parallel_ingest",
+    "tune_pyramid",
     "adjusted_mutual_info",
     "adjusted_rand_index",
     "normalized_mutual_info",

@@ -17,11 +17,18 @@ The algorithm is deterministic, parameter free in the sense that the default
 paper, runs in ``O(n * m)`` time (``n`` objects, ``m`` occupied cells) and
 never computes pairwise distances.
 
-Two execution engines are available.  ``engine="vectorized"`` (the default)
-runs every stage as numpy array passes over the COO grid; ``engine="reference"``
-runs the literal per-cell implementations of :mod:`repro.engine.reference`.
-Both produce identical results -- the golden-regression tests pin that down --
-but the vectorized engine is an order of magnitude faster at scale.
+All stages run as numpy array passes over the COO grid (the vectorized
+engine).  The literal per-cell implementations survive in
+:mod:`repro.engine.reference` as the ground truth of the golden-regression
+tests; selecting them through the constructor was deprecated in a previous
+release and has been removed.
+
+The one knob the paper leaves hand-set -- ``scale`` -- can now be chosen by
+the estimator itself: ``AdaWave(scale="tune")`` quantizes once at a fine
+power-of-two base resolution, derives every coarser dyadic resolution from
+that single sketch (:meth:`repro.grid.SparseGrid.coarsen` is exact for
+power-of-two scales) and picks the resolution whose clustering is most
+stable, all without ground-truth labels.  See :mod:`repro.tune`.
 
 Because the quantized grid is a mergeable sketch, AdaWave also supports
 out-of-core / streaming ingestion: :meth:`AdaWave.partial_fit` accumulates
@@ -29,19 +36,27 @@ batches into the grid (requires explicit ``bounds`` so every batch quantizes
 identically) and :meth:`AdaWave.finalize` runs the cheap grid-side stages
 (transform, threshold, components, lookup).  Any batch split of a dataset
 yields exactly the labels a one-shot :meth:`fit` with the same bounds gives.
+With ``scale="tune"`` the stream ingests at the fine base resolution and the
+resolution choice happens at finalize time from the accumulated sketch --
+ingest fine, serve coarse.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.threshold import ThresholdDiagnostics, adaptive_threshold
-from repro.core.transform import Workspace, wavelet_smooth_grid
-from repro.grid.connectivity import label_components_array
+from repro.core.pipeline import (
+    CONNECTIVITIES,
+    THRESHOLD_METHODS,
+    GridPipelineResult,
+    resolve_connectivity,
+    run_grid_pipeline,
+)
+from repro.core.threshold import ThresholdDiagnostics
+from repro.core.transform import Workspace
 from repro.grid.lookup import LookupTable, NOISE_LABEL
 from repro.grid.quantizer import GridQuantizer, QuantizationResult
 from repro.grid.sparse_grid import SparseGrid
@@ -49,12 +64,9 @@ from repro.utils.validation import NotFittedError, check_array, check_positive_i
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.serve.model import ClusterModel
+    from repro.tune.select import TuneResult
 
 Cell = Tuple[int, ...]
-
-_FULL_CONNECTIVITY_MAX_DIM = 3
-
-_ENGINES = ("vectorized", "reference")
 
 
 @dataclass
@@ -89,6 +101,33 @@ class AdaWaveResult:
         return sizes
 
 
+def build_result(
+    quantization: QuantizationResult, pipe: GridPipelineResult
+) -> AdaWaveResult:
+    """Map a grid-side pipeline output back to objects as an :class:`AdaWaveResult`.
+
+    The single place where surviving transformed cells become per-object
+    labels; shared by :meth:`AdaWave.fit`/:meth:`AdaWave.finalize` and
+    :class:`~repro.core.multiresolution.MultiResolutionAdaWave`.
+    """
+    lookup = LookupTable(level=pipe.level)
+    labels = lookup.label_points_from_arrays(
+        quantization.cell_ids, pipe.cell_coords, pipe.cell_labels
+    )
+    cell_labels = dict(
+        zip(map(tuple, pipe.cell_coords.tolist()), pipe.cell_labels.tolist())
+    )
+    return AdaWaveResult(
+        labels=labels,
+        quantization=quantization,
+        transformed_grid=pipe.transformed,
+        threshold=pipe.threshold,
+        surviving_cells=cell_labels,
+        n_clusters=pipe.n_clusters,
+        level=pipe.level,
+    )
+
+
 class AdaWave:
     """Adaptive wavelet clustering for highly noisy data.
 
@@ -96,9 +135,14 @@ class AdaWave:
     ----------
     scale:
         Number of quantization intervals per dimension (paper default: 128).
-        Either a single integer, one value per dimension, or ``"auto"`` to
-        derive the scale from the data size so that small, high-dimensional
-        datasets are not quantized into an almost-empty grid.
+        Either a single integer, one value per dimension, ``"auto"`` to
+        derive a power-of-two scale from the data size so that small,
+        high-dimensional datasets are not quantized into an almost-empty
+        grid, or ``"tune"`` to let the estimator select the scale itself:
+        one quantization at a fine power-of-two base resolution, a dyadic
+        grid pyramid derived from it, and a label-free stability sweep over
+        the pyramid (see :mod:`repro.tune`).  Non-power-of-two scales remain
+        reachable through an explicit integer.
     wavelet:
         Wavelet basis; the paper uses the Cohen-Daubechies-Feauveau (2,2)
         biorthogonal spline (``"bior2.2"``).
@@ -129,11 +173,15 @@ class AdaWave:
         to the quantizer.  Required for :meth:`partial_fit` (every batch must
         quantize against the same grid); optional for :meth:`fit`.
     engine:
-        ``"vectorized"`` (array passes over the COO grid; default) or
-        ``"reference"`` (the literal per-cell implementations).  Results are
-        identical; the reference engine exists for regression comparison and
-        selecting it here is deprecated (it stays importable from
-        :mod:`repro.engine.reference` for the regression tests).
+        Must be ``"vectorized"`` (the only engine).  Selecting the removed
+        ``"reference"`` engine raises ``ValueError``; the per-cell reference
+        implementations stay importable from :mod:`repro.engine.reference`
+        (with :func:`repro.engine.reference.fit_reference` as the one-shot
+        driver) for the golden-regression tests.
+    tune_levels:
+        Decomposition levels the ``scale="tune"`` sweep evaluates in addition
+        to the resolutions; defaults to ``(level,)``.  Ignored unless
+        ``scale="tune"``.
     lookup_only:
         When true, the streaming path (:meth:`partial_fit` /
         :meth:`finalize`) retains no per-point state: ingestion is
@@ -152,6 +200,10 @@ class AdaWave:
         Density threshold selected by the adaptive rule.
     result_:
         Full :class:`AdaWaveResult` with every intermediate artefact.
+    tune_result_:
+        :class:`~repro.tune.TuneResult` with the per-candidate score table
+        when the last fit / finalize resolved ``scale="tune"``; ``None``
+        otherwise.
     n_seen_:
         Number of samples ingested so far via :meth:`partial_fit`.
     """
@@ -168,17 +220,18 @@ class AdaWave:
         bounds: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
         engine: str = "vectorized",
         lookup_only: bool = False,
+        tune_levels: Optional[Sequence[int]] = None,
     ) -> None:
         self.scale = scale
         self.wavelet = wavelet
         self.level = check_positive_int(level, name="level")
-        if threshold_method not in ("auto", "segments", "angle", "distance", "none"):
+        if threshold_method not in THRESHOLD_METHODS:
             raise ValueError(
                 "threshold_method must be 'auto', 'segments', 'angle', 'distance' or 'none'; "
                 f"got {threshold_method!r}."
             )
         self.threshold_method = threshold_method
-        if connectivity not in ("auto", "face", "full"):
+        if connectivity not in CONNECTIVITIES:
             raise ValueError(
                 f"connectivity must be 'auto', 'face' or 'full'; got {connectivity!r}."
             )
@@ -186,24 +239,31 @@ class AdaWave:
         self.min_cluster_cells = check_positive_int(min_cluster_cells, name="min_cluster_cells")
         self.angle_divisor = float(angle_divisor)
         self.bounds = bounds
-        if engine not in _ENGINES:
-            raise ValueError(f"engine must be one of {_ENGINES}; got {engine!r}.")
         if engine == "reference":
-            warnings.warn(
-                "AdaWave(engine='reference') is deprecated: the reference "
-                "engine is retained only as the ground truth of the golden / "
-                "equivalence regression tests (import repro.engine.reference "
-                "directly for that). Use the default vectorized engine.",
-                DeprecationWarning,
-                stacklevel=2,
+            raise ValueError(
+                "AdaWave(engine='reference') has been removed after its "
+                "deprecation cycle. The per-cell reference implementations "
+                "remain importable from repro.engine.reference (use "
+                "repro.engine.reference.fit_reference for a one-shot run); "
+                "the estimator always uses the vectorized engine."
             )
+        if engine != "vectorized":
+            raise ValueError(f"engine must be 'vectorized'; got {engine!r}.")
         self.engine = engine
         self.lookup_only = bool(lookup_only)
+        if tune_levels is not None:
+            tune_levels = tuple(
+                check_positive_int(lv, name="tune_levels") for lv in tune_levels
+            )
+            if not tune_levels:
+                raise ValueError("tune_levels must contain at least one level.")
+        self.tune_levels = tune_levels
 
         self.labels_: Optional[np.ndarray] = None
         self.n_clusters_: Optional[int] = None
         self.threshold_: Optional[float] = None
         self.result_: Optional[AdaWaveResult] = None
+        self.tune_result_: Optional["TuneResult"] = None
         self.n_seen_: int = 0
 
         # Streaming state (populated by partial_fit).
@@ -223,15 +283,20 @@ class AdaWave:
     # -- pipeline stages ------------------------------------------------------
 
     def _resolve_connectivity(self, ndim: int) -> str:
-        if self.connectivity != "auto":
-            return self.connectivity
-        return "full" if ndim <= _FULL_CONNECTIVITY_MAX_DIM else "face"
+        return resolve_connectivity(self.connectivity, ndim)
 
     def _resolve_scale(self, n_samples: int, n_features: int) -> Union[int, Tuple[int, ...]]:
         scale = self.scale
         if isinstance(scale, str):
+            if scale == "tune":
+                raise ValueError(
+                    "scale='tune' is resolved by the tuning sweep, not here; "
+                    "this is a bug in the caller."
+                )
             if scale != "auto":
-                raise ValueError(f"scale must be an int, a sequence or 'auto'; got {scale!r}.")
+                raise ValueError(
+                    f"scale must be an int, a sequence, 'auto' or 'tune'; got {scale!r}."
+                )
             return self.auto_scale(n_samples, n_features)
         if not np.isscalar(scale):
             values = tuple(scale)
@@ -242,107 +307,79 @@ class AdaWave:
                 )
         return scale
 
-    def _select_threshold(self, transformed: SparseGrid) -> ThresholdDiagnostics:
-        densities = transformed.densities()
-        if self.threshold_method == "none":
-            sorted_densities = np.sort(densities)[::-1]
-            return ThresholdDiagnostics(
-                threshold=0.0, index=len(densities) - 1, method="none",
-                sorted_densities=sorted_densities,
-            )
-        if self.threshold_method == "distance":
-            from repro.core.threshold import elbow_threshold_distance
+    def _pipeline_params(self) -> Dict[str, object]:
+        """The grid-side stage parameters, as :func:`run_grid_pipeline` kwargs."""
+        return dict(
+            wavelet=self.wavelet,
+            threshold_method=self.threshold_method,
+            connectivity=self.connectivity,
+            min_cluster_cells=self.min_cluster_cells,
+            angle_divisor=self.angle_divisor,
+        )
 
-            return elbow_threshold_distance(densities)
-        if self.threshold_method == "segments":
-            from repro.core.threshold import elbow_threshold_segments
-
-            return elbow_threshold_segments(densities)
-        if self.threshold_method == "angle":
-            from repro.core.threshold import elbow_threshold_angle
-
-            diagnostics = elbow_threshold_angle(densities, angle_divisor=self.angle_divisor)
-            if diagnostics is None:
-                raise RuntimeError(
-                    "the angle criterion did not trigger; use threshold_method='auto' "
-                    "to fall back to the chord rule."
-                )
-            return diagnostics
-        return adaptive_threshold(densities, angle_divisor=self.angle_divisor)
-
-    def _extract_clusters_arrays(
-        self, transformed: SparseGrid, threshold: float, ndim: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized stage 4a: surviving cells and their component labels."""
-        surviving = transformed.prune(threshold)
-        coords = surviving.coords
-        if len(coords) == 0:
-            return coords, np.empty(0, dtype=np.int64)
-        connectivity = self._resolve_connectivity(ndim)
-        labels = label_components_array(coords, connectivity=connectivity)
-        if self.min_cluster_cells > 1 and len(labels):
-            counts = np.bincount(labels)
-            keep = counts >= self.min_cluster_cells
-            if not keep.all():
-                relabel = np.cumsum(keep) - 1
-                cell_keep = keep[labels]
-                coords = coords[cell_keep]
-                labels = relabel[labels[cell_keep]]
-        return coords, labels
+    def _finish(
+        self, quantization: QuantizationResult, pipe: GridPipelineResult
+    ) -> "AdaWave":
+        """Map the grid-side pipeline output back to objects and publish it."""
+        result = build_result(quantization, pipe)
+        self.labels_ = result.labels
+        self.n_clusters_ = result.n_clusters
+        self.threshold_ = result.threshold.threshold
+        self.result_ = result
+        self._served_model = None
+        return self
 
     def _run_pipeline(self, quantization: QuantizationResult, n_features: int) -> "AdaWave":
         """Stages 2-4 (transform, threshold, components, lookup) on a grid."""
-        if self.engine == "reference":
-            from repro.engine import reference
-
-            transformed, _shape = reference.wavelet_smooth_grid_reference(
-                quantization.grid, wavelet=self.wavelet, level=self.level
-            )
-            threshold = self._select_threshold(transformed)
-            cell_labels = reference.extract_clusters_reference(
-                transformed,
-                threshold.threshold,
-                self._resolve_connectivity(n_features),
-                self.min_cluster_cells,
-            )
-            lookup = LookupTable(level=self.level)
-            labels = reference.label_points_reference(
-                lookup, quantization.cell_ids, cell_labels
-            )
-            n_clusters = len(set(cell_labels.values())) if cell_labels else 0
-        else:
-            transformed, _shape = wavelet_smooth_grid(
-                quantization.grid,
-                wavelet=self.wavelet,
-                level=self.level,
-                workspace=self._workspace,
-            )
-            threshold = self._select_threshold(transformed)
-            label_coords, label_values = self._extract_clusters_arrays(
-                transformed, threshold.threshold, n_features
-            )
-            lookup = LookupTable(level=self.level)
-            labels = lookup.label_points_from_arrays(
-                quantization.cell_ids, label_coords, label_values
-            )
-            n_clusters = int(label_values.max()) + 1 if len(label_values) else 0
-            cell_labels = dict(
-                zip(map(tuple, label_coords.tolist()), label_values.tolist())
-            )
-
-        self.labels_ = labels
-        self.n_clusters_ = n_clusters
-        self.threshold_ = threshold.threshold
-        self.result_ = AdaWaveResult(
-            labels=labels,
-            quantization=quantization,
-            transformed_grid=transformed,
-            threshold=threshold,
-            surviving_cells=cell_labels,
-            n_clusters=n_clusters,
+        pipe = run_grid_pipeline(
+            quantization.grid,
             level=self.level,
+            workspace=self._workspace,
+            **self._pipeline_params(),
         )
-        self._served_model = None
+        self.tune_result_ = None
+        return self._finish(quantization, pipe)
+
+    def _run_tuned(
+        self, quantizer: GridQuantizer, base_grid: SparseGrid, base_cell_ids: np.ndarray
+    ) -> "AdaWave":
+        """Sweep the dyadic grid pyramid and publish the winning resolution.
+
+        ``base_grid`` is the quantization at the fine power-of-two base scale;
+        every coarser candidate is derived from it with
+        :meth:`SparseGrid.coarsen` (exact -- no second pass over the points).
+        ``base_cell_ids`` may be empty for lookup-only streams.
+        """
+        from repro.tune.select import tune_pyramid
+
+        # One scratch workspace for the whole sweep: the per-level line
+        # matrices shrink monotonically, so every transform reuses the
+        # buffer the finest level allocated.
+        workspace = self._workspace if self._workspace is not None else Workspace()
+        tune_result = tune_pyramid(
+            base_grid,
+            levels=self.tune_levels or (self.level,),
+            workspace=workspace,
+            **self._pipeline_params(),
+        )
+        best = tune_result.best.candidate
+        shape = best.scale
+        widths = (quantizer.upper_ - quantizer.lower_) / np.asarray(shape, dtype=np.float64)
+        if len(base_cell_ids):
+            cell_ids = base_cell_ids // best.factor
+        else:
+            cell_ids = base_cell_ids
+        quantization = QuantizationResult(
+            grid=best.grid,
+            cell_ids=cell_ids,
+            lower=quantizer.lower_.copy(),
+            upper=quantizer.upper_.copy(),
+            widths=widths,
+        )
+        self._finish(quantization, best.pipeline)
+        # Keep the provenance surface (score table, chosen config) but drop
+        # the losing candidates' grids and label arrays.
+        self.tune_result_ = tune_result.compact()
         return self
 
     # -- public API ------------------------------------------------------------
@@ -353,13 +390,18 @@ class AdaWave:
 
         Aims for roughly two objects per occupied cell so the densities the
         threshold step sees remain informative even for small or
-        high-dimensional datasets, while never exceeding the paper's default
-        of 128 intervals or falling below 4.
+        high-dimensional datasets, rounded to the nearest power of two so
+        auto-scaled models stay compatible with the dyadic grid pyramid
+        (:meth:`SparseGrid.coarsen`, :func:`repro.serve.parallel_ingest`
+        shard merging, ``scale="tune"``).  Never exceeds the paper's default
+        of 128 intervals or falls below 4; non-power-of-two resolutions stay
+        reachable via an explicit integer ``scale``.
         """
         n_samples = check_positive_int(n_samples, name="n_samples")
         n_features = check_positive_int(n_features, name="n_features")
         target = (max(n_samples, 2) / 2.0) ** (1.0 / n_features) * 2.0
-        return int(min(128, max(4, round(target))))
+        exponent = int(round(np.log2(max(target, 1.0))))
+        return int(min(128, max(4, 2**exponent)))
 
     def fit(self, X) -> "AdaWave":
         """Cluster the data matrix ``X`` of shape ``(n_samples, n_features)``."""
@@ -376,17 +418,21 @@ class AdaWave:
                 "provide at least 2 samples or explicit bounds=(lower, upper)."
             )
         self._reset_stream()
+        self.n_seen_ = X.shape[0]
+        if isinstance(self.scale, str) and self.scale == "tune":
+            # Quantize once at the fine power-of-two base resolution; every
+            # coarser candidate is derived from this one sketch.
+            from repro.tune.pyramid import default_base_scale
+
+            quantizer = GridQuantizer(
+                scale=default_base_scale(X.shape[1]), bounds=self.bounds
+            )
+            quantization = quantizer.fit_transform(X)
+            return self._run_tuned(quantizer, quantization.grid, quantization.cell_ids)
         # Step 1: quantize the feature space into a sparse grid.
         scale = self._resolve_scale(X.shape[0], X.shape[1])
         quantizer = GridQuantizer(scale=scale, bounds=self.bounds)
-        if self.engine == "reference":
-            from repro.engine import reference
-
-            quantizer.fit(X)
-            quantization = reference.quantize_reference(quantizer, X)
-        else:
-            quantization = quantizer.fit_transform(X)
-        self.n_seen_ = X.shape[0]
+        quantization = quantizer.fit_transform(X)
         # Steps 2-4 are shared with the streaming path.
         return self._run_pipeline(quantization, X.shape[1])
 
@@ -411,8 +457,40 @@ class AdaWave:
         self.n_clusters_ = None
         self.threshold_ = None
         self.result_ = None
+        self.tune_result_ = None
         self._served_model = None
         return self
+
+    def _streaming_scale(self, n_features: int) -> Union[int, Tuple[int, ...]]:
+        """The quantization scale a stream ingests at; raises for ``"auto"``.
+
+        ``scale="tune"`` streams ingest at the fine power-of-two base
+        resolution (a function of the dimensionality only, so every shard and
+        every batch split agrees on the grid) and pick the serving resolution
+        at :meth:`finalize` time from the accumulated sketch.  ``"auto"``
+        cannot work mid-stream -- it depends on the full dataset size, which
+        a stream never knows -- so it raises with the two workable options.
+        """
+        if isinstance(self.scale, str):
+            if self.scale == "tune":
+                from repro.tune.pyramid import default_base_scale
+
+                return default_base_scale(n_features)
+            if self.scale != "auto":
+                raise ValueError(
+                    f"scale must be an int, a sequence, 'auto' or 'tune'; "
+                    f"got {self.scale!r}."
+                )
+            raise ValueError(
+                "partial_fit cannot resolve scale='auto': the heuristic "
+                "depends on the full dataset size, which a stream never "
+                "knows. Either pass an explicit power-of-two scale (e.g. "
+                f"scale={self.auto_scale(100_000, n_features)}) or use "
+                "scale='tune' to ingest at a fine base resolution and let "
+                "finalize() pick the serving resolution from the accumulated "
+                "sketch."
+            )
+        return self._resolve_scale(2, n_features)
 
     def partial_fit(self, X_batch) -> "AdaWave":
         """Ingest one batch of samples into the streaming sparse grid.
@@ -421,9 +499,13 @@ class AdaWave:
         and any split: after :meth:`finalize`, the labels are identical to a
         one-shot :meth:`fit` on the concatenated data.  Explicit ``bounds``
         are required (data-derived bounds would depend on which batches have
-        been seen), and ``scale`` must be concrete (not ``"auto"``).  Batches
-        containing values outside the bounds raise ``ValueError`` rather than
-        silently clipping into the edge cells.  Empty batches are no-ops.
+        been seen), and ``scale`` must be concrete or ``"tune"``
+        (``"auto"`` depends on the full dataset size and raises; with
+        ``"tune"`` the stream ingests at the power-of-two base resolution
+        and :meth:`finalize` picks the serving resolution from the sketch).
+        Batches containing values outside the bounds raise ``ValueError``
+        rather than silently clipping into the edge cells.  Empty batches
+        are no-ops.
         """
         if self.bounds is None:
             raise ValueError(
@@ -431,19 +513,16 @@ class AdaWave:
                 "batches must all quantize against the same grid, which "
                 "data-derived bounds cannot guarantee."
             )
-        if isinstance(self.scale, str):
-            raise ValueError(
-                "partial_fit requires a concrete scale (int or per-dimension "
-                "sequence); scale='auto' depends on the full dataset size."
-            )
         X = check_array(X_batch, name="X_batch", allow_empty=True)
+        if isinstance(self.scale, str) and self.scale == "auto":
+            self._streaming_scale(X.shape[1])  # raises the actionable error
         if X.shape[0] == 0:
             return self
         if self._stream_quantizer is None:
             # Starting a new stream: drop any leftover state (n_seen_ from a
             # prior fit) so the counter matches exactly what this stream saw.
             self._reset_stream()
-            scale = self._resolve_scale(max(X.shape[0], 2), X.shape[1])
+            scale = self._streaming_scale(X.shape[1])
             quantizer = GridQuantizer(scale=scale, bounds=self.bounds)
             quantizer.fit(X)
             self._stream_quantizer = quantizer
@@ -460,11 +539,7 @@ class AdaWave:
                 "quantization cannot extend the grid after the fact."
             )
         cells = quantizer.transform(X)
-        if self.engine == "reference":
-            for cell in map(tuple, cells.tolist()):
-                self._stream_grid.add(cell, 1.0)
-        else:
-            self._stream_grid.add_many(cells, 1.0)
+        self._stream_grid.add_many(cells, 1.0)
         if not self.lookup_only:
             # Per-point assignments are only needed to emit labels_ for the
             # ingested points; lookup-only streams label through predict()
@@ -491,6 +566,15 @@ class AdaWave:
             cell_ids = np.concatenate(self._stream_cell_chunks, axis=0)
         else:
             cell_ids = self._stream_cell_chunks[0]
+        if isinstance(self.scale, str) and self.scale == "tune":
+            # The stream ingested at the fine base resolution; pick the
+            # serving resolution now, from the accumulated sketch alone.
+            # A raising sweep (tuning can legitimately fail on degenerate
+            # data) must leave the stream dirty so the fit()-mid-stream
+            # guard keeps protecting the ingested batches.
+            self._run_tuned(quantizer, self._stream_grid.copy(), cell_ids)
+            self._stream_dirty = False
+            return self
         widths = (quantizer.upper_ - quantizer.lower_) / np.asarray(
             quantizer.shape_, dtype=np.float64
         )
@@ -501,8 +585,9 @@ class AdaWave:
             upper=quantizer.upper_.copy(),
             widths=widths,
         )
+        self._run_pipeline(quantization, len(quantizer.shape_))
         self._stream_dirty = False
-        return self._run_pipeline(quantization, len(quantizer.shape_))
+        return self
 
     def merge_stream(self, other: "AdaWave") -> "AdaWave":
         """Merge another estimator's streaming state into this one.
@@ -520,18 +605,15 @@ class AdaWave:
         if self._stream_quantizer is None:
             if self.bounds is None:
                 raise ValueError("merge_stream requires explicit bounds on both estimators.")
-            if isinstance(self.scale, str):
-                raise ValueError(
-                    "merge_stream requires a concrete scale (int or per-dimension "
-                    "sequence); scale='auto' depends on the full dataset size."
-                )
             self._reset_stream()
             # Build the grid from *this* estimator's configuration; the
             # compatibility check below then genuinely verifies the shards
             # quantized against the same grid instead of adopting theirs.
+            # _streaming_scale raises the actionable error for scale='auto'
+            # and resolves scale='tune' to the shared base resolution.
             ndim = len(other._stream_quantizer.shape_)
             quantizer = GridQuantizer(
-                scale=self._resolve_scale(2, ndim), bounds=self.bounds
+                scale=self._streaming_scale(ndim), bounds=self.bounds
             )
             quantizer.fit(np.vstack([self.bounds[0], self.bounds[1]]).astype(np.float64))
             self._stream_quantizer = quantizer

@@ -3,9 +3,13 @@
 Because the wavelet transform is layered (the Mallat algorithm decomposes the
 approximation again at every level), a single quantization of the data can be
 clustered at several resolutions: low levels preserve fine structure, high
-levels merge nearby groups.  ``MultiResolutionAdaWave`` runs the AdaWave
-pipeline once per requested level, sharing the quantization step, and lets
-the caller inspect or select among the resulting clusterings.
+levels merge nearby groups.  ``MultiResolutionAdaWave`` shares the work the
+way the tuning sweep does: the data is quantized *once*, the shared
+grid-side pipeline (:func:`repro.core.pipeline.run_grid_pipeline`, the same
+function the :mod:`repro.tune` sweep runs per pyramid level) runs once per
+requested level over that sketch, and only the final label lookup touches
+the points again -- so clustering ``L`` levels costs about one fit plus
+``L`` cheap grid passes, not ``L`` full fits.
 """
 
 from __future__ import annotations
@@ -15,7 +19,9 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.adawave import AdaWave, AdaWaveResult
+from repro.core.adawave import AdaWave, AdaWaveResult, build_result
+from repro.core.transform import Workspace
+from repro.grid.quantizer import GridQuantizer
 from repro.utils.validation import check_array
 
 
@@ -36,7 +42,11 @@ class MultiResolutionAdaWave:
     Parameters
     ----------
     scale:
-        Quantization intervals per dimension (shared by every level).
+        Quantization intervals per dimension (shared by every level);
+        ``"auto"`` resolves through :meth:`AdaWave.auto_scale`.  For
+        data-driven *scale* selection use ``AdaWave(scale="tune",
+        tune_levels=...)`` instead, which sweeps resolutions and levels
+        jointly.
     wavelet:
         Wavelet basis name.
     levels:
@@ -55,7 +65,7 @@ class MultiResolutionAdaWave:
 
     def __init__(
         self,
-        scale: Union[int, Sequence[int]] = 128,
+        scale: Union[int, Sequence[int], str] = 128,
         wavelet: str = "bior2.2",
         levels: Sequence[int] = (1, 2, 3),
         select: str = "finest",
@@ -69,6 +79,12 @@ class MultiResolutionAdaWave:
             raise ValueError(
                 f"select must be 'finest', 'coarsest' or 'most_clusters'; got {select!r}."
             )
+        if isinstance(scale, str) and scale == "tune":
+            raise ValueError(
+                "MultiResolutionAdaWave evaluates fixed decomposition levels; "
+                "for joint scale + level selection use "
+                "AdaWave(scale='tune', tune_levels=...)."
+            )
         self.scale = scale
         self.wavelet = wavelet
         self.levels = [int(level) for level in levels]
@@ -80,21 +96,46 @@ class MultiResolutionAdaWave:
         self.selected_level_: Optional[int] = None
 
     def fit(self, X) -> "MultiResolutionAdaWave":
-        """Cluster ``X`` at every requested level."""
+        """Cluster ``X`` at every requested level over one shared quantization."""
+        from repro.core.pipeline import run_grid_pipeline
+
         X = check_array(X, name="X")
+        # A template estimator validates the configuration and carries the
+        # shared parameter resolution (scale heuristic, pipeline params).
+        template = AdaWave(
+            scale=self.scale,
+            wavelet=self.wavelet,
+            level=self.levels[0],
+            **self.adawave_kwargs,
+        )
+        if X.shape[0] < 2 and template.bounds is None:
+            raise ValueError(
+                "AdaWave cannot infer a quantization grid from a single sample; "
+                "provide at least 2 samples or explicit bounds=(lower, upper)."
+            )
+        scale = template._resolve_scale(X.shape[0], X.shape[1])
+        quantizer = GridQuantizer(scale=scale, bounds=template.bounds)
+        quantization = quantizer.fit_transform(X)
+        # One grid-side pipeline pass per level over the shared sketch (the
+        # same machinery the tuning sweep runs per pyramid level), with one
+        # scratch workspace reused across the per-level transforms.
+        workspace = Workspace()
         self.levels_ = []
         for level in self.levels:
-            model = AdaWave(
-                scale=self.scale, wavelet=self.wavelet, level=level, **self.adawave_kwargs
+            pipe = run_grid_pipeline(
+                quantization.grid,
+                level=level,
+                workspace=workspace,
+                **template._pipeline_params(),
             )
-            model.fit(X)
+            result = build_result(quantization, pipe)
             self.levels_.append(
                 ResolutionLevel(
                     level=level,
-                    labels=model.labels_,
-                    n_clusters=model.n_clusters_,
-                    threshold=model.threshold_,
-                    result=model.result_,
+                    labels=result.labels,
+                    n_clusters=result.n_clusters,
+                    threshold=result.threshold.threshold,
+                    result=result,
                 )
             )
         selected = self._select_level()

@@ -1,0 +1,161 @@
+"""The grid-side AdaWave pipeline stages as reusable free functions.
+
+Everything that happens *after* quantization -- the per-dimension wavelet
+transform (Algorithm 3), the adaptive threshold (Algorithm 4), the
+connected-component cluster extraction and the small-component suppression --
+only ever touches the occupied-cell arrays, never the points.  This module
+packages those stages as one function over a :class:`SparseGrid` so that the
+three consumers share a single implementation:
+
+* :class:`~repro.core.adawave.AdaWave` runs it once per fit / finalize;
+* :class:`~repro.core.multiresolution.MultiResolutionAdaWave` runs it once
+  per decomposition level over one shared quantization;
+* the :mod:`repro.tune` sweep runs it once per grid-pyramid level, which is
+  what makes evaluating many resolutions cost ``O(cells)`` each instead of a
+  full refit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.threshold import ThresholdDiagnostics, adaptive_threshold
+from repro.core.transform import Workspace, wavelet_smooth_grid
+from repro.grid.connectivity import label_components_array
+from repro.grid.sparse_grid import SparseGrid
+
+#: Dimensionalities up to which ``connectivity="auto"`` resolves to "full".
+_FULL_CONNECTIVITY_MAX_DIM = 3
+
+THRESHOLD_METHODS = ("auto", "segments", "angle", "distance", "none")
+CONNECTIVITIES = ("auto", "face", "full")
+
+
+def resolve_connectivity(connectivity: str, ndim: int) -> str:
+    """Resolve ``"auto"`` connectivity: full for up to 3-D data, face beyond."""
+    if connectivity != "auto":
+        return connectivity
+    return "full" if ndim <= _FULL_CONNECTIVITY_MAX_DIM else "face"
+
+
+def select_threshold(
+    transformed: SparseGrid, method: str, angle_divisor: float = 3.0
+) -> ThresholdDiagnostics:
+    """Pick the density threshold on a transformed grid (Algorithm 4)."""
+    if method not in THRESHOLD_METHODS:
+        raise ValueError(
+            f"threshold_method must be one of {THRESHOLD_METHODS}; got {method!r}."
+        )
+    densities = transformed.densities()
+    if method == "none":
+        sorted_densities = np.sort(densities)[::-1]
+        return ThresholdDiagnostics(
+            threshold=0.0, index=len(densities) - 1, method="none",
+            sorted_densities=sorted_densities,
+        )
+    if method == "distance":
+        from repro.core.threshold import elbow_threshold_distance
+
+        return elbow_threshold_distance(densities)
+    if method == "segments":
+        from repro.core.threshold import elbow_threshold_segments
+
+        return elbow_threshold_segments(densities)
+    if method == "angle":
+        from repro.core.threshold import elbow_threshold_angle
+
+        diagnostics = elbow_threshold_angle(densities, angle_divisor=angle_divisor)
+        if diagnostics is None:
+            raise RuntimeError(
+                "the angle criterion did not trigger; use threshold_method='auto' "
+                "to fall back to the chord rule."
+            )
+        return diagnostics
+    return adaptive_threshold(densities, angle_divisor=angle_divisor)
+
+
+def extract_clusters(
+    transformed: SparseGrid,
+    threshold: float,
+    ndim: int,
+    connectivity: str,
+    min_cluster_cells: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Surviving transformed cells and their component labels (vectorized).
+
+    Prunes cells at or below ``threshold``, labels the connected components
+    of the survivors and drops components smaller than ``min_cluster_cells``
+    (relabelling the remainder to a dense ``0..k-1`` range).  Returns the
+    ``(k, d)`` surviving coordinates and the aligned ``(k,)`` labels.
+    """
+    surviving = transformed.prune(threshold)
+    coords = surviving.coords
+    if len(coords) == 0:
+        return coords, np.empty(0, dtype=np.int64)
+    resolved = resolve_connectivity(connectivity, ndim)
+    labels = label_components_array(coords, connectivity=resolved)
+    if min_cluster_cells > 1 and len(labels):
+        counts = np.bincount(labels)
+        keep = counts >= min_cluster_cells
+        if not keep.all():
+            relabel = np.cumsum(keep) - 1
+            cell_keep = keep[labels]
+            coords = coords[cell_keep]
+            labels = relabel[labels[cell_keep]]
+    return coords, labels
+
+
+@dataclass
+class GridPipelineResult:
+    """Everything the grid-side stages produce for one (grid, level) run.
+
+    ``cell_coords``/``cell_labels`` are the surviving transformed cells and
+    their cluster ids; ``n_clusters`` counts the distinct ids.  The result is
+    point-free: mapping objects to labels is a separate lookup against
+    ``cell_coords``.
+    """
+
+    transformed: SparseGrid
+    threshold: ThresholdDiagnostics
+    cell_coords: np.ndarray
+    cell_labels: np.ndarray
+    n_clusters: int
+    level: int
+
+
+def run_grid_pipeline(
+    grid: SparseGrid,
+    *,
+    wavelet="bior2.2",
+    level: int = 1,
+    threshold_method: str = "auto",
+    connectivity: str = "auto",
+    min_cluster_cells: int = 3,
+    angle_divisor: float = 3.0,
+    workspace: Optional[Workspace] = None,
+) -> GridPipelineResult:
+    """Run transform, threshold and component extraction on one grid.
+
+    Cost is ``O(occupied cells * scale)`` -- it never touches the points, so
+    callers holding one quantization can afford to run it many times (per
+    decomposition level, per pyramid resolution, ...).
+    """
+    transformed, _shape = wavelet_smooth_grid(
+        grid, wavelet=wavelet, level=level, workspace=workspace
+    )
+    threshold = select_threshold(transformed, threshold_method, angle_divisor)
+    cell_coords, cell_labels = extract_clusters(
+        transformed, threshold.threshold, grid.ndim, connectivity, min_cluster_cells
+    )
+    n_clusters = int(cell_labels.max()) + 1 if len(cell_labels) else 0
+    return GridPipelineResult(
+        transformed=transformed,
+        threshold=threshold,
+        cell_coords=cell_coords,
+        cell_labels=cell_labels,
+        n_clusters=n_clusters,
+        level=level,
+    )

@@ -161,26 +161,30 @@ def elbow_threshold_distance(densities) -> ThresholdDiagnostics:
     )
 
 
-def _segment_sse(prefix: dict, start: int, end: int) -> float:
+def _segment_sse(prefix: dict, start, end) -> np.ndarray:
     """Sum of squared residuals of the least-squares line over ``[start, end)``.
 
     Uses the precomputed prefix sums of x, y, x^2, y^2 and x*y so each segment
-    evaluation is O(1).
+    evaluation is O(1).  ``start``/``end`` may be scalars or broadcastable
+    integer arrays; the result follows the broadcast shape, so a whole grid
+    of candidate breakpoints evaluates in one vectorized pass.
     """
+    start = np.asarray(start)
+    end = np.asarray(end)
     n = end - start
-    if n < 2:
-        return 0.0
     sum_x = prefix["x"][end] - prefix["x"][start]
     sum_y = prefix["y"][end] - prefix["y"][start]
     sum_xx = prefix["xx"][end] - prefix["xx"][start]
     sum_yy = prefix["yy"][end] - prefix["yy"][start]
     sum_xy = prefix["xy"][end] - prefix["xy"][start]
-    var_x = sum_xx - sum_x * sum_x / n
-    var_y = sum_yy - sum_y * sum_y / n
-    cov_xy = sum_xy - sum_x * sum_y / n
-    if var_x <= 1e-18:
-        return max(var_y, 0.0)
-    return max(var_y - cov_xy * cov_xy / var_x, 0.0)
+    safe_n = np.where(n < 2, 2, n)
+    var_x = sum_xx - sum_x * sum_x / safe_n
+    var_y = sum_yy - sum_y * sum_y / safe_n
+    cov_xy = sum_xy - sum_x * sum_y / safe_n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        fitted = var_y - cov_xy * cov_xy / var_x
+    sse = np.where(var_x <= 1e-18, np.maximum(var_y, 0.0), np.maximum(fitted, 0.0))
+    return np.where(n < 2, 0.0, sse)
 
 
 def elbow_threshold_segments(densities, max_curve_points: int = 400) -> ThresholdDiagnostics:
@@ -223,22 +227,22 @@ def elbow_threshold_segments(densities, max_curve_points: int = 400) -> Threshol
         "xy": np.concatenate([[0.0], np.cumsum(x * y)]),
     }
 
-    best_error = np.inf
-    best_breaks = (1, 2)
-    # Breakpoints i < j split the curve into [0, i), [i, j), [j, n).
-    for i in range(2, n_points - 3):
-        error_head = _segment_sse(prefix, 0, i)
-        if error_head >= best_error:
-            continue
-        for j in range(i + 2, n_points - 1):
-            error = (
-                error_head
-                + _segment_sse(prefix, i, j)
-                + _segment_sse(prefix, j, n_points)
-            )
-            if error < best_error:
-                best_error = error
-                best_breaks = (i, j)
+    # Breakpoints i < j split the curve into [0, i), [i, j), [j, n).  All
+    # (i, j) pairs are scored in one broadcast pass: total error is
+    # head(i) + middle(i, j) + tail(j), each an O(1) prefix-sum lookup.
+    i_candidates = np.arange(2, n_points - 3)
+    j_candidates = np.arange(4, n_points - 1)
+    head = _segment_sse(prefix, 0, i_candidates)
+    tail = _segment_sse(prefix, j_candidates, n_points)
+    middle = _segment_sse(prefix, i_candidates[:, None], j_candidates[None, :])
+    total = head[:, None] + middle + tail[None, :]
+    # Mask infeasible pairs (middle segment shorter than 2 points).
+    total[j_candidates[None, :] < i_candidates[:, None] + 2] = np.inf
+    flat_best = int(np.argmin(total))
+    best_breaks = (
+        int(i_candidates[flat_best // len(j_candidates)]),
+        int(j_candidates[flat_best % len(j_candidates)]),
+    )
 
     junction = int(sample_index[best_breaks[1]])
     return ThresholdDiagnostics(

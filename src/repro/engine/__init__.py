@@ -9,10 +9,10 @@ connected components, lookup) exist in two interchangeable implementations:
   ``AdaWave(engine="vectorized")`` (the default);
 * the **reference engine** (:mod:`repro.engine.reference`) -- the literal
   per-cell Python implementations, used by the golden-regression and
-  equivalence tests as the ground truth.  Selecting it through
-  ``AdaWave(engine="reference")`` is deprecated (it emits a
-  ``DeprecationWarning``); import :mod:`repro.engine.reference` directly
-  for regression comparison.
+  equivalence tests as the ground truth.  It is no longer selectable through
+  the ``AdaWave`` constructor (the ``engine="reference"`` option completed
+  its deprecation cycle and now raises); run it via
+  :func:`repro.engine.reference.fit_reference` for regression comparison.
 
 This package also provides :class:`BatchRunner`, which clusters many
 datasets through one shared pipeline: the wavelet filter bank is built once

@@ -5,9 +5,10 @@ started from: a loop over points for quantization, a loop over occupied lines
 for the wavelet pass, hash probing for connected components and a memoised
 per-point loop for the final label lookup.  They are kept for three reasons:
 
-* ``AdaWave(engine="reference")`` runs the whole pipeline through them, which
-  is what the golden-regression layer and the runtime benchmark compare the
-  vectorized engine against;
+* :func:`fit_reference` runs the whole pipeline through them, which is what
+  the golden-regression layer and the runtime benchmark compare the
+  vectorized engine against (``AdaWave(engine="reference")`` was deprecated
+  and has been removed from the estimator constructor);
 * the Hypothesis equivalence tests assert stage-by-stage agreement between
   the two engines on random inputs;
 * they document the algorithm in its most literal form.
@@ -19,6 +20,7 @@ the production path.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 import numpy as np
@@ -110,6 +112,68 @@ def label_points_reference(
             cache[cell] = transformed_labels.get(cell, NOISE_LABEL)
         labels[index] = cache[cell]
     return labels
+
+
+@dataclass
+class ReferenceFitResult:
+    """Output of a one-shot :func:`fit_reference` run (pipeline artefacts)."""
+
+    labels: np.ndarray
+    n_clusters: int
+    threshold: float
+    surviving_cells: Dict[Cell, int]
+    quantization: QuantizationResult
+    transformed_grid: SparseGrid
+
+
+def fit_reference(
+    X: np.ndarray,
+    *,
+    scale=128,
+    wavelet: str = "bior2.2",
+    level: int = 1,
+    threshold_method: str = "auto",
+    connectivity: str = "auto",
+    min_cluster_cells: int = 3,
+    angle_divisor: float = 3.0,
+    bounds=None,
+) -> ReferenceFitResult:
+    """Run the whole AdaWave pipeline through the reference implementations.
+
+    The literal-engine counterpart of ``AdaWave(...).fit(X)``, with the same
+    parameter semantics (threshold selection is shared with the vectorized
+    path -- it operates on a plain density vector either way).  This is the
+    entry point the golden-regression and engine-equivalence tests compare
+    the vectorized estimator against, now that selecting the reference
+    engine through the ``AdaWave`` constructor has been removed.
+    """
+    from repro.core.pipeline import resolve_connectivity, select_threshold
+
+    X = np.asarray(X, dtype=np.float64)
+    quantizer = GridQuantizer(scale=scale, bounds=bounds)
+    quantizer.fit(X)
+    quantization = quantize_reference(quantizer, X)
+    transformed, _shape = wavelet_smooth_grid_reference(
+        quantization.grid, wavelet=wavelet, level=level
+    )
+    threshold = select_threshold(transformed, threshold_method, angle_divisor)
+    surviving = extract_clusters_reference(
+        transformed,
+        threshold.threshold,
+        resolve_connectivity(connectivity, X.shape[1]),
+        min_cluster_cells,
+    )
+    labels = label_points_reference(
+        LookupTable(level=level), quantization.cell_ids, surviving
+    )
+    return ReferenceFitResult(
+        labels=labels,
+        n_clusters=len(set(surviving.values())) if surviving else 0,
+        threshold=threshold.threshold,
+        surviving_cells=surviving,
+        quantization=quantization,
+        transformed_grid=transformed,
+    )
 
 
 def extract_clusters_reference(

@@ -15,6 +15,7 @@ E5        Fig. 9 Roadmap case study                :mod:`repro.experiments.roadm
 E6        Fig. 10 runtime scaling                  :mod:`repro.experiments.runtime`
 E7        Design-choice ablations (this repo)      :mod:`repro.experiments.ablation`
 E8        Serving-layer performance (this repo)    :mod:`repro.experiments.serving`
+E9        Grid-pyramid auto-tuning (this repo)     :mod:`repro.experiments.tuning`
 ========  =======================================  ===========================
 
 The benchmark harness under ``benchmarks/`` simply calls these functions with
@@ -35,6 +36,7 @@ from repro.experiments.roadmap_case import run_roadmap_case_study
 from repro.experiments.runtime import run_engine_speedup, run_runtime_comparison
 from repro.experiments.ablation import run_threshold_ablation, run_memory_ablation, run_wavelet_ablation
 from repro.experiments.serving import run_parallel_ingest, run_predict_throughput
+from repro.experiments.tuning import run_tune_overhead, run_tuning_comparison
 from repro.experiments.reporting import format_table
 
 __all__ = [
@@ -54,5 +56,7 @@ __all__ = [
     "run_wavelet_ablation",
     "run_parallel_ingest",
     "run_predict_throughput",
+    "run_tune_overhead",
+    "run_tuning_comparison",
     "format_table",
 ]

@@ -108,6 +108,8 @@ def run_engine_speedup(
     wall-clock over ``repeats`` runs, plus a ``speedup`` summary row, and
     asserts nothing itself -- the benchmark layer does.
     """
+    from repro.engine.reference import fit_reference
+
     dataset = scaled_runtime_dataset(n_points, noise_fraction=noise_fraction, seed=seed)
     result = ExperimentResult(
         experiment="engine speedup: vectorized vs reference",
@@ -119,14 +121,17 @@ def run_engine_speedup(
             "seed": seed,
         },
     )
+    runners = {
+        "vectorized": lambda: AdaWave(scale=scale).fit_predict(dataset.points),
+        "reference": lambda: fit_reference(dataset.points, scale=scale).labels,
+    }
     seconds: Dict[str, float] = {}
     labels: Dict[str, np.ndarray] = {}
-    for engine in ("vectorized", "reference"):
+    for engine, runner in runners.items():
         best = np.inf
         for _ in range(max(repeats, 1)):
-            estimator = AdaWave(scale=scale, engine=engine)
             start = time.perf_counter()
-            labels[engine] = estimator.fit_predict(dataset.points)
+            labels[engine] = runner()
             best = min(best, time.perf_counter() - start)
         seconds[engine] = best
         result.add_row(engine=engine, n=dataset.n_samples, seconds=float(best))

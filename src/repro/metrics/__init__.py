@@ -25,6 +25,7 @@ from repro.metrics.mutual_info import (
     expected_mutual_info,
     adjusted_mutual_info,
     normalized_mutual_info,
+    normalized_mutual_info_from_table,
     adjusted_rand_index,
 )
 from repro.metrics.noise_aware import (
@@ -41,6 +42,7 @@ __all__ = [
     "expected_mutual_info",
     "adjusted_mutual_info",
     "normalized_mutual_info",
+    "normalized_mutual_info_from_table",
     "adjusted_rand_index",
     "ami_on_true_clusters",
     "evaluate_clustering",

@@ -125,6 +125,25 @@ def adjusted_mutual_info(labels_true, labels_pred, average_method: str = "arithm
 def normalized_mutual_info(labels_true, labels_pred, average_method: str = "arithmetic") -> float:
     """Normalized Mutual Information ``MI / mean(H(U), H(V))``."""
     table = contingency_matrix(labels_true, labels_pred).astype(np.float64)
+    return normalized_mutual_info_from_table(table, average_method=average_method)
+
+
+def normalized_mutual_info_from_table(
+    table: np.ndarray, average_method: str = "arithmetic"
+) -> float:
+    """NMI computed directly from a (possibly weighted) contingency table.
+
+    Accepts any non-negative table whose entries need not be integer counts.
+    This is the entry point for mass-weighted comparisons -- e.g. the tuning
+    subsystem compares the clusterings of two grid resolutions over the
+    occupied base cells, weighting each cell by its density, without ever
+    expanding back to per-point label vectors.
+    """
+    table = np.asarray(table, dtype=np.float64)
+    if table.ndim != 2:
+        raise ValueError(f"contingency table must be 2-D; got shape {table.shape}.")
+    if np.any(table < 0):
+        raise ValueError("contingency table entries must be non-negative.")
     row_sums = table.sum(axis=1)
     col_sums = table.sum(axis=0)
     if len(row_sums) == 1 and len(col_sums) == 1:

@@ -163,6 +163,12 @@ class ClusterModel:
             "threshold_rule": result.threshold.method,
             "n_seen": int(getattr(estimator, "n_seen_", 0)),
         }
+        tune_result = getattr(estimator, "tune_result_", None)
+        if tune_result is not None:
+            # A tuned model ships the evidence for its own resolution: the
+            # chosen scale/level plus the full per-candidate score table
+            # (JSON-able, persisted verbatim in the artifact header).
+            metadata["tuning"] = tune_result.provenance()
         return cls(
             lower=quantization.lower,
             upper=quantization.upper,

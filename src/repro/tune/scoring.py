@@ -1,0 +1,232 @@
+"""Label-free scoring of sweep candidates (internal model selection).
+
+No ground-truth labels exist at tuning time, so the criteria are internal,
+in the spirit of multiscale model selection (Efimov et al.'s adaptive
+nonparametric clustering propagates consistency tests across scales; the
+paper's own elbow rule reads structure off the density curve):
+
+* **stability** -- a resolution that captures real structure yields nearly
+  the same partition as its dyadic neighbours; one that fragments (too fine)
+  or merges (too coarse) does not.  Measured as the mass-weighted NMI
+  between the base-cell partitions of adjacent pyramid levels, computable in
+  ``O(cells)`` because every candidate's clustering is expressed over the
+  shared base cells.
+* **noise-fraction sanity** -- a clustering that discards essentially all
+  mass as noise (the far-too-fine regime where every cell holds one point)
+  or keeps essentially all of it (the far-too-coarse regime where noise and
+  signal fuse) is down-weighted by a soft band on the filtered mass
+  fraction.
+* **threshold sharpness** -- at an informative resolution the sorted
+  transformed-density curve has the paper's three regimes and the elbow
+  threshold separates two well-contrasted populations; when the resolution
+  is wrong the curve flattens and the split is arbitrary.  Measured as the
+  normalized contrast between the mean surviving and mean filtered density.
+* **concentration** -- at an over-fine resolution the survivors shatter
+  into many components of negligible mass (surviving noise specks) around a
+  few real clusters.  Measured as the effective number of clusters (the
+  exponential of the cluster-mass entropy) over the actual count: near 1
+  when every cluster carries real mass, near 0 when most are specks.
+* **cluster-count prior** -- candidates with fewer than two clusters score
+  zero (nothing to serve), and implausibly fragmented candidates decay
+  harmonically.
+
+The total is ``prior * sanity * mean(stability, sharpness, concentration)``;
+all factors live in ``[0, 1]`` so the score table is directly comparable
+across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics import normalized_mutual_info_from_table
+from repro.tune.sweep import Candidate
+
+#: Soft band on the filtered-mass fraction: outside it the sanity factor
+#: decays linearly to 0 at the hard limits (0 and 1).
+NOISE_FRACTION_BAND = (0.02, 0.98)
+
+#: Cluster counts above this decay harmonically in the prior.
+MAX_PLAUSIBLE_CLUSTERS = 32
+
+
+@dataclass
+class CandidateScore:
+    """One candidate with its per-criterion and total scores."""
+
+    candidate: Candidate
+    stability: float
+    noise_sanity: float
+    sharpness: float
+    concentration: float
+    cluster_prior: float
+    total: float
+
+
+def weighted_partition_nmi(
+    labels_a: np.ndarray, labels_b: np.ndarray, weights: np.ndarray
+) -> float:
+    """Mass-weighted NMI between two cell partitions over the same cells."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    weights = np.asarray(weights, dtype=np.float64)
+    if not (labels_a.shape == labels_b.shape == weights.shape):
+        raise ValueError(
+            "labels_a, labels_b and weights must be 1-D arrays of equal "
+            f"length; got {labels_a.shape}, {labels_b.shape}, {weights.shape}."
+        )
+    if len(labels_a) == 0:
+        return 0.0
+    # Candidate labels are dense (-1 for noise, then 0..k-1), so shifting by
+    # the minimum gives a direct encoding and the weighted contingency table
+    # is a single bincount over combined codes -- no sort, no scatter-add.
+    encoded_a = labels_a - labels_a.min()
+    encoded_b = labels_b - labels_b.min()
+    n_a = int(encoded_a.max()) + 1
+    n_b = int(encoded_b.max()) + 1
+    table = np.bincount(
+        encoded_a * n_b + encoded_b, weights=weights, minlength=n_a * n_b
+    ).reshape(n_a, n_b)
+    return normalized_mutual_info_from_table(table)
+
+
+def noise_sanity(noise_fraction: float, band: Tuple[float, float] = NOISE_FRACTION_BAND) -> float:
+    """1.0 inside the band, decaying linearly to 0 at all-noise / no-noise."""
+    low, high = band
+    if noise_fraction < low:
+        return max(0.0, noise_fraction / low) if low > 0 else 1.0
+    if noise_fraction > high:
+        return max(0.0, (1.0 - noise_fraction) / (1.0 - high)) if high < 1 else 1.0
+    return 1.0
+
+
+def threshold_sharpness(candidate: Candidate) -> float:
+    """Contrast of the threshold split, normalized into ``[0, 1)``.
+
+    ``c / (c + 1)`` of the ratio between the mean surviving and the mean
+    filtered transformed density: 0.5 means no contrast at all (the split is
+    arbitrary), values near 1 mean the elbow separated two clearly distinct
+    density populations.
+    """
+    diagnostics = candidate.pipeline.threshold
+    curve = np.asarray(diagnostics.sorted_densities, dtype=np.float64)
+    if len(curve) == 0:
+        return 0.0
+    surviving = curve[curve > diagnostics.threshold]
+    filtered = curve[curve <= diagnostics.threshold]
+    if len(surviving) == 0 or len(filtered) == 0:
+        return 0.0
+    # Side-lobe cells can carry small negative densities; contrast compares
+    # magnitudes of the population means.
+    high = float(np.mean(surviving))
+    low = float(abs(np.mean(filtered)))
+    if high <= 0:
+        return 0.0
+    contrast = high / max(low, 1e-12)
+    return float(contrast / (contrast + 1.0))
+
+
+def cluster_concentration(candidate: Candidate, base_values: np.ndarray) -> float:
+    """Effective cluster count over actual count, mass-weighted.
+
+    The effective count is ``exp(H)`` of the distribution of clustered mass
+    over the clusters: 22 components of which 5 carry all the mass have an
+    effective count near 5 and a concentration near ``5/22`` -- the signature
+    of an over-fine resolution whose "extra clusters" are surviving noise
+    specks.  A candidate whose every cluster carries comparable mass scores
+    near 1.
+    """
+    n_clusters = candidate.n_clusters
+    if n_clusters < 1:
+        return 0.0
+    if n_clusters == 1:
+        return 1.0
+    labels = candidate.base_cell_labels
+    clustered = labels >= 0
+    masses = np.bincount(
+        labels[clustered],
+        weights=np.asarray(base_values, dtype=np.float64)[clustered],
+        minlength=n_clusters,
+    )
+    total = masses.sum()
+    if total <= 0:
+        return 0.0
+    probabilities = masses[masses > 0] / total
+    effective = float(np.exp(-np.sum(probabilities * np.log(probabilities))))
+    return min(1.0, effective / n_clusters)
+
+
+def cluster_prior(n_clusters: int, max_plausible: int = MAX_PLAUSIBLE_CLUSTERS) -> float:
+    """0 for degenerate candidates, harmonic decay for fragmented ones."""
+    if n_clusters < 2:
+        return 0.0
+    if n_clusters <= max_plausible:
+        return 1.0
+    return float(max_plausible) / float(n_clusters)
+
+
+def score_candidates(
+    candidates: Sequence[Candidate], base_values: np.ndarray
+) -> List[CandidateScore]:
+    """Score every candidate; input order (the sweep's) is preserved.
+
+    Stability compares each candidate against its dyadic neighbours *at the
+    same decomposition level*; the first/last resolution of a level group
+    only has one neighbour.  A single-candidate sweep gets stability 1.0
+    (nothing to contradict it).
+    """
+    base_values = np.asarray(base_values, dtype=np.float64)
+    by_level: Dict[int, List[int]] = {}
+    for position, candidate in enumerate(candidates):
+        by_level.setdefault(candidate.level, []).append(position)
+
+    stabilities = [1.0] * len(candidates)
+    pair_nmi: Dict[Tuple[int, int], float] = {}
+
+    def _agreement(a: int, b: int) -> float:
+        key = (a, b) if a < b else (b, a)
+        if key not in pair_nmi:
+            pair_nmi[key] = weighted_partition_nmi(
+                candidates[key[0]].base_cell_labels,
+                candidates[key[1]].base_cell_labels,
+                base_values,
+            )
+        return pair_nmi[key]
+
+    for positions in by_level.values():
+        ordered = sorted(positions, key=lambda p: candidates[p].factor)
+        for rank, position in enumerate(ordered):
+            neighbors = []
+            if rank > 0:
+                neighbors.append(ordered[rank - 1])
+            if rank + 1 < len(ordered):
+                neighbors.append(ordered[rank + 1])
+            if not neighbors:
+                continue
+            stabilities[position] = float(
+                np.mean([_agreement(position, neighbor) for neighbor in neighbors])
+            )
+
+    scores: List[CandidateScore] = []
+    for position, candidate in enumerate(candidates):
+        sanity = noise_sanity(candidate.noise_fraction)
+        sharpness = threshold_sharpness(candidate)
+        concentration = cluster_concentration(candidate, base_values)
+        prior = cluster_prior(candidate.n_clusters)
+        quality = (stabilities[position] + sharpness + concentration) / 3.0
+        total = prior * sanity * quality
+        scores.append(
+            CandidateScore(
+                candidate=candidate,
+                stability=stabilities[position],
+                noise_sanity=sanity,
+                sharpness=sharpness,
+                concentration=concentration,
+                cluster_prior=prior,
+                total=float(total),
+            )
+        )
+    return scores

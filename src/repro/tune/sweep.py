@@ -1,0 +1,179 @@
+"""Evaluate the clustering pipeline on every grid-pyramid level.
+
+The expensive part of an AdaWave fit is the single pass over the points
+(quantization plus the final label lookup); the grid-side stages cost only
+``O(occupied cells * scale)``.  The sweep exploits that: given a pyramid
+derived from one quantization, it runs transform + threshold + components on
+every (resolution, decomposition-level) candidate and collects label-free
+diagnostics for the scoring step -- so sweeping ``S`` resolutions costs
+about one fit plus ``S`` cheap grid passes, not ``S`` fits.
+
+Candidates are independent, so with ``n_workers > 1`` they fan out over a
+thread pool, the same pattern as :func:`repro.serve.parallel_ingest` and
+``BatchRunner.run_many``: the hot stages are numpy calls that release the
+GIL, so threads scale on multi-core hosts with zero serialization cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import GridPipelineResult, run_grid_pipeline
+from repro.core.transform import Workspace
+from repro.grid.lookup import NOISE_LABEL, CellLabelIndex
+from repro.grid.sparse_grid import SparseGrid
+from repro.tune.pyramid import GridPyramid, PyramidLevel
+
+
+@dataclass
+class Candidate:
+    """One evaluated (resolution, decomposition level) configuration.
+
+    Attributes
+    ----------
+    factor:
+        Downsampling factor of the pyramid level the candidate ran on.
+    scale:
+        Interval counts of that level.
+    level:
+        Wavelet decomposition level the pipeline used.
+    n_clusters:
+        Number of clusters the candidate produced.
+    noise_fraction:
+        Fraction of the total point mass that falls in filtered (noise)
+        cells.  Computed from cell densities, not labels.
+    grid:
+        The quantization sketch at this resolution (shared with the
+        pyramid).  ``None`` after :meth:`~repro.tune.TuneResult.compact`.
+    pipeline:
+        The grid-side pipeline output (transformed grid, threshold
+        diagnostics, surviving cells and their cluster ids).  ``None``
+        after :meth:`~repro.tune.TuneResult.compact`.
+    base_cell_labels:
+        Cluster id per *base-grid* occupied cell under this candidate's
+        clustering (noise = -1), aligned with the base grid's ``coords``.
+        This is what lets the scoring step compare two candidates'
+        partitions -- mass-weighted over cells -- without touching points.
+        ``None`` after :meth:`~repro.tune.TuneResult.compact`.
+    """
+
+    factor: int
+    scale: Tuple[int, ...]
+    level: int
+    n_clusters: int
+    noise_fraction: float
+    grid: Optional[SparseGrid]
+    pipeline: Optional[GridPipelineResult]
+    base_cell_labels: Optional[np.ndarray]
+
+
+def evaluate_candidate(
+    pyramid_level: PyramidLevel,
+    base_coords: np.ndarray,
+    base_values: np.ndarray,
+    *,
+    level: int = 1,
+    base_factor: int = 1,
+    workspace: Optional[Workspace] = None,
+    **pipeline_params,
+) -> Candidate:
+    """Run the grid pipeline on one pyramid level and derive its diagnostics.
+
+    ``base_coords``/``base_values`` are the occupied cells of the grid every
+    candidate is compared over -- the pyramid's *finest materialized* level,
+    whose own downsampling factor is ``base_factor`` (1 unless the pyramid
+    was built with explicit factors that skip 1).  Every candidate's
+    per-cell cluster assignment is expressed over those shared cells so
+    candidates at different resolutions are directly comparable.
+    """
+    pipe = run_grid_pipeline(
+        pyramid_level.grid, level=level, workspace=workspace, **pipeline_params
+    )
+    # A comparison cell's transformed-space cell under this candidate:
+    # coarsen from the comparison resolution to the candidate resolution
+    # (// relative factor), then apply the wavelet downsampling
+    # (// 2**level) -- one combined shift.  Factors are powers of two and
+    # increasing, so the division is exact.
+    combined = (pyramid_level.factor // base_factor) * (2**level)
+    index = CellLabelIndex(pipe.cell_coords, pipe.cell_labels)
+    base_cell_labels = index.lookup(base_coords // combined)
+    total_mass = float(base_values.sum())
+    if total_mass > 0:
+        noise_mass = float(base_values[base_cell_labels == NOISE_LABEL].sum())
+        noise_fraction = noise_mass / total_mass
+    else:
+        noise_fraction = 1.0
+    return Candidate(
+        factor=pyramid_level.factor,
+        scale=pyramid_level.scale,
+        level=level,
+        n_clusters=pipe.n_clusters,
+        noise_fraction=noise_fraction,
+        grid=pyramid_level.grid,
+        pipeline=pipe,
+        base_cell_labels=base_cell_labels,
+    )
+
+
+def sweep_pyramid(
+    pyramid: GridPyramid,
+    *,
+    levels: Sequence[int] = (1,),
+    n_workers: Optional[int] = None,
+    workspace: Optional[Workspace] = None,
+    **pipeline_params,
+) -> List[Candidate]:
+    """Evaluate every (pyramid level x decomposition level) candidate.
+
+    Returns the candidates grouped by decomposition level, finest resolution
+    first within each group -- the order the scoring step's adjacent-scale
+    comparisons expect.  ``pipeline_params`` are the grid-side stage
+    parameters (``wavelet``, ``threshold_method``, ``connectivity``,
+    ``min_cluster_cells``, ``angle_divisor``).
+    """
+    levels = [int(lv) for lv in levels]
+    if not levels or any(lv < 1 for lv in levels):
+        raise ValueError(f"levels must be a non-empty sequence of ints >= 1; got {levels}.")
+    base = pyramid.levels[0].grid
+    base_factor = pyramid.levels[0].factor
+    base_coords = base.coords
+    base_values = base.values
+    jobs = [
+        (pyramid_level, level)
+        for level in levels
+        for pyramid_level in pyramid.levels
+    ]
+
+    def _run(job, scratch: Optional[Workspace]) -> Candidate:
+        pyramid_level, level = job
+        return evaluate_candidate(
+            pyramid_level,
+            base_coords,
+            base_values,
+            level=level,
+            base_factor=base_factor,
+            workspace=scratch,
+            **pipeline_params,
+        )
+
+    if n_workers is None or n_workers <= 1 or len(jobs) <= 1:
+        return [_run(job, workspace) for job in jobs]
+    # Candidates are independent; fan out like BatchRunner.run_many, each
+    # worker thread with one private scratch workspace reused across all the
+    # jobs it processes.
+    thread_state = threading.local()
+
+    def _run_threaded(job) -> Candidate:
+        scratch = getattr(thread_state, "workspace", None)
+        if scratch is None:
+            scratch = thread_state.workspace = Workspace()
+        return _run(job, scratch)
+
+    with ThreadPoolExecutor(max_workers=min(n_workers, len(jobs))) as pool:
+        futures = [pool.submit(_run_threaded, job) for job in jobs]
+        return [future.result() for future in futures]

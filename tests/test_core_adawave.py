@@ -153,6 +153,15 @@ class TestAdaWaveParameters:
         assert 4 <= AdaWave.auto_scale(150, 4) <= 16
         assert AdaWave.auto_scale(100, 30) == 4
 
+    def test_auto_scale_returns_powers_of_two(self):
+        """Satellite: auto-scaled models must be pyramid- and merge-compatible,
+        so the heuristic snaps to the nearest power of two in [4, 128]."""
+        for n in (10, 100, 1000, 20000, 10**6):
+            for d in (1, 2, 3, 5, 10):
+                value = AdaWave.auto_scale(n, d)
+                assert 4 <= value <= 128
+                assert value & (value - 1) == 0, f"auto_scale({n}, {d}) = {value}"
+
     def test_auto_scale_string_accepted(self):
         points, labels = two_blob_dataset()
         model = AdaWave(scale="auto").fit(points)
@@ -215,9 +224,10 @@ class TestAdaWaveEdgeCases:
         with pytest.raises(ValueError, match="engine"):
             AdaWave(engine="turbo")
 
-    def test_reference_engine_is_deprecated(self):
-        """Satellite: engine='reference' stays functional but warns."""
-        with pytest.warns(DeprecationWarning, match="reference"):
+    def test_reference_engine_is_removed(self):
+        """Satellite: the deprecation cycle is complete -- the constructor
+        rejects engine='reference' with a pointer at the importable module."""
+        with pytest.raises(ValueError, match="repro.engine.reference"):
             AdaWave(engine="reference")
 
     def test_vectorized_engine_does_not_warn(self):
@@ -231,6 +241,7 @@ class TestAdaWaveEdgeCases:
         from repro.engine import reference
 
         assert hasattr(reference, "quantize_reference")
+        assert hasattr(reference, "fit_reference")
 
 
 class TestAdaWavePredict:
@@ -312,3 +323,18 @@ class TestMultiResolution:
             MultiResolutionAdaWave(levels=(0,))
         with pytest.raises(ValueError):
             MultiResolutionAdaWave(select="best")
+
+    def test_single_sample_without_bounds_raises(self):
+        """Regression: the shared-quantization refactor must keep AdaWave's
+        single-sample guard."""
+        with pytest.raises(ValueError, match="single sample"):
+            MultiResolutionAdaWave(scale=16).fit(np.array([[1.0, 2.0]]))
+
+    def test_matches_per_level_adawave_fits_exactly(self):
+        """The shared-quantization path is a pure refactor: labels per level
+        must equal fresh AdaWave fits at those levels."""
+        points, _ = two_blob_dataset()
+        multi = MultiResolutionAdaWave(scale=64, levels=(1, 2)).fit(points)
+        for level in (1, 2):
+            solo = AdaWave(scale=64, level=level).fit(points)
+            np.testing.assert_array_equal(multi.labels_by_level()[level], solo.labels_)

@@ -210,7 +210,7 @@ class TestEndToEndEngineEquivalence:
         blob = rng.normal(loc=0.3, scale=0.04, size=(150, 2))
         noise = rng.uniform(size=(150, 2))
         X = np.vstack([blob, noise])
-        vec = AdaWave(scale=32, engine="vectorized").fit(X)
-        ref = AdaWave(scale=32, engine="reference").fit(X)
-        np.testing.assert_array_equal(vec.labels_, ref.labels_)
-        assert vec.n_clusters_ == ref.n_clusters_
+        vec = AdaWave(scale=32).fit(X)
+        ref = reference.fit_reference(X, scale=32)
+        np.testing.assert_array_equal(vec.labels_, ref.labels)
+        assert vec.n_clusters_ == ref.n_clusters

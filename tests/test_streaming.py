@@ -57,10 +57,16 @@ class TestStreamingOrderInvariance:
         labels, _model = _stream_labels(noisy_blobs, batches)
         np.testing.assert_array_equal(labels, one_shot.labels_)
 
-    def test_reference_engine_streams_identically(self, noisy_blobs, one_shot):
+    def test_stream_matches_reference_engine_one_shot(self, noisy_blobs, one_shot):
+        """The streamed vectorized labels also match the literal reference
+        pipeline run one-shot (the constructor no longer accepts
+        engine='reference'; the reference driver is the comparison point)."""
+        from repro.engine.reference import fit_reference
+
         batches = np.array_split(np.arange(len(noisy_blobs)), 4)
-        labels, _model = _stream_labels(noisy_blobs, batches, engine="reference")
-        np.testing.assert_array_equal(labels, one_shot.labels_)
+        labels, _model = _stream_labels(noisy_blobs, batches)
+        ref = fit_reference(noisy_blobs, scale=64, bounds=BOUNDS)
+        np.testing.assert_array_equal(labels, ref.labels)
 
     def test_single_point_batches(self, noisy_blobs, one_shot):
         head = [np.array([i]) for i in range(25)]
