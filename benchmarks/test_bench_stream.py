@@ -1,0 +1,68 @@
+"""E10 benchmark -- online control plane: re-tune cost and drift recovery.
+
+The fast tier-1 budget guards the control plane's core economics: an
+incremental re-tune (grid-pyramid sweep straight off the live sketch, model
+freeze, blue/green registry swap) must cost at most 2x a single fixed-scale
+fit at n = 100k -- the sketch already holds the quantization, so a re-tune
+that re-touches the points has regressed.  (It measures well under 1x; the
+2x ceiling is the acceptance bar.)
+
+The slow-marked deep sweep runs the full drift-recovery scenario at a larger
+size and prints the drift-check table (run with ``pytest benchmarks/ -m
+slow``).
+"""
+
+import pytest
+
+from repro.experiments import format_table, run_drift_recovery, run_retune_cost
+
+RETUNE_COST_CEILING = 2.0   # incremental re-tune vs one fixed-scale fit
+RECOVERY_AMI_FLOOR = 0.95   # served AMI vs from-scratch AdaWave(scale="tune")
+
+
+def test_bench_stream_retune_cost(benchmark):
+    """An incremental re-tune must cost <= 2x one fixed fit at n = 100k.
+
+    The fixed fit re-quantizes the points every time; the re-tune runs the
+    dyadic sweep over the already-quantized live sketch, freezes the winner
+    and swaps it into the registry.  A drift check is timed in the same
+    table -- it is the per-few-batches steady-state cost.
+    """
+    result = benchmark.pedantic(
+        lambda: run_retune_cost(n_points=100_000, base_scale=128, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(result))
+    retune_ratio = result.metadata["retune_ratio"]
+    assert retune_ratio <= RETUNE_COST_CEILING, (
+        f"an incremental re-tune costs {retune_ratio:.2f}x a single fixed fit; "
+        f"the ceiling is {RETUNE_COST_CEILING}x -- the re-tune must run off the "
+        "live sketch, not re-touch the points."
+    )
+    # The steady-state drift check must stay cheaper than the re-tune it
+    # decides about.
+    assert result.metadata["check_ratio"] < retune_ratio
+
+
+@pytest.mark.slow
+def test_bench_stream_drift_deep_sweep(benchmark):
+    """Full drift scenario at a larger size: detection, re-tunes and hot
+    swaps under reader load, with the recovery-quality floor asserted."""
+    result = benchmark.pedantic(
+        lambda: run_drift_recovery(
+            n_per_cluster=2400, n_batches=12, check_every=2, window=12, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(result))
+    assert result.metadata["failed_predicts"] == 0
+    assert result.metadata["retunes_in_phase_b"] >= 1
+    assert result.metadata["recovery_ratio"] >= RECOVERY_AMI_FLOOR, (
+        f"served AMI {result.metadata['ami_served']:.3f} is below "
+        f"{RECOVERY_AMI_FLOOR}x the from-scratch tuned AMI "
+        f"{result.metadata['ami_scratch']:.3f}."
+    )

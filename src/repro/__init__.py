@@ -15,10 +15,17 @@ contains:
 * :mod:`repro.engine` -- the interchangeable vectorized / reference execution
   engines and the :class:`~repro.engine.BatchRunner` shared pipeline.
 * :mod:`repro.serve` -- the model-serving layer: frozen
-  :class:`~repro.serve.ClusterModel` artifacts with versioned save/load and
-  lookup-only predict, a thread-safe :class:`~repro.serve.ModelRegistry`,
-  the micro-batching :class:`~repro.serve.ClusteringService` and sharded
+  :class:`~repro.serve.ClusterModel` artifacts with versioned save/load
+  (optionally memory-mapped) and lookup-only predict, a thread-safe
+  :class:`~repro.serve.ModelRegistry` with blue/green versioned swaps and
+  TTL eviction, the micro-batching :class:`~repro.serve.ClusteringService`
+  (sync + asyncio front ends) and sharded
   :func:`~repro.serve.parallel_ingest`.
+* :mod:`repro.stream` -- the online control plane: the mergeable
+  :class:`~repro.stream.StreamSketch`, label-free
+  :class:`~repro.stream.DriftMonitor` and the drift-aware
+  :class:`~repro.stream.StreamController` (ingest -> detect -> re-tune ->
+  hot-swap).
 * :mod:`repro.tune` -- grid-pyramid auto-tuning: ``AdaWave(scale="tune")``
   picks the quantization scale (and optionally the decomposition level)
   from one quantization pass, scoring every dyadic resolution without
@@ -49,6 +56,7 @@ from repro.core.multiresolution import MultiResolutionAdaWave
 from repro.engine import BatchRunner
 from repro.metrics import adjusted_mutual_info, adjusted_rand_index, normalized_mutual_info
 from repro.serve import ClusterModel, ClusteringService, ModelRegistry, parallel_ingest
+from repro.stream import DriftMonitor, StreamController, StreamSketch
 from repro.tune import GridPyramid, TuneResult, tune_pyramid
 from repro.utils.validation import NotFittedError
 
@@ -58,10 +66,13 @@ __all__ = [
     "BatchRunner",
     "ClusterModel",
     "ClusteringService",
+    "DriftMonitor",
     "GridPyramid",
     "ModelRegistry",
     "MultiResolutionAdaWave",
     "NotFittedError",
+    "StreamController",
+    "StreamSketch",
     "TuneResult",
     "parallel_ingest",
     "tune_pyramid",

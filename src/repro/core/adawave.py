@@ -39,6 +39,11 @@ yields exactly the labels a one-shot :meth:`fit` with the same bounds gives.
 With ``scale="tune"`` the stream ingests at the fine base resolution and the
 resolution choice happens at finalize time from the accumulated sketch --
 ingest fine, serve coarse.
+
+The sketch itself lives in :class:`repro.stream.StreamSketch`;
+:meth:`partial_fit` / :meth:`merge_stream` are thin adapters over it, and
+the same object powers the drift-aware online control plane
+(:class:`repro.stream.StreamController`).
 """
 
 from __future__ import annotations
@@ -64,6 +69,7 @@ from repro.utils.validation import NotFittedError, check_array, check_positive_i
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.serve.model import ClusterModel
+    from repro.stream.sketch import StreamSketch
     from repro.tune.select import TuneResult
 
 Cell = Tuple[int, ...]
@@ -266,9 +272,11 @@ class AdaWave:
         self.tune_result_: Optional["TuneResult"] = None
         self.n_seen_: int = 0
 
-        # Streaming state (populated by partial_fit).
-        self._stream_quantizer: Optional[GridQuantizer] = None
-        self._stream_grid: Optional[SparseGrid] = None
+        # Streaming state (populated by partial_fit).  The sketch owns the
+        # quantization geometry, the COO grid and the ingest counters
+        # (repro.stream.StreamSketch); the estimator only keeps the
+        # per-point cell chunks needed to emit labels_ at finalize time.
+        self._sketch: Optional["StreamSketch"] = None
         self._stream_cell_chunks: List[np.ndarray] = []
         # True while partial_fit batches have been ingested but not yet
         # clustered by finalize(); guards against fit() silently discarding
@@ -439,8 +447,7 @@ class AdaWave:
     # -- streaming / out-of-core API -------------------------------------------
 
     def _reset_stream(self) -> None:
-        self._stream_quantizer = None
-        self._stream_grid = None
+        self._sketch = None
         self._stream_cell_chunks = []
         self._stream_dirty = False
         self.n_seen_ = 0
@@ -492,6 +499,16 @@ class AdaWave:
             )
         return self._resolve_scale(2, n_features)
 
+    def _new_sketch(self, n_features: int) -> "StreamSketch":
+        """A fresh :class:`~repro.stream.StreamSketch` for this configuration."""
+        from repro.stream.sketch import StreamSketch
+
+        return StreamSketch(
+            bounds=self.bounds,
+            scale=self._streaming_scale(n_features),
+            n_features=n_features,
+        )
+
     def partial_fit(self, X_batch) -> "AdaWave":
         """Ingest one batch of samples into the streaming sparse grid.
 
@@ -518,35 +535,19 @@ class AdaWave:
             self._streaming_scale(X.shape[1])  # raises the actionable error
         if X.shape[0] == 0:
             return self
-        if self._stream_quantizer is None:
+        if self._sketch is None:
             # Starting a new stream: drop any leftover state (n_seen_ from a
             # prior fit) so the counter matches exactly what this stream saw.
             self._reset_stream()
-            scale = self._streaming_scale(X.shape[1])
-            quantizer = GridQuantizer(scale=scale, bounds=self.bounds)
-            quantizer.fit(X)
-            self._stream_quantizer = quantizer
-            self._stream_grid = SparseGrid(quantizer.shape_)
-        quantizer = self._stream_quantizer
-        if X.shape[1] != len(quantizer.shape_):
-            raise ValueError(
-                f"batch has {X.shape[1]} features but the stream was started "
-                f"with {len(quantizer.shape_)}."
-            )
-        if np.any(X < quantizer.lower_ - 1e-12) or np.any(X > quantizer.upper_ + 1e-12):
-            raise ValueError(
-                "batch contains values outside the configured bounds; streaming "
-                "quantization cannot extend the grid after the fact."
-            )
-        cells = quantizer.transform(X)
-        self._stream_grid.add_many(cells, 1.0)
+            self._sketch = self._new_sketch(X.shape[1])
+        cells = self._sketch.ingest(X)
         if not self.lookup_only:
             # Per-point assignments are only needed to emit labels_ for the
             # ingested points; lookup-only streams label through predict()
             # and keep ingestion memory proportional to the occupied cells.
             self._stream_cell_chunks.append(cells)
         self._stream_dirty = True
-        self.n_seen_ += X.shape[0]
+        self.n_seen_ = self._sketch.n_seen
         return self
 
     def finalize(self) -> "AdaWave":
@@ -557,11 +558,11 @@ class AdaWave:
         streaming consumer can finalize repeatedly to get intermediate
         clusterings while batches keep arriving.
         """
-        if self._stream_quantizer is None or self.n_seen_ == 0:
+        if self._sketch is None or self.n_seen_ == 0:
             raise ValueError("finalize() called before any non-empty partial_fit batch.")
-        quantizer = self._stream_quantizer
+        sketch = self._sketch
         if self.lookup_only:
-            cell_ids = np.empty((0, len(quantizer.shape_)), dtype=np.int64)
+            cell_ids = np.empty((0, sketch.ndim), dtype=np.int64)
         elif len(self._stream_cell_chunks) > 1:
             cell_ids = np.concatenate(self._stream_cell_chunks, axis=0)
         else:
@@ -572,20 +573,17 @@ class AdaWave:
             # A raising sweep (tuning can legitimately fail on degenerate
             # data) must leave the stream dirty so the fit()-mid-stream
             # guard keeps protecting the ingested batches.
-            self._run_tuned(quantizer, self._stream_grid.copy(), cell_ids)
+            self._run_tuned(sketch.quantizer, sketch.grid.copy(), cell_ids)
             self._stream_dirty = False
             return self
-        widths = (quantizer.upper_ - quantizer.lower_) / np.asarray(
-            quantizer.shape_, dtype=np.float64
-        )
         quantization = QuantizationResult(
-            grid=self._stream_grid.copy(),
+            grid=sketch.grid.copy(),
             cell_ids=cell_ids,
-            lower=quantizer.lower_.copy(),
-            upper=quantizer.upper_.copy(),
-            widths=widths,
+            lower=sketch.lower.copy(),
+            upper=sketch.upper.copy(),
+            widths=sketch.widths,
         )
-        self._run_pipeline(quantization, len(quantizer.shape_))
+        self._run_pipeline(quantization, sketch.ndim)
         self._stream_dirty = False
         return self
 
@@ -600,33 +598,20 @@ class AdaWave:
         """
         if not isinstance(other, AdaWave):
             raise TypeError(f"can only merge another AdaWave; got {type(other).__name__}.")
-        if other._stream_quantizer is None or other.n_seen_ == 0:
+        if other._sketch is None or other.n_seen_ == 0:
             return self
-        if self._stream_quantizer is None:
+        if self._sketch is None:
             if self.bounds is None:
                 raise ValueError("merge_stream requires explicit bounds on both estimators.")
             self._reset_stream()
-            # Build the grid from *this* estimator's configuration; the
-            # compatibility check below then genuinely verifies the shards
-            # quantized against the same grid instead of adopting theirs.
-            # _streaming_scale raises the actionable error for scale='auto'
-            # and resolves scale='tune' to the shared base resolution.
-            ndim = len(other._stream_quantizer.shape_)
-            quantizer = GridQuantizer(
-                scale=self._streaming_scale(ndim), bounds=self.bounds
-            )
-            quantizer.fit(np.vstack([self.bounds[0], self.bounds[1]]).astype(np.float64))
-            self._stream_quantizer = quantizer
-            self._stream_grid = SparseGrid(quantizer.shape_)
-        if self._stream_quantizer.shape_ != other._stream_quantizer.shape_ or not (
-            np.allclose(self._stream_quantizer.lower_, other._stream_quantizer.lower_)
-            and np.allclose(self._stream_quantizer.upper_, other._stream_quantizer.upper_)
-        ):
-            raise ValueError(
-                "cannot merge streams quantized against different grids; both "
-                "estimators must share identical bounds and scale."
-            )
-        self._stream_grid.merge(other._stream_grid)
+            # Build the sketch from *this* estimator's configuration; the
+            # compatibility check inside StreamSketch.merge then genuinely
+            # verifies the shards quantized against the same grid instead of
+            # adopting theirs.  _streaming_scale raises the actionable error
+            # for scale='auto' and resolves scale='tune' to the shared base
+            # resolution.
+            self._sketch = self._new_sketch(other._sketch.ndim)
+        self._sketch.merge(other._sketch)
         if not self.lookup_only:
             if other.lookup_only:
                 raise ValueError(
@@ -638,7 +623,7 @@ class AdaWave:
             # ingestion at the serial path's peak memory.
             self._stream_cell_chunks.extend(other._stream_cell_chunks)
         self._stream_dirty = True
-        self.n_seen_ += other.n_seen_
+        self.n_seen_ = self._sketch.n_seen
         return self
 
     def fit_predict(self, X) -> np.ndarray:

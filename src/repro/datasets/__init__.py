@@ -26,6 +26,7 @@ from repro.datasets.synthetic import (
     running_example,
     noise_sweep_dataset,
     scaled_runtime_dataset,
+    drifting_dataset,
 )
 from repro.datasets.uci_like import (
     UCI_DATASET_NAMES,
@@ -44,6 +45,7 @@ __all__ = [
     "running_example",
     "noise_sweep_dataset",
     "scaled_runtime_dataset",
+    "drifting_dataset",
     "UCI_DATASET_NAMES",
     "load_uci_like",
     "glass_simulant",

@@ -169,3 +169,61 @@ def scaled_runtime_dataset(
             "figure": "Fig. 10",
         },
     )
+
+
+def drifting_dataset(
+    phase: float,
+    n_per_cluster: int = 1500,
+    noise_range: Tuple[float, float] = (0.3, 0.75),
+    shift: Tuple[float, float] = (0.15, 0.10),
+    seed: int = 0,
+) -> Dataset:
+    """One snapshot of a drifting stream: shifting clusters, rising noise.
+
+    The online-serving scenario (experiment E10): the five-cluster layout of
+    the paper's benchmarks translated by ``phase * shift`` while the uniform
+    noise fraction interpolates across ``noise_range`` -- at ``phase=0`` the
+    stream is the familiar stationary workload, at ``phase=1`` every cluster
+    has moved by ``shift`` and the noise floor has risen to the top of the
+    range.  Points are clipped to the unit square (the default ``shift``
+    keeps every cluster inside it), so a stream of snapshots quantizes
+    against fixed ``([0, 0], [1, 1])`` bounds at every phase.
+
+    Parameters
+    ----------
+    phase:
+        Drift progress in ``[0, 1]``.
+    n_per_cluster:
+        Objects per cluster in this snapshot.
+    noise_range:
+        ``(start, end)`` uniform-noise fractions at phase 0 and 1.
+    shift:
+        Per-dimension translation applied to every cluster at ``phase=1``.
+    seed:
+        Seed for the deterministic generator; vary it per snapshot to get
+        fresh draws from the same drifting distribution.
+    """
+    phase = check_probability(phase, name="phase")
+    n_per_cluster = check_positive_int(n_per_cluster, name="n_per_cluster")
+    start_noise = check_probability(noise_range[0], name="noise_range[0]")
+    end_noise = check_probability(noise_range[1], name="noise_range[1]")
+    noise_fraction = start_noise + phase * (end_noise - start_noise)
+    rng = check_random_state(seed)
+    points, labels = _five_cluster_layout(n_per_cluster, rng)
+    points = np.clip(
+        points + phase * np.asarray(shift, dtype=np.float64), _DOMAIN_LOW, _DOMAIN_HIGH
+    )
+    points, labels = _with_noise(points, labels, noise_fraction, rng)
+    return Dataset(
+        name=f"drift-phase-{int(round(phase * 100))}",
+        points=points,
+        labels=labels,
+        metadata={
+            "phase": phase,
+            "noise_fraction": noise_fraction,
+            "shift": list(shift),
+            "n_per_cluster": n_per_cluster,
+            "seed": seed,
+            "figure": "E10 (this repo)",
+        },
+    )

@@ -16,6 +16,7 @@ E6        Fig. 10 runtime scaling                  :mod:`repro.experiments.runti
 E7        Design-choice ablations (this repo)      :mod:`repro.experiments.ablation`
 E8        Serving-layer performance (this repo)    :mod:`repro.experiments.serving`
 E9        Grid-pyramid auto-tuning (this repo)     :mod:`repro.experiments.tuning`
+E10       Drift-aware online serving (this repo)   :mod:`repro.experiments.drift`
 ========  =======================================  ===========================
 
 The benchmark harness under ``benchmarks/`` simply calls these functions with
@@ -37,6 +38,7 @@ from repro.experiments.runtime import run_engine_speedup, run_runtime_comparison
 from repro.experiments.ablation import run_threshold_ablation, run_memory_ablation, run_wavelet_ablation
 from repro.experiments.serving import run_parallel_ingest, run_predict_throughput
 from repro.experiments.tuning import run_tune_overhead, run_tuning_comparison
+from repro.experiments.drift import run_drift_recovery, run_retune_cost
 from repro.experiments.reporting import format_table
 
 __all__ = [
@@ -58,5 +60,7 @@ __all__ = [
     "run_predict_throughput",
     "run_tune_overhead",
     "run_tuning_comparison",
+    "run_drift_recovery",
+    "run_retune_cost",
     "format_table",
 ]

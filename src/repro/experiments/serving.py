@@ -162,7 +162,7 @@ def run_parallel_ingest(
             )
             # Force the merged sketch consolidation inside the timed region
             # so serial and parallel pay for identical work.
-            model._stream_grid.n_occupied
+            model._sketch.grid.n_occupied
             best = min(best, time.perf_counter() - start)
         model.finalize()
         identical = bool(np.array_equal(model.predict(points), reference_labels))

@@ -344,6 +344,17 @@ class SparseGrid:
             self._codes[mask] if self._codes is not None else None,
         )
 
+    def scale_values(self, factor: float) -> "SparseGrid":
+        """Multiply every stored density by ``factor`` in place.
+
+        The exponential-forgetting primitive of the streaming layer
+        (:meth:`repro.stream.StreamSketch.decay`): applied once per batch it
+        turns the sketch into an exponentially weighted view of the stream.
+        """
+        self._consolidate()
+        self._values *= float(factor)
+        return self
+
     def copy(self) -> "SparseGrid":
         """Deep copy of the grid."""
         self._consolidate()

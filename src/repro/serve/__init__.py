@@ -7,13 +7,21 @@ touching the training data.  This package turns that observation into a
 serving stack:
 
 * :class:`ClusterModel` -- the frozen artifact, with versioned
-  ``save``/``load`` (npz + JSON header) and ``O(n log cells)`` ``predict``;
+  ``save``/``load`` (npz + JSON header; ``load(mmap=True)`` memory-maps
+  uncompressed artifacts so co-located processes share pages) and
+  ``O(n log cells)`` ``predict``;
 * :class:`ModelRegistry` -- a thread-safe map of named models with atomic
-  hot-swap semantics;
+  hot-swap semantics: blue/green versioned :meth:`~ModelRegistry.swap`
+  (readers never observe a missing model) plus ``max_versions`` / TTL
+  retention of superseded versions;
 * :class:`ClusteringService` -- concurrent, micro-batched ``predict`` over
-  many registered models;
+  many registered models, with an asyncio front end
+  (:meth:`~ClusteringService.predict_async` /
+  :meth:`~ClusteringService.ingest_async`) and a ``close()`` /
+  context-manager lifecycle;
 * :func:`parallel_ingest` -- sharded thread/process ingestion of batched
-  datasets, exploiting that the quantized grid is an associative sketch.
+  datasets, exploiting that the quantized grid is an associative sketch
+  (:class:`~repro.stream.StreamSketch`).
 
 Typical flow::
 

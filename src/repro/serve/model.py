@@ -19,10 +19,11 @@ instead of mislabelling traffic.
 from __future__ import annotations
 
 import json
+import struct
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -98,10 +99,13 @@ class ClusterModel:
             )
         if len(coords):
             # Canonicalise to sorted COO order so saved artifacts are
-            # byte-stable regardless of how the map was assembled.
+            # byte-stable regardless of how the map was assembled.  Already-
+            # canonical inputs (every saved artifact) are adopted as-is, so a
+            # memory-mapped load keeps sharing the file's pages.
             order = np.lexsort(coords.T[::-1])
-            coords = np.ascontiguousarray(coords[order])
-            labels = labels[order]
+            if not np.array_equal(order, np.arange(len(order))):
+                coords = np.ascontiguousarray(coords[order])
+                labels = labels[order]
         object.__setattr__(self, "lower", lower)
         object.__setattr__(self, "upper", upper)
         object.__setattr__(self, "grid_shape", grid_shape)
@@ -214,12 +218,19 @@ class ClusterModel:
             "metadata": self.metadata,
         }
 
-    def save(self, path: Union[str, Path]) -> Path:
-        """Serialize the artifact to ``path`` (npz + JSON header); returns it."""
+    def save(self, path: Union[str, Path], *, compress: bool = True) -> Path:
+        """Serialize the artifact to ``path`` (npz + JSON header); returns it.
+
+        ``compress=False`` stores the arrays uncompressed, which makes the
+        artifact memory-mappable: ``load(path, mmap=True)`` then shares the
+        file's pages across serving processes instead of copying the arrays
+        into each one.
+        """
         path = Path(path)
         header = json.dumps(self._header(), sort_keys=True).encode("utf-8")
+        writer = np.savez_compressed if compress else np.savez
         with open(path, "wb") as stream:
-            np.savez_compressed(
+            writer(
                 stream,
                 header=np.frombuffer(header, dtype=np.uint8),
                 lower=self.lower,
@@ -230,9 +241,77 @@ class ClusterModel:
             )
         return path
 
+    @staticmethod
+    def _mmap_npz_member(path: Path, info: "zipfile.ZipInfo") -> Optional[np.ndarray]:
+        """Memory-map one stored (uncompressed) ``.npy`` member of an archive.
+
+        The member's array data lives at a fixed offset inside the zip file,
+        so ``np.memmap`` can map it read-only straight from disk -- every
+        process mapping the same artifact shares those pages.  Returns
+        ``None`` when the member cannot be mapped (deflated, object dtype,
+        zero-size, exotic npy version); the caller falls back to a copying
+        read.
+        """
+        if info.compress_type != zipfile.ZIP_STORED:
+            return None
+        with open(path, "rb") as stream:
+            stream.seek(info.header_offset)
+            local_header = stream.read(30)
+            if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+                return None
+            name_len, extra_len = struct.unpack("<HH", local_header[26:30])
+            stream.seek(info.header_offset + 30 + name_len + extra_len)
+            member_start = stream.tell()
+            version = np.lib.format.read_magic(stream)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(stream)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(stream)
+            else:
+                return None
+            data_offset = stream.tell()
+        if dtype.hasobject or int(np.prod(shape)) == 0:
+            return None
+        if data_offset - member_start + int(np.prod(shape)) * dtype.itemsize > info.file_size:
+            return None
+        return np.memmap(
+            path,
+            dtype=dtype,
+            mode="r",
+            offset=data_offset,
+            shape=shape,
+            order="F" if fortran else "C",
+        )
+
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "ClusterModel":
+    def _load_members(cls, path: Path, *, mmap: bool) -> Dict[str, np.ndarray]:
+        """All npz members of the artifact, memory-mapped where possible."""
+        if not mmap:
+            with np.load(path, allow_pickle=False) as archive:
+                return {name: archive[name] for name in archive.files}
+        members: Dict[str, np.ndarray] = {}
+        with zipfile.ZipFile(path) as archive:
+            for info in archive.infolist():
+                if not info.filename.endswith(".npy"):
+                    continue
+                name = info.filename[:-4]
+                loaded = cls._mmap_npz_member(path, info)
+                if loaded is None:
+                    with archive.open(info) as stream:
+                        loaded = np.lib.format.read_array(stream, allow_pickle=False)
+                members[name] = loaded
+        return members
+
+    @classmethod
+    def load(cls, path: Union[str, Path], *, mmap: bool = False) -> "ClusterModel":
         """Deserialize an artifact, validating magic, version and layout.
+
+        With ``mmap=True`` the arrays of an uncompressed artifact
+        (``save(..., compress=False)``) are memory-mapped read-only --
+        ``mmap_mode="r"`` semantics for the npz members -- so concurrent
+        serving processes loading the same file share its pages instead of
+        each copying the cell map.  Compressed members fall back to a normal
+        copying read.
 
         Raises
         ------
@@ -242,8 +321,7 @@ class ClusterModel:
         """
         path = Path(path)
         try:
-            with np.load(path, allow_pickle=False) as archive:
-                members = {name: archive[name] for name in archive.files}
+            members = cls._load_members(path, mmap=mmap)
         except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError) as error:
             raise ValueError(
                 f"{path} is not a readable ClusterModel artifact: {error}"

@@ -58,8 +58,8 @@ def _ingest_shard(adawave_params: dict, shard: List[np.ndarray]) -> AdaWave:
     estimator = AdaWave(**adawave_params)
     for batch in shard:
         estimator.partial_fit(batch)
-    if estimator._stream_grid is not None:
-        estimator._stream_grid.n_occupied
+    if estimator._sketch is not None:
+        estimator._sketch.grid.n_occupied
     return estimator
 
 

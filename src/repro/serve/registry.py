@@ -6,23 +6,80 @@ as retrained artifacts arrive.  :class:`ModelRegistry` is that map: a lock-
 protected ``name -> ClusterModel`` dictionary.  The models themselves are
 immutable, so readers never need the lock while predicting; only the
 name-to-model binding is guarded.
+
+Blue/green deployment is first-class: :meth:`ModelRegistry.swap` publishes a
+new model under a fresh version name (``"<name>@v<k>"``) and rebinds the
+serving alias ``name`` in the same locked step, so a reader resolving the
+alias *always* finds a model -- there is no instant between "old gone" and
+"new registered".  Superseded versions stay resolvable (for pinned readers
+and rollback) until evicted by the ``max_versions`` / ``ttl_seconds``
+retention policy; the live version is never evicted.
 """
 
 from __future__ import annotations
 
+import re
 import threading
+import time
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.serve.model import ClusterModel
 
+#: Names ending in ``@v<digits>`` form the version namespace reserved for
+#: :meth:`ModelRegistry.swap`; plain ``register`` refuses them so a pinned
+#: version can never be silently rebound to a different artifact.
+_VERSION_SUFFIX = re.compile(r"@v\d+$")
+
 
 class ModelRegistry:
-    """Concurrent ``name -> ClusterModel`` map with atomic swap semantics."""
+    """Concurrent ``name -> ClusterModel`` map with atomic swap semantics.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    max_versions:
+        Retain at most this many versions per swapped name (the live one
+        included); older versions are evicted on each swap.  ``None`` keeps
+        every version until :meth:`evict_stale` or an explicit
+        ``unregister``.
+    ttl_seconds:
+        Superseded versions older than this are evicted on each swap and by
+        :meth:`evict_stale`.  ``None`` disables time-based eviction.  The
+        live version of a name is never evicted by either policy.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_versions: Optional[int] = None,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_versions is not None and int(max_versions) < 1:
+            raise ValueError(f"max_versions must be >= 1 or None; got {max_versions}.")
+        if ttl_seconds is not None and float(ttl_seconds) < 0:
+            raise ValueError(f"ttl_seconds must be >= 0 or None; got {ttl_seconds}.")
+        self.max_versions = None if max_versions is None else int(max_versions)
+        self.ttl_seconds = None if ttl_seconds is None else float(ttl_seconds)
+        self._clock = clock
         self._lock = threading.RLock()
         self._models: Dict[str, ClusterModel] = {}
+        # Blue/green bookkeeping, all guarded by the same lock: per-name
+        # version lists (oldest first), the live version, a monotonically
+        # increasing counter (never reused, so a pinned "name@v3" can never
+        # silently resolve to a different artifact) and creation times.
+        self._versions: Dict[str, List[str]] = {}
+        self._active: Dict[str, str] = {}
+        self._counters: Dict[str, int] = {}
+        self._created_at: Dict[str, float] = {}
+
+    @staticmethod
+    def _check_model(model: ClusterModel) -> None:
+        if not isinstance(model, ClusterModel):
+            raise TypeError(
+                f"can only register ClusterModel artifacts; got {type(model).__name__}. "
+                "Freeze an estimator with AdaWave.export_model() first."
+            )
 
     def register(
         self, name: str, model: ClusterModel, *, overwrite: bool = True
@@ -30,14 +87,19 @@ class ModelRegistry:
         """Bind ``model`` under ``name`` (atomically replacing any previous one).
 
         With ``overwrite=False`` an existing binding raises ``ValueError``
-        instead of being replaced.  Returns the registered model.
+        instead of being replaced.  Returns the registered model.  This is
+        the plain, history-free binding; use :meth:`swap` for blue/green
+        versioned publication.  Names in the version namespace
+        (``"<base>@v<k>"``) are refused -- a pinned version must never be
+        silently rebound to a different artifact.
         """
-        if not isinstance(model, ClusterModel):
-            raise TypeError(
-                f"can only register ClusterModel artifacts; got {type(model).__name__}. "
-                "Freeze an estimator with AdaWave.export_model() first."
-            )
+        self._check_model(model)
         name = str(name)
+        if _VERSION_SUFFIX.search(name):
+            raise ValueError(
+                f"{name!r} is in the version namespace reserved for swap(); "
+                "register the base name, or swap() to publish a new version."
+            )
         with self._lock:
             if not overwrite and name in self._models:
                 raise ValueError(
@@ -45,7 +107,88 @@ class ModelRegistry:
                     "to replace it."
                 )
             self._models[name] = model
+            # A plain rebind takes the alias out of swap management: the
+            # previously active version no longer describes what the alias
+            # serves (retained versions stay resolvable for pinned readers).
+            self._active.pop(name, None)
         return model
+
+    # -- blue/green versioned publication ---------------------------------------
+
+    def swap(self, name: str, model: ClusterModel) -> str:
+        """Publish ``model`` as the new live version of ``name``; returns it.
+
+        One locked step: the model is registered under the next version name
+        (``"<name>@v<k>"``), the serving alias ``name`` is rebound to it,
+        and the retention policy evicts superseded versions.  Readers
+        resolving the alias therefore never observe a missing model, and
+        readers pinned to an explicit version keep it until eviction.
+        """
+        self._check_model(model)
+        name = str(name)
+        if "@v" in name:
+            raise ValueError(
+                f"cannot swap onto the version name {name!r}; swap the base "
+                "name and let the registry assign the version."
+            )
+        with self._lock:
+            counter = self._counters.get(name, 0) + 1
+            self._counters[name] = counter
+            version = f"{name}@v{counter}"
+            self._models[version] = model
+            self._models[name] = model
+            self._versions.setdefault(name, []).append(version)
+            self._active[name] = version
+            self._created_at[version] = self._clock()
+            self._evict_locked(name)
+        return version
+
+    def versions(self, name: str) -> List[str]:
+        """Retained version names of ``name``, oldest first."""
+        with self._lock:
+            return list(self._versions.get(str(name), ()))
+
+    def active_version(self, name: str) -> Optional[str]:
+        """Version name the alias ``name`` currently serves (None if never swapped)."""
+        with self._lock:
+            return self._active.get(str(name))
+
+    def evict_stale(self) -> List[str]:
+        """Apply the retention policy to every swapped name; returns evictions."""
+        with self._lock:
+            evicted: List[str] = []
+            for name in list(self._versions):
+                evicted.extend(self._evict_locked(name))
+            return evicted
+
+    def _evict_locked(self, name: str) -> List[str]:
+        versions = self._versions.get(name)
+        if not versions:
+            return []
+        active = self._active.get(name)
+        now = self._clock()
+        drop: List[str] = []
+        keep: List[str] = []
+        over_budget = (
+            0 if self.max_versions is None else len(versions) - self.max_versions
+        )
+        for position, version in enumerate(versions):
+            stale = self.ttl_seconds is not None and (
+                now - self._created_at.get(version, now) > self.ttl_seconds
+            )
+            # Versions are oldest-first, so the first `over_budget` entries
+            # are exactly the ones the count cap evicts.
+            if version != active and (stale or position < over_budget):
+                drop.append(version)
+            else:
+                keep.append(version)
+        for version in drop:
+            self._models.pop(version, None)
+            self._created_at.pop(version, None)
+        self._versions[name] = keep
+        return drop
+
+    # -- lookup ------------------------------------------------------------------
 
     def get(self, name: str) -> ClusterModel:
         """The model bound to ``name``; raises ``KeyError`` with the known names."""
@@ -59,15 +202,37 @@ class ModelRegistry:
                 ) from None
 
     def unregister(self, name: str) -> ClusterModel:
-        """Remove and return the model bound to ``name``."""
+        """Remove and return the model bound to ``name``.
+
+        Unregistering a base name also drops its version history; a version
+        name removes just that version from the registry *and* its base's
+        version list (the serving alias is not rebound -- it still holds
+        the model object it pointed at).
+        """
+        name = str(name)
         with self._lock:
             try:
-                return self._models.pop(name)
+                model = self._models.pop(name)
             except KeyError:
                 raise KeyError(f"no model named {name!r} is registered.") from None
+            suffix = _VERSION_SUFFIX.search(name)
+            if suffix:
+                base = name[: suffix.start()]
+                versions = self._versions.get(base)
+                if versions and name in versions:
+                    versions.remove(name)
+                if self._active.get(base) == name:
+                    self._active.pop(base, None)
+            else:
+                for version in self._versions.pop(name, ()):
+                    self._models.pop(version, None)
+                    self._created_at.pop(version, None)
+                self._active.pop(name, None)
+            self._created_at.pop(name, None)
+            return model
 
     def names(self) -> List[str]:
-        """Sorted snapshot of the registered model names."""
+        """Sorted snapshot of the registered model names (versions included)."""
         with self._lock:
             return sorted(self._models)
 
@@ -81,27 +246,55 @@ class ModelRegistry:
 
     # -- persistence conveniences ---------------------------------------------
 
-    def load(self, name: str, path: Union[str, Path]) -> ClusterModel:
-        """Load a saved artifact from ``path`` and register it under ``name``."""
-        return self.register(name, ClusterModel.load(path))
+    def load(
+        self, name: str, path: Union[str, Path], *, mmap: bool = False
+    ) -> ClusterModel:
+        """Load a saved artifact from ``path`` and register it under ``name``.
+
+        With ``mmap=True`` the artifact's arrays are memory-mapped
+        (:meth:`ClusterModel.load`), so several serving processes loading
+        the same file share its pages instead of each holding a copy.
+        """
+        return self.register(name, ClusterModel.load(path, mmap=mmap))
 
     def save_all(self, directory: Union[str, Path]) -> Dict[str, Path]:
-        """Save every registered model as ``<directory>/<name>.npz``."""
+        """Save every registered model as ``<directory>/<name>.npz``.
+
+        The *active* version of a swapped name is skipped: its bytes are
+        exactly the alias file, so writing both would serialize every live
+        model twice.  Superseded versions are distinct artifacts and are
+        saved.  (Version names contain ``"@"``, which stays filesystem-safe
+        on the platforms this repo targets.)
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         with self._lock:
             snapshot = dict(self._models)
+            active = set(self._active.values())
         return {
             name: model.save(directory / f"{name}.npz")
             for name, model in snapshot.items()
+            if name not in active
         }
 
     def load_dir(self, directory: Union[str, Path]) -> List[str]:
-        """Register every ``*.npz`` artifact in ``directory`` under its stem."""
+        """Register every ``*.npz`` artifact in ``directory`` under its stem.
+
+        Stems in the version namespace (``"<base>@v<k>"``, as written by
+        :meth:`save_all` for superseded versions) are bound directly as
+        resolvable pinned artifacts -- swap bookkeeping (version lists, the
+        active pointer) is not persisted and does not round-trip.
+        """
         names: List[str] = []
         for path in sorted(Path(directory).glob("*.npz")):
-            self.load(path.stem, path)
-            names.append(path.stem)
+            stem = path.stem
+            if _VERSION_SUFFIX.search(stem):
+                model = ClusterModel.load(path)
+                with self._lock:
+                    self._models[stem] = model
+            else:
+                self.load(stem, path)
+            names.append(stem)
         return names
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

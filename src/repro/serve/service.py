@@ -19,8 +19,9 @@ batches finish against the model they started with.
 
 from __future__ import annotations
 
+import asyncio
 import threading
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -49,6 +50,11 @@ class ClusteringService:
     registry:
         Optional externally managed :class:`ModelRegistry`; a fresh private
         one is created when omitted.
+    max_async_workers:
+        Size of the dispatch thread pool backing the asyncio front end
+        (:meth:`predict_async` / :meth:`ingest_async`).  The pool is created
+        lazily on the first async call, so purely synchronous services never
+        pay for it.
 
     Attributes
     ----------
@@ -57,13 +63,34 @@ class ClusteringService:
     n_batches_:
         Vectorized predict passes executed; ``n_requests_ - n_batches_`` is
         the number of requests that rode along in someone else's micro-batch.
+
+    The service is a context manager (``with``/``async with``); leaving the
+    block -- or calling :meth:`close` directly -- shuts the dispatch pool
+    down and rejects further requests with ``RuntimeError``.
     """
 
-    def __init__(self, registry: Optional[ModelRegistry] = None) -> None:
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        *,
+        max_async_workers: int = 4,
+    ) -> None:
+        if int(max_async_workers) < 1:
+            raise ValueError(
+                f"max_async_workers must be >= 1; got {max_async_workers}."
+            )
         self.registry = registry if registry is not None else ModelRegistry()
+        self.max_async_workers = int(max_async_workers)
         self._queues: Dict[str, _ModelQueue] = {}
         self._queues_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        self._lifecycle_lock = threading.Lock()
+        self._async_pool: Optional[ThreadPoolExecutor] = None
+        # _closing stops admitting *new* requests while close() drains the
+        # dispatch pool; _closed flips only after the drain, so async
+        # requests admitted before close() still execute their submit().
+        self._closing = False
+        self._closed = False
         self.n_requests_: int = 0
         self.n_batches_: int = 0
 
@@ -73,9 +100,23 @@ class ClusteringService:
         """Register a frozen model under ``name`` (atomic swap)."""
         return self.registry.register(name, model, overwrite=overwrite)
 
-    def load(self, name: str, path) -> ClusterModel:
-        """Load a saved artifact and register it under ``name``."""
-        return self.registry.load(name, path)
+    def swap(self, name: str, model: ClusterModel) -> str:
+        """Blue/green publish: new version of ``name``, alias rebound atomically.
+
+        Delegates to :meth:`ModelRegistry.swap`; concurrent :meth:`predict`
+        traffic on ``name`` never observes a missing model, and in-flight
+        micro-batches finish against the version they started with.
+        Returns the new version name.
+        """
+        return self.registry.swap(name, model)
+
+    def load(self, name: str, path, *, mmap: bool = False) -> ClusterModel:
+        """Load a saved artifact and register it under ``name``.
+
+        ``mmap=True`` memory-maps the artifact arrays so co-located serving
+        processes share the file's pages (see :meth:`ClusterModel.load`).
+        """
+        return self.registry.load(name, path, mmap=mmap)
 
     def ingest(
         self,
@@ -93,6 +134,8 @@ class ClusteringService:
         ingestion memory is proportional to the occupied cells, not the
         sample count), freezes the result and registers it under ``name``.
         """
+        if self._closed:
+            raise RuntimeError("ClusteringService is closed; no further requests.")
         estimator = parallel_ingest(
             batches,
             bounds=bounds,
@@ -127,6 +170,8 @@ class ClusteringService:
         combined pass itself before returning, so this is "asynchronous" in
         the queuing sense, not a background-thread guarantee.
         """
+        if self._closed:
+            raise RuntimeError("ClusteringService is closed; no further requests.")
         self.registry.get(name)  # fail fast on unknown names
         X = np.asarray(X, dtype=np.float64)
         future: "Future[np.ndarray]" = Future()
@@ -202,6 +247,98 @@ class ClusteringService:
                 continue
             for future, labels in zip(futures, results):
                 self._resolve_future(future, result=labels)
+
+    # -- asyncio front end -------------------------------------------------------
+
+    def _dispatch_pool(self) -> ThreadPoolExecutor:
+        with self._lifecycle_lock:
+            if self._closed or self._closing:
+                raise RuntimeError("ClusteringService is closed; no further requests.")
+            if self._async_pool is None:
+                self._async_pool = ThreadPoolExecutor(
+                    max_workers=self.max_async_workers,
+                    thread_name_prefix="repro-serve",
+                )
+            return self._async_pool
+
+    async def predict_async(self, name: str, X) -> np.ndarray:
+        """Awaitable :meth:`predict`: labels of ``X`` under model ``name``.
+
+        The request runs on the service's dispatch pool, so the event loop
+        is never blocked by a micro-batch leader pass; requests from
+        coroutines and from plain threads coalesce into the same
+        micro-batches.
+        """
+        loop = asyncio.get_running_loop()
+        pool = self._dispatch_pool()
+        return await loop.run_in_executor(pool, self.predict, name, X)
+
+    async def ingest_async(
+        self,
+        name: str,
+        batches: Sequence[np.ndarray],
+        *,
+        bounds,
+        n_workers: Optional[int] = None,
+        executor: str = "thread",
+        **adawave_params,
+    ) -> ClusterModel:
+        """Awaitable :meth:`ingest`: cluster, freeze and register off-loop."""
+        loop = asyncio.get_running_loop()
+        pool = self._dispatch_pool()
+        return await loop.run_in_executor(
+            pool,
+            lambda: self.ingest(
+                name,
+                batches,
+                bounds=bounds,
+                n_workers=n_workers,
+                executor=executor,
+                **adawave_params,
+            ),
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the service down: drain the dispatch pool, reject new requests.
+
+        Idempotent.  In-flight requests finish -- async requests already
+        admitted to the dispatch pool run to completion before the closed
+        flag takes effect -- and subsequent :meth:`predict` /
+        :meth:`submit` / async calls raise ``RuntimeError``.  The registry
+        (possibly shared) is left untouched.
+        """
+        with self._lifecycle_lock:
+            if self._closed or self._closing:
+                return
+            self._closing = True
+            pool, self._async_pool = self._async_pool, None
+        # Drain with admissions stopped but submit() still open, so queued
+        # predict_async work items admitted before close() complete instead
+        # of being rejected mid-flight.
+        if pool is not None:
+            pool.shutdown(wait=True)
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def __enter__(self) -> "ClusteringService":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    async def __aenter__(self) -> "ClusteringService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> bool:
+        self.close()
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

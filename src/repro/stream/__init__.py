@@ -1,0 +1,45 @@
+"""The online control plane: live sketches, drift detection, re-tuning.
+
+The quantized grid is a tiny, associative, commutative sketch of everything a
+stream has seen -- which is why AdaWave can ingest out-of-core, merge shards
+exactly and serve from frozen artifacts.  This package makes that sketch a
+first-class citizen and closes the loop from ingestion back to serving:
+
+* :class:`StreamSketch` -- owns the fine-resolution COO sketch, the frozen
+  quantization geometry and the ingest counters, with ``ingest``, ``merge``,
+  ``coarsen``, ``decay`` and ``snapshot`` as first-class operations.
+  :meth:`repro.core.adawave.AdaWave.partial_fit` and
+  :func:`repro.serve.parallel_ingest` are thin adapters over it.
+* :class:`DriftMonitor` -- scores the live sketch against the currently
+  served :class:`~repro.serve.ClusterModel` with the label-free criteria of
+  :mod:`repro.tune.scoring` (noise-band mass shift, partition-stability drop
+  at the serving resolution) and flags drift, all in ``O(cells)``.
+* :class:`StreamController` -- the drift-aware control plane: batches flow
+  into the sketch, drift checks run on a cadence, and a confirmed drift
+  triggers an *incremental re-tune* -- :func:`repro.tune.tune_pyramid` re-run
+  from the live sketch (the quantization is already in hand, so the sweep is
+  ~``S`` ``O(cells)`` passes, never a refit) -- whose winner is published
+  through an atomic blue/green :meth:`~repro.serve.ModelRegistry.swap`, so
+  in-flight ``predict`` traffic never observes a missing or torn model.
+
+Typical online loop::
+
+    from repro.stream import StreamController
+
+    plane = StreamController("live", bounds=(low, high), n_features=2)
+    for batch in stream:
+        report = plane.ingest(batch)        # drift check + re-tune inside
+        labels = plane.predict(queries)     # always served, never blocked
+"""
+
+from repro.stream.sketch import SketchSnapshot, StreamSketch
+from repro.stream.drift import DriftMonitor, DriftReport
+from repro.stream.controller import StreamController
+
+__all__ = [
+    "DriftMonitor",
+    "DriftReport",
+    "SketchSnapshot",
+    "StreamController",
+    "StreamSketch",
+]

@@ -1,0 +1,157 @@
+"""Asyncio front end and close()/context-manager lifecycle of the service.
+
+The async entry points must (a) never block the event loop on a micro-batch
+leader pass, (b) return exactly the labels the sync path returns, and (c)
+respect the closed state.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.adawave import AdaWave
+from repro.serve import ClusteringService
+
+BOUNDS = ([0.0, 0.0], [1.0, 1.0])
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(31)
+    blob = np.clip(rng.normal(0.4, 0.05, size=(1500, 2)), 0.0, 1.0)
+    noise = rng.uniform(size=(2000, 2))
+    X = np.vstack([blob, noise])
+    return X, AdaWave(scale=64, bounds=BOUNDS).fit(X).export_model()
+
+
+class TestAsyncFrontEnd:
+    def test_predict_async_matches_sync(self, fitted):
+        X, model = fitted
+
+        async def main():
+            async with ClusteringService() as service:
+                service.register("m", model)
+                return await service.predict_async("m", X[:500])
+
+        labels = asyncio.run(main())
+        np.testing.assert_array_equal(labels, model.predict(X[:500]))
+
+    def test_concurrent_coroutines_coalesce_and_match(self, fitted):
+        X, model = fitted
+        expected = model.predict(X)
+
+        async def main():
+            async with ClusteringService() as service:
+                service.register("m", model)
+                slices = [slice(i * 200, (i + 1) * 200) for i in range(8)]
+                results = await asyncio.gather(
+                    *(service.predict_async("m", X[s]) for s in slices)
+                )
+                return slices, results, service.n_requests_
+
+        slices, results, n_requests = asyncio.run(main())
+        for s, labels in zip(slices, results):
+            np.testing.assert_array_equal(labels, expected[s])
+        assert n_requests == 8
+
+    def test_unknown_model_raises_through_await(self, fitted):
+        async def main():
+            async with ClusteringService() as service:
+                await service.predict_async("missing", np.zeros((2, 2)))
+
+        with pytest.raises(KeyError, match="missing"):
+            asyncio.run(main())
+
+    def test_ingest_async_registers_and_serves(self, fitted):
+        X, _model = fitted
+
+        async def main():
+            async with ClusteringService() as service:
+                frozen = await service.ingest_async(
+                    "streamed", np.array_split(X, 4), bounds=BOUNDS, scale=64
+                )
+                labels = await service.predict_async("streamed", X)
+                return frozen, labels
+
+        frozen, labels = asyncio.run(main())
+        reference = AdaWave(scale=64, bounds=BOUNDS).fit(X)
+        np.testing.assert_array_equal(labels, reference.labels_)
+        assert frozen.metadata["n_seen"] == len(X)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_rejects_requests(self, fitted):
+        X, model = fitted
+        service = ClusteringService()
+        service.register("m", model)
+        service.predict("m", X[:10])
+        service.close()
+        service.close()  # idempotent
+        assert service.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            service.predict("m", X[:10])
+        with pytest.raises(RuntimeError, match="closed"):
+            service.ingest("late", [X[:10]], bounds=BOUNDS, scale=64)
+
+    def test_sync_context_manager_closes(self, fitted):
+        X, model = fitted
+        with ClusteringService() as service:
+            service.register("m", model)
+            service.predict("m", X[:10])
+        assert service.closed
+
+    def test_async_calls_after_close_raise(self, fitted):
+        X, model = fitted
+        service = ClusteringService()
+        service.register("m", model)
+        service.close()
+
+        async def main():
+            await service.predict_async("m", X[:10])
+
+        with pytest.raises(RuntimeError, match="closed"):
+            asyncio.run(main())
+
+    def test_close_lets_queued_async_requests_finish(self, fitted):
+        """Requests admitted to the dispatch pool before close() must
+        complete, not be rejected mid-flight by the closed flag."""
+        import threading
+
+        X, model = fitted
+        service = ClusteringService(max_async_workers=1)
+        service.register("m", model)
+        release = threading.Event()
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            pool = service._dispatch_pool()
+            # Occupy the single worker so the next request queues behind it.
+            blocker = loop.run_in_executor(pool, release.wait)
+            queued = asyncio.ensure_future(service.predict_async("m", X[:50]))
+            await asyncio.sleep(0.05)  # let the queued request be admitted
+            closer = loop.run_in_executor(None, service.close)
+            release.set()
+            labels = await queued
+            await blocker
+            await closer
+            return labels
+
+        labels = asyncio.run(main())
+        np.testing.assert_array_equal(labels, model.predict(X[:50]))
+        assert service.closed
+
+    def test_registry_survives_close(self, fitted):
+        """Closing the service front end must not touch the (shared) registry."""
+        X, model = fitted
+        service = ClusteringService()
+        service.register("m", model)
+        service.close()
+        assert "m" in service.registry
+        np.testing.assert_array_equal(
+            service.registry.get("m").predict(X[:10]), model.predict(X[:10])
+        )
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="max_async_workers"):
+            ClusteringService(max_async_workers=0)

@@ -275,3 +275,64 @@ class TestClusterModelRejection:
         _, estimator = fitted
         path = estimator.export_model().save(tmp_path / "model.npz")
         assert zipfile.is_zipfile(path)
+
+
+class TestMemoryMappedLoad:
+    """load(mmap=True): npz members memory-mapped so processes share pages."""
+
+    @staticmethod
+    def _backed_by_memmap(array):
+        probe = array
+        while probe is not None:
+            if isinstance(probe, np.memmap):
+                return True
+            probe = getattr(probe, "base", None)
+        return False
+
+    def test_uncompressed_roundtrip_is_memory_mapped(self, fitted, tmp_path):
+        X, estimator = fitted
+        model = estimator.export_model()
+        path = model.save(tmp_path / "model.npz", compress=False)
+        served = ClusterModel.load(path, mmap=True)
+        assert self._backed_by_memmap(served.cell_coords)
+        assert self._backed_by_memmap(served.cell_labels)
+        np.testing.assert_array_equal(served.predict(X), estimator.labels_)
+        np.testing.assert_array_equal(served.cell_coords, model.cell_coords)
+        assert served.metadata == model.metadata
+
+    def test_compressed_artifact_falls_back_to_copying_read(self, fitted, tmp_path):
+        X, estimator = fitted
+        model = estimator.export_model()
+        path = model.save(tmp_path / "model.npz")  # compressed default
+        served = ClusterModel.load(path, mmap=True)
+        assert not self._backed_by_memmap(served.cell_coords)
+        np.testing.assert_array_equal(served.predict(X), estimator.labels_)
+
+    def test_mmap_load_rejects_corruption_like_the_plain_path(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(ValueError, match="not a readable"):
+            ClusterModel.load(path, mmap=True)
+
+    def test_compressed_and_uncompressed_artifacts_are_equivalent(self, fitted, tmp_path):
+        X, estimator = fitted
+        model = estimator.export_model()
+        compressed = ClusterModel.load(model.save(tmp_path / "c.npz", compress=True))
+        plain = ClusterModel.load(
+            model.save(tmp_path / "u.npz", compress=False), mmap=True
+        )
+        np.testing.assert_array_equal(compressed.predict(X), plain.predict(X))
+        assert compressed.grid_shape == plain.grid_shape
+        assert compressed.threshold == plain.threshold
+
+    def test_registry_load_mmap_passthrough(self, fitted, tmp_path):
+        from repro.serve import ModelRegistry
+
+        X, estimator = fitted
+        path = estimator.export_model().save(tmp_path / "model.npz", compress=False)
+        registry = ModelRegistry()
+        registry.load("prod", path, mmap=True)
+        assert self._backed_by_memmap(registry.get("prod").cell_coords)
+        np.testing.assert_array_equal(
+            registry.get("prod").predict(X), estimator.labels_
+        )

@@ -1,0 +1,213 @@
+"""Blue/green versioned swaps, TTL/eviction, and swap-under-load safety.
+
+The acceptance bar: a reader loop calling ``service.predict`` while a writer
+loop ``swap``s versions must never raise ``KeyError`` or observe a torn
+model -- every answer must exactly match one of the registered artifacts.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.adawave import AdaWave
+from repro.serve import ClusteringService, ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Two distinguishable datasets/models plus a shared query set."""
+    rng = np.random.default_rng(23)
+    models = []
+    for offset in (0.25, 0.65):
+        blob = np.clip(rng.normal(offset, 0.04, size=(1500, 2)), 0.0, 1.0)
+        noise = rng.uniform(size=(2500, 2))
+        X = np.vstack([blob, noise])
+        models.append(AdaWave(scale=64, bounds=([0, 0], [1, 1])).fit(X).export_model())
+    queries = rng.uniform(size=(400, 2))
+    return models, queries
+
+
+class TestSwapSemantics:
+    def test_swap_assigns_versions_and_rebinds_alias(self, corpus):
+        models, _ = corpus
+        registry = ModelRegistry()
+        assert registry.swap("live", models[0]) == "live@v1"
+        assert registry.swap("live", models[1]) == "live@v2"
+        assert registry.get("live") is models[1]
+        assert registry.get("live@v1") is models[0]  # pinned readers keep it
+        assert registry.get("live@v2") is models[1]
+        assert registry.versions("live") == ["live@v1", "live@v2"]
+        assert registry.active_version("live") == "live@v2"
+
+    def test_swap_onto_version_name_rejected(self, corpus):
+        models, _ = corpus
+        registry = ModelRegistry()
+        registry.swap("live", models[0])
+        with pytest.raises(ValueError, match="version"):
+            registry.swap("live@v1", models[1])
+
+    def test_version_counter_never_reuses_names(self, corpus):
+        """A pinned 'live@v2' must never silently resolve to a different
+        artifact after eviction + new swaps."""
+        models, _ = corpus
+        registry = ModelRegistry(max_versions=1)
+        registry.swap("live", models[0])
+        registry.swap("live", models[1])
+        assert "live@v1" not in registry
+        assert registry.swap("live", models[0]) == "live@v3"
+
+    def test_max_versions_evicts_oldest_not_active(self, corpus):
+        models, _ = corpus
+        registry = ModelRegistry(max_versions=2)
+        for index in range(5):
+            registry.swap("live", models[index % 2])
+        assert registry.versions("live") == ["live@v4", "live@v5"]
+        assert "live@v1" not in registry
+        assert registry.get("live") is registry.get("live@v5")
+
+    def test_ttl_evicts_stale_versions_but_never_the_live_one(self, corpus):
+        models, _ = corpus
+        now = [0.0]
+        registry = ModelRegistry(ttl_seconds=10.0, clock=lambda: now[0])
+        registry.swap("live", models[0])
+        now[0] = 5.0
+        registry.swap("live", models[1])
+        assert registry.versions("live") == ["live@v1", "live@v2"]
+        now[0] = 100.0  # both versions are past the TTL now
+        evicted = registry.evict_stale()
+        assert evicted == ["live@v1"]
+        # The live version survives any TTL.
+        assert registry.versions("live") == ["live@v2"]
+        assert registry.get("live") is models[1]
+
+    def test_unregister_base_name_drops_versions(self, corpus):
+        models, _ = corpus
+        registry = ModelRegistry()
+        registry.swap("live", models[0])
+        registry.swap("live", models[1])
+        registry.unregister("live")
+        assert "live" not in registry
+        assert "live@v1" not in registry
+        assert "live@v2" not in registry
+        assert registry.versions("live") == []
+
+    def test_invalid_retention_params_rejected(self):
+        with pytest.raises(ValueError, match="max_versions"):
+            ModelRegistry(max_versions=0)
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            ModelRegistry(ttl_seconds=-1.0)
+
+    def test_register_refuses_version_namespace(self, corpus):
+        """A pinned 'name@vK' must never be silently rebound by register()."""
+        models, _ = corpus
+        registry = ModelRegistry()
+        registry.swap("live", models[0])
+        with pytest.raises(ValueError, match="version namespace"):
+            registry.register("live@v1", models[1])
+        assert registry.get("live@v1") is models[0]
+        # Even never-swapped names in the namespace are refused.
+        with pytest.raises(ValueError, match="version namespace"):
+            registry.register("other@v7", models[1])
+
+    def test_register_on_swapped_name_clears_active_version(self, corpus):
+        """A plain rebind takes the alias out of swap management instead of
+        leaving active_version() pointing at a version it no longer serves."""
+        models, _ = corpus
+        registry = ModelRegistry()
+        registry.swap("live", models[0])
+        registry.register("live", models[1])
+        assert registry.get("live") is models[1]
+        assert registry.active_version("live") is None
+        assert registry.get("live@v1") is models[0]  # pinned readers keep it
+
+    def test_unregister_version_name_updates_version_list(self, corpus):
+        models, _ = corpus
+        registry = ModelRegistry()
+        registry.swap("live", models[0])
+        registry.swap("live", models[1])
+        registry.unregister("live@v1")
+        assert registry.versions("live") == ["live@v2"]
+        with pytest.raises(KeyError):
+            registry.get("live@v1")
+        assert registry.get("live") is models[1]
+
+    def test_save_all_writes_each_live_model_once(self, corpus, tmp_path):
+        """The active version's bytes are exactly the alias file; save_all
+        must not serialize them twice (superseded versions are distinct)."""
+        models, queries = corpus
+        registry = ModelRegistry()
+        registry.swap("live", models[0])
+        registry.swap("live", models[1])
+        saved = registry.save_all(tmp_path)
+        assert sorted(saved) == ["live", "live@v1"]  # no live@v2 duplicate
+
+        restored = ModelRegistry()
+        assert restored.load_dir(tmp_path) == ["live", "live@v1"]
+        np.testing.assert_array_equal(
+            restored.get("live").predict(queries), models[1].predict(queries)
+        )
+        np.testing.assert_array_equal(
+            restored.get("live@v1").predict(queries), models[0].predict(queries)
+        )
+
+    def test_service_swap_passthrough(self, corpus):
+        models, queries = corpus
+        service = ClusteringService()
+        version = service.swap("live", models[0])
+        assert version == "live@v1"
+        np.testing.assert_array_equal(
+            service.predict("live", queries), models[0].predict(queries)
+        )
+
+
+class TestSwapUnderLoad:
+    def test_readers_never_fail_or_see_torn_models(self, corpus):
+        """Concurrent swap/predict: no KeyError, and every answer equals one
+        of the two registered artifacts' answers bit-for-bit."""
+        models, queries = corpus
+        expected = [model.predict(queries) for model in models]
+        # The two models must disagree on the query set, otherwise "torn"
+        # would be unobservable.
+        assert not np.array_equal(expected[0], expected[1])
+
+        registry = ModelRegistry(max_versions=3)
+        service = ClusteringService(registry)
+        service.swap("hot", models[0])
+        stop = threading.Event()
+        errors = []
+        torn = []
+        n_reads = [0] * 4
+
+        def swapper():
+            flip = 0
+            while not stop.is_set():
+                flip ^= 1
+                service.swap("hot", models[flip])
+
+        def reader(slot):
+            try:
+                for _ in range(150):
+                    labels = service.predict("hot", queries)
+                    if not any(np.array_equal(labels, e) for e in expected):
+                        torn.append(labels)
+                    n_reads[slot] += 1
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        writer = threading.Thread(target=swapper)
+        readers = [threading.Thread(target=reader, args=(slot,)) for slot in range(4)]
+        writer.start()
+        for thread in readers:
+            thread.start()
+        for thread in readers:
+            thread.join()
+        stop.set()
+        writer.join()
+
+        assert errors == []
+        assert torn == []
+        assert sum(n_reads) == 4 * 150
+        # The retention policy ran under load without disturbing the alias.
+        assert registry.get("hot") in models
+        assert len(registry.versions("hot")) <= 3

@@ -102,7 +102,7 @@ class TestCoarsenExactness:
         for shard in shards:
             merged.merge_stream(shard)
         expected = GridQuantizer(scale=scale, bounds=BOUNDS).fit_transform(X).grid
-        _assert_grids_identical(merged._stream_grid.coarsen(2), expected)
+        _assert_grids_identical(merged._sketch.coarsen(2), expected)
 
     def test_mass_is_preserved(self):
         rng = np.random.default_rng(0)
