@@ -55,7 +55,15 @@ from repro.core.adawave import AdaWave, AdaWaveResult
 from repro.core.multiresolution import MultiResolutionAdaWave
 from repro.engine import BatchRunner
 from repro.metrics import adjusted_mutual_info, adjusted_rand_index, normalized_mutual_info
-from repro.serve import ClusterModel, ClusteringService, ModelRegistry, parallel_ingest
+from repro.serve import (
+    ArtifactStore,
+    ClusterModel,
+    ClusteringService,
+    ModelRegistry,
+    ProcessPoolService,
+    Telemetry,
+    parallel_ingest,
+)
 from repro.stream import DriftMonitor, StreamController, StreamSketch
 from repro.tune import GridPyramid, TuneResult, tune_pyramid
 from repro.utils.validation import NotFittedError
@@ -63,6 +71,7 @@ from repro.utils.validation import NotFittedError
 __all__ = [
     "AdaWave",
     "AdaWaveResult",
+    "ArtifactStore",
     "BatchRunner",
     "ClusterModel",
     "ClusteringService",
@@ -71,8 +80,10 @@ __all__ = [
     "ModelRegistry",
     "MultiResolutionAdaWave",
     "NotFittedError",
+    "ProcessPoolService",
     "StreamController",
     "StreamSketch",
+    "Telemetry",
     "TuneResult",
     "parallel_ingest",
     "tune_pyramid",

@@ -36,7 +36,11 @@ from repro.experiments.glass_correlation import run_glass_correlation
 from repro.experiments.roadmap_case import run_roadmap_case_study
 from repro.experiments.runtime import run_engine_speedup, run_runtime_comparison
 from repro.experiments.ablation import run_threshold_ablation, run_memory_ablation, run_wavelet_ablation
-from repro.experiments.serving import run_parallel_ingest, run_predict_throughput
+from repro.experiments.serving import (
+    run_parallel_ingest,
+    run_predict_throughput,
+    run_procpool_throughput,
+)
 from repro.experiments.tuning import run_tune_overhead, run_tuning_comparison
 from repro.experiments.drift import run_drift_recovery, run_retune_cost
 from repro.experiments.reporting import format_table
@@ -58,6 +62,7 @@ __all__ = [
     "run_wavelet_ablation",
     "run_parallel_ingest",
     "run_predict_throughput",
+    "run_procpool_throughput",
     "run_tune_overhead",
     "run_tuning_comparison",
     "run_drift_recovery",

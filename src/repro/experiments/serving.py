@@ -11,15 +11,23 @@ extensions (ROADMAP items).  Two workloads:
   :func:`~repro.serve.parallel_ingest` at several worker counts, verifying
   every configuration predicts identical labels (grid merging is exact, not
   approximate).
+* :func:`run_procpool_throughput` -- drive identical concurrent predict
+  traffic through a single-process :class:`~repro.serve.ClusteringService`
+  (whose per-model micro-batch leader serializes at one core) and through a
+  :class:`~repro.serve.ProcessPoolService` worker pool, reporting aggregate
+  throughput and the procpool speedup, and verifying the pooled labels are
+  bit-for-bit the single-process labels.
 
-Both report rows through the shared :class:`ExperimentResult` machinery so
+All report rows through the shared :class:`ExperimentResult` machinery so
 the benchmark layer can print them as tables, and assert nothing themselves.
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
-from typing import Optional, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -28,6 +36,8 @@ from repro.datasets.synthetic import scaled_runtime_dataset
 from repro.experiments.runner import ExperimentResult
 from repro.serve.model import ClusterModel
 from repro.serve.parallel import _ingest_shard, parallel_ingest
+from repro.serve.procpool import ProcessPoolService
+from repro.serve.service import ClusteringService
 
 
 def run_predict_throughput(
@@ -176,4 +186,116 @@ def run_parallel_ingest(
 
     result.metadata["labels_identical"] = all_identical
     result.metadata["n_clusters"] = serial_model.n_clusters_
+    return result
+
+
+def _drive_concurrent(predict, requests: List[np.ndarray], n_threads: int) -> float:
+    """Wall seconds to answer every request from ``n_threads`` caller threads."""
+    with ThreadPoolExecutor(max_workers=n_threads) as callers:
+        start = time.perf_counter()
+        futures = [callers.submit(predict, X) for X in requests]
+        for future in futures:
+            future.result()
+        return time.perf_counter() - start
+
+
+def run_procpool_throughput(
+    n_train: int = 20_000,
+    n_queries: int = 200_000,
+    n_requests: int = 64,
+    n_workers: int = 2,
+    n_threads: int = 4,
+    scale: int = 128,
+    noise_fraction: float = 0.75,
+    seed: int = 0,
+    repeats: int = 3,
+    store_dir=None,
+    mp_context: str = "spawn",
+) -> ExperimentResult:
+    """Aggregate predict throughput: single-process service vs process pool.
+
+    One frozen model serves ``n_requests`` query batches (``n_queries``
+    points total) submitted concurrently from ``n_threads`` caller threads,
+    first through a plain :class:`ClusteringService` -- where the per-model
+    micro-batch leader serializes every pass onto one core -- then through a
+    :class:`ProcessPoolService` with ``n_workers`` worker processes over a
+    shared artifact store.  Each configuration is warmed once and timed
+    ``repeats`` times (best taken).  Metadata records whether every pooled
+    answer matched the frozen model bit-for-bit.
+    """
+    train = scaled_runtime_dataset(n_train, noise_fraction=noise_fraction, seed=seed)
+    queries = scaled_runtime_dataset(
+        n_queries, noise_fraction=noise_fraction, seed=seed + 1
+    ).points
+    frozen = AdaWave(scale=scale).fit(train.points).export_model()
+    requests = np.array_split(queries, n_requests)
+    expected = [frozen.predict(X) for X in requests]
+
+    result = ExperimentResult(
+        experiment="serving: multi-process predict throughput",
+        columns=["configuration", "workers", "seconds", "points_per_sec", "speedup"],
+        metadata={
+            "n_train": train.n_samples,
+            "n_queries": len(queries),
+            "n_requests": n_requests,
+            "n_threads": n_threads,
+            "scale": scale,
+            "seed": seed,
+        },
+    )
+
+    labels_match = True
+
+    def _measure(service) -> float:
+        nonlocal labels_match
+        answers = [service.predict("live", X) for X in requests[: n_threads]]
+        labels_match = labels_match and all(
+            np.array_equal(got, want) for got, want in zip(answers, expected)
+        )
+        best = np.inf
+        for _ in range(max(repeats, 1)):
+            best = min(
+                best,
+                _drive_concurrent(
+                    lambda X: service.predict("live", X), requests, n_threads
+                ),
+            )
+        final = [service.predict("live", X) for X in requests]
+        labels_match = labels_match and all(
+            np.array_equal(got, want) for got, want in zip(final, expected)
+        )
+        return best
+
+    with ClusteringService() as single:
+        single.register("live", frozen)
+        single_seconds = _measure(single)
+    result.add_row(
+        configuration="single-process", workers=1, seconds=float(single_seconds),
+        points_per_sec=float(len(queries) / max(single_seconds, 1e-9)), speedup=1.0,
+    )
+
+    cleanup = None
+    if store_dir is None:
+        cleanup = tempfile.TemporaryDirectory()
+        store_dir = cleanup.name
+    try:
+        with ProcessPoolService(
+            store_dir, n_workers=n_workers, mp_context=mp_context
+        ) as pooled:
+            pooled.register("live", frozen)
+            pooled_seconds = _measure(pooled)
+            workers_alive = all(pooled.pool.alive())
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    result.add_row(
+        configuration=f"procpool x{n_workers}", workers=n_workers,
+        seconds=float(pooled_seconds),
+        points_per_sec=float(len(queries) / max(pooled_seconds, 1e-9)),
+        speedup=float(single_seconds / max(pooled_seconds, 1e-9)),
+    )
+
+    result.metadata["labels_match"] = bool(labels_match)
+    result.metadata["workers_alive"] = bool(workers_alive)
+    result.metadata["model_cells"] = frozen.n_cells
     return result

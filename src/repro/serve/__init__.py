@@ -15,10 +15,19 @@ serving stack:
   (readers never observe a missing model) plus ``max_versions`` / TTL
   retention of superseded versions;
 * :class:`ClusteringService` -- concurrent, micro-batched ``predict`` over
-  many registered models, with an asyncio front end
-  (:meth:`~ClusteringService.predict_async` /
+  many registered models, with admission control (``max_pending``,
+  :class:`Overloaded` rejection or blocking backpressure), an asyncio front
+  end (:meth:`~ClusteringService.predict_async` /
   :meth:`~ClusteringService.ingest_async`) and a ``close()`` /
-  context-manager lifecycle;
+  context-manager lifecycle (:class:`ServiceClosed` afterwards);
+* :class:`ProcessPoolService` -- the multi-process serving plane: predict
+  micro-batches dispatched to a pool of worker processes that hold the live
+  models memory-mapped against a shared content-addressed
+  :class:`ArtifactStore`, with blue/green swaps preserved across process
+  boundaries;
+* :class:`Telemetry` -- the shared metrics surface (per-model latency
+  quantiles, batch sizes, queue depth, swap counts, drift history) every
+  serving component reports into;
 * :func:`parallel_ingest` -- sharded thread/process ingestion of batched
   datasets, exploiting that the quantized grid is an associative sketch
   (:class:`~repro.stream.StreamSketch`).
@@ -36,15 +45,23 @@ Typical flow::
     labels = service.predict("prod", X_new)
 """
 
+from repro.serve.metrics import Telemetry
 from repro.serve.model import FORMAT_MAGIC, FORMAT_VERSION, ClusterModel
 from repro.serve.parallel import parallel_ingest
+from repro.serve.procpool import ArtifactStore, ProcessPoolService, ProcessWorkerPool
 from repro.serve.registry import ModelRegistry
-from repro.serve.service import ClusteringService
+from repro.serve.service import ClusteringService, Overloaded, ServiceClosed
 
 __all__ = [
+    "ArtifactStore",
     "ClusterModel",
     "ModelRegistry",
     "ClusteringService",
+    "ProcessPoolService",
+    "ProcessWorkerPool",
+    "Overloaded",
+    "ServiceClosed",
+    "Telemetry",
     "parallel_ingest",
     "FORMAT_MAGIC",
     "FORMAT_VERSION",

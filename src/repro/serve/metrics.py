@@ -1,0 +1,220 @@
+"""Serving telemetry: latency histograms, queue depth, swaps, drift history.
+
+A serving plane is only operable if it can answer "how is it doing?" without
+stopping.  :class:`Telemetry` is the shared hook surface every serving
+component reports into -- :class:`~repro.serve.ClusteringService` (and its
+multi-process subclass) records per-model predict latency and batch sizes,
+admission control records queue depth and rejections, blue/green publication
+records swaps, and :class:`~repro.stream.StreamController` records its
+drift-check history and contained callback failures.
+
+Everything is aggregated in-process under one lock: bounded reservoirs for
+the latency/batch-size distributions (so an always-on service never grows),
+plain counters for the rest.  :meth:`Telemetry.snapshot` returns a nested
+plain-``dict`` view (JSON-able) at any time, and an optional ``sink``
+callable receives every event as it is recorded, so tests, benchmarks and
+exporters can introspect the stream without polling.  A failing sink is
+contained and counted, never propagated into the serving path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
+
+import numpy as np
+
+#: Latency quantiles exported by :meth:`Telemetry.snapshot`.
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+class _PredictSeries:
+    """Bounded per-model predict statistics (latency + batch size)."""
+
+    __slots__ = ("count", "rows", "seconds_total", "seconds_max", "latencies",
+                 "batch_max")
+
+    def __init__(self, reservoir: int) -> None:
+        self.count = 0
+        self.rows = 0
+        self.seconds_total = 0.0
+        self.seconds_max = 0.0
+        self.latencies: Deque[float] = deque(maxlen=reservoir)
+        self.batch_max = 0
+
+
+class Telemetry:
+    """Thread-safe aggregation point for serving metrics.
+
+    Parameters
+    ----------
+    reservoir:
+        Per-model latency samples retained for quantile estimation (a
+        sliding reservoir of the most recent passes; counters and totals
+        remain exact over the full lifetime).
+    history_limit:
+        Drift-check reports retained in :meth:`snapshot`'s history.
+    sink:
+        Optional callable receiving every recorded event as a flat ``dict``
+        (``{"event": "predict", "model": ..., "seconds": ...}``).  The
+        queue-depth *gauge* is the one exception: it changes on every
+        admit/release, so it is readable from :meth:`snapshot` but not
+        streamed.  Exceptions raised by the sink are swallowed and counted
+        under ``sink_errors`` -- telemetry must never take the serving path
+        down.
+    """
+
+    def __init__(
+        self,
+        *,
+        reservoir: int = 2048,
+        history_limit: int = 256,
+        sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        if int(reservoir) < 1:
+            raise ValueError(f"reservoir must be >= 1; got {reservoir}.")
+        if int(history_limit) < 1:
+            raise ValueError(f"history_limit must be >= 1; got {history_limit}.")
+        self.reservoir = int(reservoir)
+        self.sink = sink
+        self._lock = threading.Lock()
+        self._predict: Dict[str, _PredictSeries] = {}
+        self._rejections: Dict[str, int] = {}
+        self._queue_depth = 0
+        self._max_queue_depth = 0
+        self._swaps: Dict[str, int] = {}
+        self._last_swap: Optional[str] = None
+        self._drift_checks = 0
+        self._drift_flagged = 0
+        self._drift_history: Deque[Dict[str, Any]] = deque(maxlen=int(history_limit))
+        self._callback_errors = 0
+        self._last_callback_error: Optional[str] = None
+        self._sink_errors = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if self.sink is None:
+            return
+        try:
+            self.sink(event)
+        except Exception:
+            with self._lock:
+                self._sink_errors += 1
+
+    def record_predict(self, model: str, seconds: float, batch_size: int) -> None:
+        """One executed predict pass: its wall time and row count."""
+        with self._lock:
+            series = self._predict.get(model)
+            if series is None:
+                series = self._predict[model] = _PredictSeries(self.reservoir)
+            series.count += 1
+            series.rows += int(batch_size)
+            series.seconds_total += float(seconds)
+            series.seconds_max = max(series.seconds_max, float(seconds))
+            series.latencies.append(float(seconds))
+            series.batch_max = max(series.batch_max, int(batch_size))
+        self._emit({"event": "predict", "model": model,
+                    "seconds": float(seconds), "batch_size": int(batch_size)})
+
+    def record_reject(self, model: str) -> None:
+        """One request turned away by admission control."""
+        with self._lock:
+            self._rejections[model] = self._rejections.get(model, 0) + 1
+        self._emit({"event": "reject", "model": model})
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Pending-request gauge, updated on every admit and release.
+
+        Not streamed to the sink (it would dominate the event stream); read
+        it from :meth:`snapshot` -- ``depth`` is the live value, ``max_depth``
+        the high-water mark.
+        """
+        with self._lock:
+            self._queue_depth = int(depth)
+            self._max_queue_depth = max(self._max_queue_depth, int(depth))
+
+    def record_swap(self, name: str, version: str) -> None:
+        """One blue/green publication of ``version`` under alias ``name``."""
+        with self._lock:
+            self._swaps[name] = self._swaps.get(name, 0) + 1
+            self._last_swap = version
+        self._emit({"event": "swap", "model": name, "version": version})
+
+    def record_drift_check(self, report: Any) -> None:
+        """One drift check; ``report`` is a DriftReport (or mapping)."""
+        if dataclasses.is_dataclass(report):
+            entry = dataclasses.asdict(report)
+        else:
+            entry = dict(report)
+        entry["reasons"] = list(entry.get("reasons") or ())
+        with self._lock:
+            self._drift_checks += 1
+            if entry.get("drifted"):
+                self._drift_flagged += 1
+            self._drift_history.append(entry)
+        self._emit({"event": "drift_check", **entry})
+
+    def record_callback_error(self, where: str, error: BaseException) -> None:
+        """A contained exception from a user callback (or worker control op)."""
+        with self._lock:
+            self._callback_errors += 1
+            self._last_callback_error = f"{where}: {type(error).__name__}: {error}"
+        self._emit({"event": "callback_error", "where": where,
+                    "error": f"{type(error).__name__}: {error}"})
+
+    # -- introspection -----------------------------------------------------------
+
+    @staticmethod
+    def _distribution(samples: Deque[float]) -> Dict[str, float]:
+        values = np.asarray(samples, dtype=np.float64)
+        stats = {f"p{int(q * 100)}": float(np.quantile(values, q)) for q in QUANTILES}
+        stats["mean"] = float(values.mean())
+        return stats
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-``dict`` view of everything recorded so far (JSON-able).
+
+        Per-model predict entries report exact lifetime counters (``count``,
+        ``rows``, total/max seconds) plus latency quantiles over the bounded
+        reservoir of the most recent passes.
+        """
+        with self._lock:
+            predict: Dict[str, Any] = {}
+            for model, series in self._predict.items():
+                latency = self._distribution(series.latencies)
+                latency["max"] = series.seconds_max
+                latency["total"] = series.seconds_total
+                predict[model] = {
+                    "count": series.count,
+                    "rows": series.rows,
+                    "latency": latency,
+                    "batch_size": {
+                        "mean": series.rows / series.count if series.count else 0.0,
+                        "max": series.batch_max,
+                    },
+                }
+            return {
+                "predict": predict,
+                "queue": {"depth": self._queue_depth,
+                          "max_depth": self._max_queue_depth},
+                "rejections": {"total": sum(self._rejections.values()),
+                               "by_model": dict(self._rejections)},
+                "swaps": {"count": sum(self._swaps.values()),
+                          "by_name": dict(self._swaps),
+                          "last_version": self._last_swap},
+                "drift": {"checks": self._drift_checks,
+                          "drifted": self._drift_flagged,
+                          "history": [dict(entry) for entry in self._drift_history]},
+                "callbacks": {"errors": self._callback_errors,
+                              "last": self._last_callback_error},
+                "sink_errors": self._sink_errors,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            passes = sum(s.count for s in self._predict.values())
+            swaps = sum(self._swaps.values())
+        return f"Telemetry(passes={passes}, swaps={swaps}, checks={self._drift_checks})"

@@ -18,6 +18,7 @@ instead of mislabelling traffic.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 import zipfile
@@ -205,6 +206,28 @@ class ClusterModel:
         return labels
 
     # -- persistence -----------------------------------------------------------
+
+    def content_digest(self) -> str:
+        """Hex SHA-256 of the artifact's logical content.
+
+        Hashes the canonical JSON header plus the raw bytes of every array,
+        so two models with identical contents share a digest regardless of
+        how (or whether) they were serialized -- npz archives embed
+        timestamps, so file bytes are *not* stable, but this digest is.
+        Content-addressed stores (:class:`~repro.serve.procpool.ArtifactStore`)
+        key artifacts by it.
+        """
+        digest = hashlib.sha256()
+        digest.update(json.dumps(self._header(), sort_keys=True).encode("utf-8"))
+        for array in (
+            self.lower,
+            self.upper,
+            np.asarray(self.grid_shape, dtype=np.int64),
+            self.cell_coords,
+            self.cell_labels,
+        ):
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest.hexdigest()
 
     def _header(self) -> Dict[str, Any]:
         return {

@@ -32,6 +32,24 @@ from repro.core.adawave import AdaWave
 _EXECUTORS = ("thread", "process")
 
 
+def resolve_n_workers(n_workers: Optional[int], *, n_tasks: Optional[int] = None) -> int:
+    """Validated worker count, defaulting to the host CPU count.
+
+    ``None`` resolves to ``os.cpu_count()`` capped by ``n_tasks`` when
+    given; explicit counts below one are rejected.  Shared by
+    :func:`parallel_ingest` and the multi-process serving pool so the two
+    tiers size themselves identically.
+    """
+    if n_workers is None:
+        n_workers = os.cpu_count() or 1
+        if n_tasks is not None:
+            n_workers = min(n_workers, n_tasks)
+    n_workers = int(n_workers)
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1; got {n_workers}.")
+    return n_workers
+
+
 def _shard_batches(batches: List[np.ndarray], n_workers: int) -> List[List[np.ndarray]]:
     """Split the batch list into up to ``n_workers`` contiguous, non-empty shards.
 
@@ -114,10 +132,7 @@ def parallel_ingest(
     params = dict(adawave_params)
     params["bounds"] = bounds
     params["lookup_only"] = lookup_only
-    if n_workers is None:
-        n_workers = min(len(batches), os.cpu_count() or 1)
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1; got {n_workers}.")
+    n_workers = resolve_n_workers(n_workers, n_tasks=len(batches))
 
     shards = _shard_batches(batches, n_workers)
     if len(shards) <= 1 or n_workers == 1:

@@ -1,0 +1,687 @@
+"""Multi-process serving plane: shared artifacts, worker pools, admission.
+
+The single-process :class:`~repro.serve.ClusteringService` serializes all
+traffic for one model through one micro-batch leader at a time, so its
+aggregate throughput tops out at one core no matter how many threads call
+it.  This module removes that wall without giving up blue/green semantics:
+
+* :class:`ArtifactStore` -- a content-addressed directory of
+  ``compress=False`` npz artifacts keyed by
+  :meth:`~repro.serve.ClusterModel.content_digest`.  Publishing is
+  idempotent (identical models share one file) and atomic (write to a temp
+  name, ``os.replace``), so concurrent writers and readers never observe a
+  torn artifact.
+* :class:`ProcessWorkerPool` -- N worker *processes*, each holding live
+  models opened with ``ClusterModel.load(mmap=True)`` against the store, so
+  every worker shares the same on-disk pages instead of copying the cell
+  map.  Model changes travel as control messages on the same per-worker
+  FIFO queues as predict work, which is what preserves blue/green across
+  the process boundary: a predict enqueued after a swap is always answered
+  by the new version, one enqueued before it by a version that *was* live.
+* :class:`ProcessPoolService` -- a drop-in :class:`ClusteringService`
+  subclass whose predict micro-batches are dispatched round-robin to the
+  worker pool (several batches genuinely in flight at once), with the base
+  class's admission control (:class:`~repro.serve.service.Overloaded`,
+  backpressure) and :class:`~repro.serve.metrics.Telemetry` in front.
+
+The parent keeps its own :class:`~repro.serve.ModelRegistry` (attached to
+the store) for bookkeeping, versioning and fail-fast name checks; worker
+processes hold only the mmap'd artifacts they serve.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import tempfile
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.serve.metrics import Telemetry
+from repro.serve.model import ClusterModel
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import ClusteringService, ServiceClosed
+
+
+class ArtifactStore:
+    """Content-addressed directory of memory-mappable ClusterModel artifacts.
+
+    Every artifact is stored exactly once as ``<digest>.npz`` (uncompressed,
+    so ``load(mmap=True)`` shares its pages across processes), where
+    ``digest`` is the model's :meth:`~repro.serve.ClusterModel.content_digest`.
+    Writes go through a temporary name and an atomic ``os.replace``, so a
+    reader either sees the complete artifact or none at all -- never a
+    partial file -- and concurrent publishers of the same model are
+    harmless.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, digest: str) -> Path:
+        """On-disk location of the artifact with ``digest`` (may not exist)."""
+        return self.directory / f"{digest}.npz"
+
+    def publish(self, model: ClusterModel) -> str:
+        """Write ``model`` to the store (idempotent); returns its digest."""
+        digest = model.content_digest()
+        final = self.path(digest)
+        if final.exists():
+            return digest
+        # mkstemp guarantees a unique scratch per publisher, so concurrent
+        # publishers of the same model (two threads swapping one artifact)
+        # never stomp each other's half-written file; whoever replaces last
+        # wins with identical bytes.
+        handle, scratch = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{digest}.", suffix=".tmp"
+        )
+        os.close(handle)
+        scratch = Path(scratch)
+        try:
+            model.save(scratch, compress=False)
+            os.replace(scratch, final)
+        finally:
+            scratch.unlink(missing_ok=True)
+        return digest
+
+    def load(self, digest: str, *, mmap: bool = True) -> ClusterModel:
+        """Open the artifact with ``digest`` (memory-mapped by default)."""
+        path = self.path(digest)
+        if not path.exists():
+            known = ", ".join(self.digests()[:8]) or "<none>"
+            raise KeyError(
+                f"artifact {digest!r} is not in the store at {self.directory} "
+                f"(present: {known})."
+            )
+        return ClusterModel.load(path, mmap=mmap)
+
+    def digests(self) -> List[str]:
+        """Sorted digests of every artifact currently in the store."""
+        return sorted(path.stem for path in self.directory.glob("*.npz"))
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path(str(digest)).exists()
+
+    def gc(self, keep: Sequence[str]) -> List[str]:
+        """Delete every artifact whose digest is not in ``keep``; returns them."""
+        keep_set = {str(digest) for digest in keep}
+        removed = []
+        for digest in self.digests():
+            if digest not in keep_set:
+                self.path(digest).unlink(missing_ok=True)
+                removed.append(digest)
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore({str(self.directory)!r}, artifacts={len(self.digests())})"
+
+
+def _portable_error(error: BaseException) -> BaseException:
+    """``error`` if it survives pickling, else a RuntimeError carrying its text."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RuntimeError(f"{type(error).__name__}: {error}")
+
+
+def _worker_main(store_dir: str, task_queue, result_queue) -> None:
+    """Worker-process body: serve predict tasks against mmap'd store artifacts.
+
+    Messages arrive on ``task_queue`` in FIFO order -- ``("bind", name,
+    digest)`` (re)binds a model from the store, ``("drop", name)`` forgets
+    one, ``("predict", request_id, name, X)`` answers with ``("done",
+    request_id, labels, error)`` on ``result_queue``, ``("stop",)`` exits.
+    The FIFO ordering is the blue/green guarantee: a bind enqueued before a
+    predict is always applied before it.
+
+    Artifacts are content-addressed and immutable, so loads are cached by
+    digest: a swap storm flipping between versions costs one disk open per
+    *distinct* artifact, after which every rebind is a dictionary
+    assignment -- control traffic can never starve the predicts queued
+    behind it.  Module-level so every start method (spawn included) can
+    import it.
+    """
+    store = ArtifactStore(store_dir)
+    models: Dict[str, ClusterModel] = {}
+    cache: "OrderedDict[str, ClusterModel]" = OrderedDict()
+    cache_limit = 64
+    while True:
+        try:
+            message = task_queue.get()
+        except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+            return
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "bind":
+            _, name, digest = message
+            try:
+                model = cache.get(digest)
+                if model is None:
+                    model = cache[digest] = store.load(digest, mmap=True)
+                cache.move_to_end(digest)
+                models[name] = model
+                while len(cache) > cache_limit:
+                    bound = {id(m) for m in models.values()}
+                    stale = next(
+                        (d for d, m in cache.items() if id(m) not in bound), None
+                    )
+                    if stale is None:
+                        break
+                    del cache[stale]
+            except Exception as error:
+                result_queue.put(("bind-error", name, _portable_error(error)))
+        elif kind == "drop":
+            models.pop(message[1], None)
+        elif kind == "predict":
+            _, request_id, name, X = message
+            try:
+                model = models.get(name)
+                if model is None:
+                    raise KeyError(
+                        f"worker pid {os.getpid()} has no model bound as {name!r}."
+                    )
+                result_queue.put(("done", request_id, model.predict(X), None))
+            except Exception as error:
+                result_queue.put(("done", request_id, None, _portable_error(error)))
+
+
+class ProcessWorkerPool:
+    """N predict worker processes sharing one artifact store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`ArtifactStore` (or its directory) workers open models
+        from.
+    n_workers:
+        Worker-process count; defaults to the host CPU count.
+    mp_context:
+        Multiprocessing start method.  The default ``"spawn"`` is safe in
+        arbitrarily threaded parents (the serving plane always is one);
+        ``"fork"`` starts faster where the platform allows it.
+
+    Control messages (:meth:`bind` / :meth:`drop`) are broadcast to every
+    worker's FIFO queue; predict tasks go to one worker each, chosen
+    round-robin over the live processes.  Results from all workers funnel
+    into the shared :attr:`result_queue`.
+    """
+
+    def __init__(
+        self,
+        store: Union[ArtifactStore, str, Path],
+        n_workers: Optional[int] = None,
+        *,
+        mp_context: str = "spawn",
+    ) -> None:
+        from repro.serve.parallel import resolve_n_workers
+
+        self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        self.n_workers = resolve_n_workers(n_workers)
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._task_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
+        self.result_queue = self._ctx.Queue()
+        self.processes = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(str(self.store.directory), task_queue, self.result_queue),
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            for index, task_queue in enumerate(self._task_queues)
+        ]
+        for process in self.processes:
+            process.start()
+        self._rotation = itertools.cycle(range(self.n_workers))
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- control plane -----------------------------------------------------------
+
+    def bind(self, name: str, digest: str) -> None:
+        """Broadcast: every worker re-opens ``digest`` and serves it as ``name``."""
+        for task_queue in self._task_queues:
+            task_queue.put(("bind", name, digest))
+
+    def drop(self, name: str) -> None:
+        """Broadcast: every worker forgets the model bound as ``name``."""
+        for task_queue in self._task_queues:
+            task_queue.put(("drop", name))
+
+    # -- data plane --------------------------------------------------------------
+
+    def next_alive_worker(self) -> int:
+        """Round-robin index of a live worker; raises when none remain."""
+        with self._lock:
+            for _ in range(self.n_workers):
+                index = next(self._rotation)
+                if self.processes[index].is_alive():
+                    return index
+        raise RuntimeError(
+            "no live worker processes remain in the pool; the service must be "
+            "restarted."
+        )
+
+    def send_predict(self, worker: int, request_id: int, name: str, X) -> None:
+        """Enqueue one predict task on ``worker``'s FIFO queue."""
+        self._task_queues[worker].put(("predict", request_id, name, X))
+
+    def alive(self) -> List[bool]:
+        """Liveness of each worker process, by index."""
+        return [process.is_alive() for process in self.processes]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker: polite ``stop`` sentinel, then terminate stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(("stop",))
+            except (ValueError, OSError):  # pragma: no cover - queue torn down
+                pass
+        deadline = time.monotonic() + timeout
+        for process in self.processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in self.processes:
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=1.0)
+        for task_queue in self._task_queues:
+            task_queue.close()
+            task_queue.cancel_join_thread()
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessWorkerPool(n_workers={self.n_workers}, alive={sum(self.alive())})"
+
+
+@dataclass
+class _Inflight:
+    """One shipped micro-batch awaiting its worker's answer."""
+
+    worker: int
+    name: str
+    futures: List[Future]
+    sizes: Optional[List[int]]
+    started: float = field(default_factory=time.perf_counter)
+
+
+class ProcessPoolService(ClusteringService):
+    """Multi-process :class:`ClusteringService`: predict beyond one core.
+
+    A dispatcher thread pulls admitted requests off a queue, coalesces
+    contiguous same-model requests into micro-batches and ships each batch
+    to the next live worker process; a collector thread resolves the
+    callers' futures as answers come back, so several batches are genuinely
+    in flight at once -- aggregate throughput scales with ``n_workers``
+    instead of stopping at the GIL.  Model management mirrors the base
+    class, with every ``register``/``swap``/``load`` additionally published
+    to the :class:`ArtifactStore` and broadcast to the workers, preserving
+    blue/green semantics end to end across process boundaries.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`ArtifactStore` (or a directory to create one in).
+    n_workers:
+        Worker-process count (defaults to the host CPU count).
+    registry:
+        Optional external :class:`ModelRegistry`; it is attached to the
+        store so digests resolve.  A private store-attached registry is
+        created when omitted.
+    mp_context:
+        Worker start method (``"spawn"`` default; see
+        :class:`ProcessWorkerPool`).
+    max_batch_requests:
+        Most requests coalesced into one shipped micro-batch.
+    worker_timeout:
+        Seconds :meth:`close` waits for in-flight worker answers before
+        terminating the pool and failing the stragglers with
+        :class:`ServiceClosed`.
+    max_pending, max_batch_delay, max_async_workers, telemetry:
+        As in :class:`ClusteringService` (``max_batch_delay`` here bounds
+        how long the dispatcher waits for a fuller batch).
+    """
+
+    def __init__(
+        self,
+        store: Union[ArtifactStore, str, Path],
+        *,
+        n_workers: Optional[int] = None,
+        registry: Optional[ModelRegistry] = None,
+        mp_context: str = "spawn",
+        max_batch_requests: int = 32,
+        worker_timeout: float = 10.0,
+        max_pending: Optional[int] = None,
+        max_batch_delay: float = 0.0,
+        max_async_workers: int = 4,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if int(max_batch_requests) < 1:
+            raise ValueError(
+                f"max_batch_requests must be >= 1; got {max_batch_requests}."
+            )
+        store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+        if registry is None:
+            registry = ModelRegistry(store=store)
+        elif registry.store is None:
+            registry.store = store
+        elif registry.store is not store and not (
+            isinstance(registry.store, ArtifactStore)
+            and registry.store.directory.resolve() == store.directory.resolve()
+        ):
+            # A registry publishing somewhere the workers never look would
+            # turn every bind into a buried KeyError; fail loudly instead.
+            raise ValueError(
+                f"registry is attached to a different artifact store "
+                f"({registry.store!r}) than this service ({store!r}); use one "
+                "store for both so worker processes can open what the "
+                "registry publishes."
+            )
+        super().__init__(
+            registry,
+            max_async_workers=max_async_workers,
+            max_pending=max_pending,
+            max_batch_delay=max_batch_delay,
+            telemetry=telemetry,
+        )
+        self.store = store
+        self.max_batch_requests = int(max_batch_requests)
+        self.worker_timeout = float(worker_timeout)
+        self.pool = ProcessWorkerPool(store, n_workers, mp_context=mp_context)
+        self._requests: Deque[Tuple[str, np.ndarray, Future]] = deque()
+        self._requests_cond = threading.Condition()
+        self._stop_dispatch = False
+        self._inflight: Dict[int, _Inflight] = {}
+        self._inflight_lock = threading.Lock()
+        self._request_ids = itertools.count()
+        self._shutdown = threading.Event()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="repro-serve-collect", daemon=True
+        )
+        self._watchdog = threading.Thread(
+            target=self._watch_loop, name="repro-serve-watch", daemon=True
+        )
+        self._dispatcher.start()
+        self._collector.start()
+        self._watchdog.start()
+
+    @staticmethod
+    def _resolve_future(future: Future, *, result=None, error=None) -> None:
+        """Like the base resolver, but tolerant of both sides of a race.
+
+        A future can be completed by the collector *and* (on a worker death
+        or a close timeout) by the watchdog / ``close``; whichever loses the
+        race must be a no-op, not an ``InvalidStateError`` escaping a
+        daemon thread.
+        """
+        if future.done():
+            return
+        try:
+            ClusteringService._resolve_future(future, result=result, error=error)
+        except InvalidStateError:
+            pass
+
+    # -- model management --------------------------------------------------------
+
+    def register(self, name: str, model: ClusterModel, *, overwrite: bool = True) -> ClusterModel:
+        """Register ``model``, publish its artifact and bind it in every worker."""
+        registered = self.registry.register(name, model, overwrite=overwrite)
+        self.pool.bind(name, self.registry.digest(name))
+        return registered
+
+    def swap(self, name: str, model: ClusterModel) -> str:
+        """Blue/green publish across the process pool.
+
+        The artifact lands in the store and the parent registry first, then
+        the bind is broadcast on every worker's FIFO queue -- so predicts
+        enqueued after this call returns are answered by the new version,
+        and earlier ones by a version that was live when they were enqueued.
+        Worker bindings of versions the retention policy evicted are
+        dropped.
+        """
+        before = set(self.registry.versions(name))
+        version = self.registry.swap(name, model)
+        digest = self.registry.digest(version)
+        self.pool.bind(name, digest)
+        self.pool.bind(version, digest)
+        for evicted in before - set(self.registry.versions(name)):
+            self.pool.drop(evicted)
+        self.telemetry.record_swap(name, version)
+        return version
+
+    def load(self, name: str, path, *, mmap: bool = True) -> ClusterModel:
+        """Load an artifact from ``path`` and serve it under ``name``."""
+        return self.register(name, ClusterModel.load(path, mmap=mmap))
+
+    # -- serving -----------------------------------------------------------------
+
+    def submit(
+        self, name: str, X, *, wait_for_slot: bool = False
+    ) -> "Future[np.ndarray]":
+        """Admit a predict request and hand it to the dispatcher.
+
+        Unlike the base class, the calling thread never executes the pass
+        itself -- the future resolves from the collector thread once a
+        worker process answers.
+        """
+        if self._closed:
+            raise ServiceClosed("ProcessPoolService is closed; no further requests.")
+        self.registry.get(name)  # fail fast on unknown names
+        X = np.asarray(X, dtype=np.float64)
+        self._admit(name, wait=wait_for_slot)
+        future: "Future[np.ndarray]" = Future()
+        future.add_done_callback(self._release_slot)
+        with self._requests_cond:
+            if self._stop_dispatch:
+                # close() already drained the dispatcher; resolving here (not
+                # raising before the append) keeps the slot accounting exact.
+                self._resolve_future(
+                    future,
+                    error=ServiceClosed(
+                        "ProcessPoolService is closed; no further requests."
+                    ),
+                )
+                return future
+            self._requests.append((name, X, future))
+            self._requests_cond.notify()
+        return future
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._requests_cond:
+                while not self._requests and not self._stop_dispatch:
+                    self._requests_cond.wait()
+                if not self._requests:
+                    return
+                if (
+                    self.max_batch_delay > 0.0
+                    and not self._stop_dispatch
+                    and len(self._requests) < self.max_batch_requests
+                ):
+                    # One bounded chance for the burst to fill the batch out.
+                    self._requests_cond.wait(timeout=self.max_batch_delay)
+                    if not self._requests:
+                        continue
+                name, X, future = self._requests.popleft()
+                batch = [(X, future)]
+                while (
+                    len(batch) < self.max_batch_requests
+                    and self._requests
+                    and self._requests[0][0] == name
+                    and self._requests[0][1].ndim == X.ndim
+                    and (X.ndim != 2 or self._requests[0][1].shape[1] == X.shape[1])
+                ):
+                    batch.append(self._requests.popleft()[1:])
+            self._ship(name, batch)
+
+    def _ship(self, name: str, batch: List[Tuple[np.ndarray, Future]]) -> None:
+        arrays = [X for X, _ in batch]
+        futures = [future for _, future in batch]
+        try:
+            worker = self.pool.next_alive_worker()
+            if len(arrays) == 1:
+                stacked, sizes = arrays[0], None
+            else:
+                stacked = np.concatenate(arrays, axis=0)
+                sizes = [len(X) for X in arrays]
+        except Exception as error:
+            for future in futures:
+                self._resolve_future(future, error=error)
+            return
+        request_id = next(self._request_ids)
+        entry = _Inflight(worker=worker, name=name, futures=futures, sizes=sizes)
+        with self._inflight_lock:
+            self._inflight[request_id] = entry
+        try:
+            self.pool.send_predict(worker, request_id, name, stacked)
+        except Exception as error:  # pragma: no cover - queue torn down
+            with self._inflight_lock:
+                self._inflight.pop(request_id, None)
+            for future in futures:
+                self._resolve_future(future, error=error)
+
+    def _collect_loop(self) -> None:
+        while True:
+            try:
+                message = self.pool.result_queue.get()
+            except (EOFError, OSError):  # pragma: no cover - queue torn down
+                return
+            try:
+                kind = message[0]
+                if kind == "stop-collector":
+                    return
+                if kind == "bind-error":
+                    _, name, error = message
+                    self.telemetry.record_callback_error(f"worker-bind:{name}", error)
+                    continue
+                _, request_id, labels, error = message
+                with self._inflight_lock:
+                    entry = self._inflight.pop(request_id, None)
+                if entry is None:
+                    continue
+                if error is not None:
+                    for future in entry.futures:
+                        self._resolve_future(future, error=error)
+                    continue
+                seconds = time.perf_counter() - entry.started
+                self.telemetry.record_predict(entry.name, seconds, len(labels))
+                with self._stats_lock:
+                    self.n_requests_ += len(entry.futures)
+                    self.n_batches_ += 1
+                if entry.sizes is None:
+                    self._resolve_future(entry.futures[0], result=labels)
+                else:
+                    offsets = np.cumsum(entry.sizes)[:-1]
+                    for future, part in zip(entry.futures, np.split(labels, offsets)):
+                        self._resolve_future(future, result=part)
+            except Exception as error:  # pragma: no cover - defensive
+                self.telemetry.record_callback_error("collector", error)
+
+    def _watch_loop(self) -> None:
+        """Fail the in-flight batches of any worker that died, never hang them."""
+        while not self._shutdown.wait(0.1):
+            alive = self.pool.alive()
+            if all(alive):
+                continue
+            with self._inflight_lock:
+                doomed = [
+                    (request_id, entry)
+                    for request_id, entry in self._inflight.items()
+                    if not alive[entry.worker]
+                ]
+                for request_id, _ in doomed:
+                    self._inflight.pop(request_id, None)
+            for _, entry in doomed:
+                exitcode = self.pool.processes[entry.worker].exitcode
+                for future in entry.futures:
+                    self._resolve_future(
+                        future,
+                        error=RuntimeError(
+                            f"worker process {entry.worker} died (exitcode "
+                            f"{exitcode}) with this request in flight."
+                        ),
+                    )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the serving plane down without stranding a single future.
+
+        Idempotent and safe to call with requests in flight: admitted
+        requests are still dispatched, in-flight worker batches get up to
+        ``worker_timeout`` seconds to answer, then workers are stopped and
+        anything unresolved fails with :class:`ServiceClosed` (a clean
+        error, never a hang).  Later calls raise :class:`ServiceClosed`.
+        """
+        with self._lifecycle_lock:
+            if self._closed or self._closing:
+                return
+            self._closing = True
+            pool, self._async_pool = self._async_pool, None
+        with self._admission:
+            self._admission.notify_all()
+        if pool is not None:
+            pool.shutdown(wait=True)
+        with self._requests_cond:
+            self._stop_dispatch = True
+            self._requests_cond.notify_all()
+        self._dispatcher.join()
+        deadline = time.monotonic() + self.worker_timeout
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if not self._inflight:
+                    break
+            if not any(self.pool.alive()):
+                break
+            time.sleep(0.01)
+        self._shutdown.set()
+        self._watchdog.join()
+        self.pool.close()
+        try:
+            self.pool.result_queue.put(("stop-collector",))
+        except (ValueError, OSError):  # pragma: no cover - queue torn down
+            pass
+        self._collector.join(timeout=5.0)
+        with self._inflight_lock:
+            stranded = list(self._inflight.values())
+            self._inflight.clear()
+        for entry in stranded:  # pragma: no cover - only on worker timeout
+            for future in entry.futures:
+                self._resolve_future(
+                    future,
+                    error=ServiceClosed(
+                        "ProcessPoolService closed before the worker answered."
+                    ),
+                )
+        self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessPoolService(models={self.registry.names()!r}, "
+            f"workers={sum(self.pool.alive())}/{self.pool.n_workers}, "
+            f"requests={self.n_requests_})"
+        )

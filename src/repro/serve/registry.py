@@ -46,6 +46,14 @@ class ModelRegistry:
         Superseded versions older than this are evicted on each swap and by
         :meth:`evict_stale`.  ``None`` disables time-based eviction.  The
         live version of a name is never evicted by either policy.
+    store:
+        Optional content-addressed artifact store (anything with a
+        ``publish(model) -> digest`` method, canonically
+        :class:`~repro.serve.procpool.ArtifactStore`).  When set, every
+        :meth:`register` / :meth:`swap` also publishes the model's
+        ``compress=False`` npz artifact to the store and records its digest
+        (readable via :meth:`digest`), which is how co-located worker
+        processes re-open the exact bytes the registry is serving.
     """
 
     def __init__(
@@ -54,6 +62,7 @@ class ModelRegistry:
         max_versions: Optional[int] = None,
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        store=None,
     ) -> None:
         if max_versions is not None and int(max_versions) < 1:
             raise ValueError(f"max_versions must be >= 1 or None; got {max_versions}.")
@@ -61,9 +70,11 @@ class ModelRegistry:
             raise ValueError(f"ttl_seconds must be >= 0 or None; got {ttl_seconds}.")
         self.max_versions = None if max_versions is None else int(max_versions)
         self.ttl_seconds = None if ttl_seconds is None else float(ttl_seconds)
+        self.store = store
         self._clock = clock
         self._lock = threading.RLock()
         self._models: Dict[str, ClusterModel] = {}
+        self._digests: Dict[str, str] = {}
         # Blue/green bookkeeping, all guarded by the same lock: per-name
         # version lists (oldest first), the live version, a monotonically
         # increasing counter (never reused, so a pinned "name@v3" can never
@@ -106,7 +117,18 @@ class ModelRegistry:
                     f"model {name!r} is already registered; pass overwrite=True "
                     "to replace it."
                 )
+        # Publish to the artifact store *before* binding, so a failed write
+        # never leaves the registry serving a model the workers cannot open.
+        digest = None if self.store is None else self.store.publish(model)
+        with self._lock:
+            if not overwrite and name in self._models:
+                raise ValueError(
+                    f"model {name!r} is already registered; pass overwrite=True "
+                    "to replace it."
+                )
             self._models[name] = model
+            if digest is not None:
+                self._digests[name] = digest
             # A plain rebind takes the alias out of swap management: the
             # previously active version no longer describes what the alias
             # serves (retained versions stay resolvable for pinned readers).
@@ -131,6 +153,7 @@ class ModelRegistry:
                 f"cannot swap onto the version name {name!r}; swap the base "
                 "name and let the registry assign the version."
             )
+        digest = None if self.store is None else self.store.publish(model)
         with self._lock:
             counter = self._counters.get(name, 0) + 1
             self._counters[name] = counter
@@ -140,8 +163,16 @@ class ModelRegistry:
             self._versions.setdefault(name, []).append(version)
             self._active[name] = version
             self._created_at[version] = self._clock()
+            if digest is not None:
+                self._digests[version] = digest
+                self._digests[name] = digest
             self._evict_locked(name)
         return version
+
+    def digest(self, name: str) -> Optional[str]:
+        """Artifact-store content digest of ``name`` (None without a store)."""
+        with self._lock:
+            return self._digests.get(str(name))
 
     def versions(self, name: str) -> List[str]:
         """Retained version names of ``name``, oldest first."""
@@ -185,6 +216,7 @@ class ModelRegistry:
         for version in drop:
             self._models.pop(version, None)
             self._created_at.pop(version, None)
+            self._digests.pop(version, None)
         self._versions[name] = keep
         return drop
 
@@ -227,8 +259,10 @@ class ModelRegistry:
                 for version in self._versions.pop(name, ()):
                     self._models.pop(version, None)
                     self._created_at.pop(version, None)
+                    self._digests.pop(version, None)
                 self._active.pop(name, None)
             self._created_at.pop(name, None)
+            self._digests.pop(name, None)
             return model
 
     def names(self) -> List[str]:

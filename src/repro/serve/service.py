@@ -15,20 +15,48 @@ is a pure function, concurrent predictions need no locking at all; only the
 per-model request queues are guarded.  Model registration swaps atomically,
 so a retrained artifact can replace a live one mid-traffic: in-flight
 batches finish against the model they started with.
+
+The service also fronts two operability concerns:
+
+* **admission control** -- with ``max_pending`` set, at most that many
+  requests may be pending at once; beyond it, :meth:`submit` raises
+  :class:`Overloaded` immediately (shed load at the door instead of
+  queueing unboundedly), while ``submit(..., wait_for_slot=True)`` /
+  ``predict_async(..., backpressure=True)`` block the *caller* until a slot
+  frees -- explicit backpressure instead of rejection.
+* **telemetry** -- every executed pass reports its per-model latency and
+  batch size into a :class:`~repro.serve.metrics.Telemetry`, along with
+  queue depth, rejections and swap counts; read it with
+  ``service.telemetry.snapshot()``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.serve.metrics import Telemetry
 from repro.serve.model import ClusterModel
 from repro.serve.parallel import parallel_ingest
 from repro.serve.registry import ModelRegistry
+
+
+class ServiceClosed(RuntimeError):
+    """A request reached a :class:`ClusteringService` after :meth:`~ClusteringService.close`."""
+
+
+class Overloaded(RuntimeError):
+    """Admission control rejected a request: ``max_pending`` requests are queued.
+
+    Callers can retry after a backoff, or opt into blocking backpressure with
+    ``submit(..., wait_for_slot=True)`` / ``predict_async(...,
+    backpressure=True)`` instead of handling the rejection.
+    """
 
 
 class _ModelQueue:
@@ -55,6 +83,20 @@ class ClusteringService:
         (:meth:`predict_async` / :meth:`ingest_async`).  The pool is created
         lazily on the first async call, so purely synchronous services never
         pay for it.
+    max_pending:
+        Admission-control bound on simultaneously pending requests.  Beyond
+        it, non-blocking submissions raise :class:`Overloaded`;
+        ``wait_for_slot=True`` / ``backpressure=True`` callers block until a
+        slot frees.  ``None`` (default) admits everything.
+    max_batch_delay:
+        Seconds a freshly elected micro-batch leader waits before its first
+        drain pass, letting a burst coalesce into one vectorized pass at the
+        cost of that much added latency.  ``0`` (default) executes
+        immediately.
+    telemetry:
+        Optional externally shared :class:`~repro.serve.metrics.Telemetry`;
+        a private one is created when omitted, so ``telemetry.snapshot()``
+        always works.
 
     Attributes
     ----------
@@ -66,7 +108,7 @@ class ClusteringService:
 
     The service is a context manager (``with``/``async with``); leaving the
     block -- or calling :meth:`close` directly -- shuts the dispatch pool
-    down and rejects further requests with ``RuntimeError``.
+    down and rejects further requests with :class:`ServiceClosed`.
     """
 
     def __init__(
@@ -74,17 +116,29 @@ class ClusteringService:
         registry: Optional[ModelRegistry] = None,
         *,
         max_async_workers: int = 4,
+        max_pending: Optional[int] = None,
+        max_batch_delay: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if int(max_async_workers) < 1:
             raise ValueError(
                 f"max_async_workers must be >= 1; got {max_async_workers}."
             )
+        if max_pending is not None and int(max_pending) < 1:
+            raise ValueError(f"max_pending must be >= 1 or None; got {max_pending}.")
+        if float(max_batch_delay) < 0.0:
+            raise ValueError(f"max_batch_delay must be >= 0; got {max_batch_delay}.")
         self.registry = registry if registry is not None else ModelRegistry()
         self.max_async_workers = int(max_async_workers)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.max_batch_delay = float(max_batch_delay)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._queues: Dict[str, _ModelQueue] = {}
         self._queues_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._lifecycle_lock = threading.Lock()
+        self._admission = threading.Condition(threading.Lock())
+        self._pending_slots = 0
         self._async_pool: Optional[ThreadPoolExecutor] = None
         # _closing stops admitting *new* requests while close() drains the
         # dispatch pool; _closed flips only after the drain, so async
@@ -108,7 +162,9 @@ class ClusteringService:
         micro-batches finish against the version they started with.
         Returns the new version name.
         """
-        return self.registry.swap(name, model)
+        version = self.registry.swap(name, model)
+        self.telemetry.record_swap(name, version)
+        return version
 
     def load(self, name: str, path, *, mmap: bool = False) -> ClusterModel:
         """Load a saved artifact and register it under ``name``.
@@ -135,7 +191,7 @@ class ClusteringService:
         sample count), freezes the result and registers it under ``name``.
         """
         if self._closed:
-            raise RuntimeError("ClusteringService is closed; no further requests.")
+            raise ServiceClosed("ClusteringService is closed; no further requests.")
         estimator = parallel_ingest(
             batches,
             bounds=bounds,
@@ -144,6 +200,54 @@ class ClusteringService:
             **adawave_params,
         )
         return self.register(name, estimator.export_model())
+
+    # -- admission control ------------------------------------------------------
+
+    def _admit(self, name: str, *, wait: bool = False) -> None:
+        """Claim a pending-request slot (or reject/block when none are free).
+
+        Telemetry (which may run a user-supplied sink) is only ever touched
+        *outside* the admission lock, so a slow or reentrant sink can stall
+        nothing but its own caller.
+        """
+        rejected_at = None
+        with self._admission:
+            if self.max_pending is not None:
+                while self._pending_slots >= self.max_pending:
+                    if self._closing or self._closed:
+                        raise ServiceClosed(
+                            "ClusteringService is closed; no further requests."
+                        )
+                    if not wait:
+                        rejected_at = self._pending_slots
+                        break
+                    self._admission.wait(timeout=0.1)
+            if rejected_at is None:
+                self._pending_slots += 1
+                depth = self._pending_slots
+        if rejected_at is not None:
+            self.telemetry.record_reject(name)
+            raise Overloaded(
+                f"request for {name!r} rejected: {rejected_at} requests "
+                f"pending >= max_pending={self.max_pending}. Retry later, or "
+                "block for a slot with wait_for_slot=True / "
+                "predict_async(..., backpressure=True)."
+            )
+        self.telemetry.record_queue_depth(depth)
+
+    def _release_slot(self, _future: Optional[Future] = None) -> None:
+        """Return a slot; signature doubles as a future done-callback."""
+        with self._admission:
+            self._pending_slots -= 1
+            depth = self._pending_slots
+            self._admission.notify()
+        self.telemetry.record_queue_depth(depth)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently admitted but not yet resolved."""
+        with self._admission:
+            return self._pending_slots
 
     # -- serving ---------------------------------------------------------------
 
@@ -159,22 +263,31 @@ class ClusteringService:
 
         Safe to call from any number of threads concurrently; identical
         inputs yield identical labels regardless of interleaving.  Unknown
-        model names raise ``KeyError`` immediately.
+        model names raise ``KeyError`` immediately; a saturated service
+        (``max_pending``) raises :class:`Overloaded`.
         """
         return self.submit(name, X).result()
 
-    def submit(self, name: str, X) -> "Future[np.ndarray]":
+    def submit(
+        self, name: str, X, *, wait_for_slot: bool = False
+    ) -> "Future[np.ndarray]":
         """Enqueue a predict request; returns a future with the labels.
 
         The calling thread may become the micro-batch leader and execute the
         combined pass itself before returning, so this is "asynchronous" in
-        the queuing sense, not a background-thread guarantee.
+        the queuing sense, not a background-thread guarantee.  When the
+        service is saturated (``max_pending`` requests already admitted) the
+        default is an immediate :class:`Overloaded` rejection;
+        ``wait_for_slot=True`` blocks until a slot frees instead
+        (backpressure on the caller).
         """
         if self._closed:
-            raise RuntimeError("ClusteringService is closed; no further requests.")
+            raise ServiceClosed("ClusteringService is closed; no further requests.")
         self.registry.get(name)  # fail fast on unknown names
         X = np.asarray(X, dtype=np.float64)
+        self._admit(name, wait=wait_for_slot)
         future: "Future[np.ndarray]" = Future()
+        future.add_done_callback(self._release_slot)
         queue = self._queue_for(name)
         with queue.lock:
             queue.pending.append((X, future))
@@ -189,6 +302,10 @@ class ClusteringService:
     def _drain(self, name: str, queue: _ModelQueue) -> None:
         """Leader loop: keep serving coalesced batches until the queue is dry."""
         try:
+            if self.max_batch_delay > 0.0:
+                # Let a burst pile up behind the fresh leader so it executes
+                # as one vectorized pass instead of many small ones.
+                time.sleep(self.max_batch_delay)
             while True:
                 with queue.lock:
                     batch = queue.pending
@@ -234,6 +351,7 @@ class ClusteringService:
             arrays = [batch[i][0] for i in indices]
             futures = [batch[i][1] for i in indices]
             try:
+                start = time.perf_counter()
                 if len(arrays) == 1:
                     results = [model.predict(arrays[0])]
                 else:
@@ -241,10 +359,14 @@ class ClusteringService:
                     labels = model.predict(stacked)
                     offsets = np.cumsum([len(a) for a in arrays])[:-1]
                     results = np.split(labels, offsets)
+                seconds = time.perf_counter() - start
             except Exception as error:  # propagate per-request, keep serving
                 for future in futures:
                     self._resolve_future(future, error=error)
                 continue
+            self.telemetry.record_predict(
+                name, seconds, sum(len(labels) for labels in results)
+            )
             for future, labels in zip(futures, results):
                 self._resolve_future(future, result=labels)
 
@@ -253,7 +375,7 @@ class ClusteringService:
     def _dispatch_pool(self) -> ThreadPoolExecutor:
         with self._lifecycle_lock:
             if self._closed or self._closing:
-                raise RuntimeError("ClusteringService is closed; no further requests.")
+                raise ServiceClosed("ClusteringService is closed; no further requests.")
             if self._async_pool is None:
                 self._async_pool = ThreadPoolExecutor(
                     max_workers=self.max_async_workers,
@@ -261,17 +383,23 @@ class ClusteringService:
                 )
             return self._async_pool
 
-    async def predict_async(self, name: str, X) -> np.ndarray:
+    async def predict_async(self, name: str, X, *, backpressure: bool = False) -> np.ndarray:
         """Awaitable :meth:`predict`: labels of ``X`` under model ``name``.
 
         The request runs on the service's dispatch pool, so the event loop
         is never blocked by a micro-batch leader pass; requests from
         coroutines and from plain threads coalesce into the same
-        micro-batches.
+        micro-batches.  With ``backpressure=True`` a saturated service
+        (``max_pending``) parks the request until a slot frees instead of
+        raising :class:`Overloaded` -- the awaiting coroutine simply resumes
+        later.
         """
         loop = asyncio.get_running_loop()
         pool = self._dispatch_pool()
-        return await loop.run_in_executor(pool, self.predict, name, X)
+        return await loop.run_in_executor(
+            pool,
+            lambda: self.submit(name, X, wait_for_slot=backpressure).result(),
+        )
 
     async def ingest_async(
         self,
@@ -306,14 +434,18 @@ class ClusteringService:
         Idempotent.  In-flight requests finish -- async requests already
         admitted to the dispatch pool run to completion before the closed
         flag takes effect -- and subsequent :meth:`predict` /
-        :meth:`submit` / async calls raise ``RuntimeError``.  The registry
-        (possibly shared) is left untouched.
+        :meth:`submit` / async calls raise :class:`ServiceClosed`.  Callers
+        blocked waiting for an admission slot are woken and also raise
+        :class:`ServiceClosed`.  The registry (possibly shared) is left
+        untouched.
         """
         with self._lifecycle_lock:
             if self._closed or self._closing:
                 return
             self._closing = True
             pool, self._async_pool = self._async_pool, None
+        with self._admission:
+            self._admission.notify_all()
         # Drain with admissions stopped but submit() still open, so queued
         # predict_async work items admitted before close() complete instead
         # of being rejected mid-flight.

@@ -21,6 +21,10 @@ first-class citizen and closes the loop from ingestion back to serving:
   ~``S`` ``O(cells)`` passes, never a refit) -- whose winner is published
   through an atomic blue/green :meth:`~repro.serve.ModelRegistry.swap`, so
   in-flight ``predict`` traffic never observes a missing or torn model.
+  ``on_drift`` / ``on_swap`` alert callbacks hook external systems into the
+  loop (exceptions contained, never propagated), and every drift check,
+  swap and contained callback error lands in the serving
+  :class:`~repro.serve.Telemetry` snapshot.
 
 Typical online loop::
 

@@ -22,10 +22,11 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, Optional, Sequence, Tuple, Union
+from typing import Callable, Deque, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.serve.metrics import Telemetry
 from repro.serve.model import ClusterModel
 from repro.serve.service import ClusteringService
 from repro.stream.drift import DriftMonitor, DriftReport
@@ -79,12 +80,31 @@ class StreamController:
     monitor:
         Optional pre-configured :class:`DriftMonitor`; a default one using
         this controller's pipeline parameters is created when omitted.
+    on_drift:
+        Optional alert callback fired (with the :class:`DriftReport`) every
+        time a drift check flags drift, before the re-tune runs.  Exceptions
+        it raises are contained -- counted in telemetry and in
+        ``callback_errors_`` -- and never propagate into the control loop.
+    on_swap:
+        Optional callback fired (with ``(version, model)``) after every
+        blue/green publication, the warmup publish included.  Contained the
+        same way as ``on_drift``.  Both callbacks run on the ingesting
+        thread inside the control loop's lock: keep them quick, and never
+        call back into the controller from one (hand off to a queue or
+        thread instead).
     wavelet, threshold_method, connectivity, min_cluster_cells, angle_divisor:
         Grid-side pipeline parameters used by both the re-tune sweep and the
         drift monitor's fresh-partition pass.
 
     Attributes
     ----------
+    telemetry:
+        The :class:`~repro.serve.metrics.Telemetry` this controller reports
+        into -- the service's own instance, so swap counts, drift-check
+        history and contained callback errors all land in one
+        ``telemetry.snapshot()``.
+    callback_errors_:
+        Contained exceptions raised by ``on_drift`` / ``on_swap`` so far.
     sketch:
         The live :class:`StreamSketch`.
     monitor:
@@ -118,6 +138,8 @@ class StreamController:
         decay: Optional[float] = None,
         history_limit: int = 256,
         monitor: Optional[DriftMonitor] = None,
+        on_drift: Optional[Callable[[DriftReport], None]] = None,
+        on_swap: Optional[Callable[[str, ClusterModel], None]] = None,
         wavelet: str = "bior2.2",
         threshold_method: str = "auto",
         connectivity: str = "auto",
@@ -162,6 +184,13 @@ class StreamController:
         self.monitor = (
             monitor if monitor is not None else DriftMonitor(**self._pipeline_params)
         )
+        self.on_drift = on_drift
+        self.on_swap = on_swap
+        # Share the service's telemetry so swap counts (recorded by
+        # service.swap), drift history and callback errors read out of one
+        # snapshot.
+        self.telemetry: Telemetry = self.service.telemetry
+        self.callback_errors_: int = 0
         self.model_: Optional[ClusterModel] = None
         self.version_: Optional[str] = None
         self.n_retunes_: int = 0
@@ -211,6 +240,9 @@ class StreamController:
             self.n_checks_ += 1
             self.history_.append(report)
             self.last_report_ = report
+            self.telemetry.record_drift_check(report)
+            if report.drifted:
+                self._fire(self.on_drift, "on_drift", report)
             settling_due = (
                 self._resettle_at is not None
                 and self.sketch.n_batches >= self._resettle_at
@@ -273,7 +305,23 @@ class StreamController:
         self.n_retunes_ += 1
         self._batches_since_check = 0
         self.last_retune_seconds_ = time.perf_counter() - start
+        self._fire(self.on_swap, "on_swap", self.version_, model)
         return model
+
+    def _fire(self, callback, where: str, *args) -> None:
+        """Run a user alert callback, containing (and counting) any failure.
+
+        User code must never be able to take the control loop down: a
+        raising callback is recorded in telemetry (``callbacks`` in the
+        snapshot) and in ``callback_errors_``, then ingestion continues.
+        """
+        if callback is None:
+            return
+        try:
+            callback(*args)
+        except Exception as error:
+            self.callback_errors_ += 1
+            self.telemetry.record_callback_error(where, error)
 
     # -- serving ----------------------------------------------------------------
 

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core.adawave import AdaWave
-from repro.serve import ClusteringService
+from repro.serve import ClusteringService, ServiceClosed
 
 BOUNDS = ([0.0, 0.0], [1.0, 1.0])
 
@@ -93,6 +93,27 @@ class TestLifecycle:
             service.predict("m", X[:10])
         with pytest.raises(RuntimeError, match="closed"):
             service.ingest("late", [X[:10]], bounds=BOUNDS, scale=64)
+
+    def test_closed_errors_are_the_dedicated_service_closed_type(self, fitted):
+        """Callers can catch the serving plane's shutdown distinctly (and
+        ServiceClosed stays a RuntimeError for older call sites)."""
+        X, model = fitted
+        service = ClusteringService()
+        service.register("m", model)
+        service.close()
+        assert issubclass(ServiceClosed, RuntimeError)
+        with pytest.raises(ServiceClosed):
+            service.predict("m", X[:10])
+        with pytest.raises(ServiceClosed):
+            service.submit("m", X[:10])
+        with pytest.raises(ServiceClosed):
+            service.ingest("late", [X[:10]], bounds=BOUNDS, scale=64)
+
+        async def main():
+            await service.predict_async("m", X[:10])
+
+        with pytest.raises(ServiceClosed):
+            asyncio.run(main())
 
     def test_sync_context_manager_closes(self, fitted):
         X, model = fitted
