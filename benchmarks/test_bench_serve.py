@@ -8,7 +8,10 @@ Fast tier-1 budgets (not marked slow) guard the two serving hot paths:
 * sharded parallel ingestion must beat serial ingestion by >= 1.5x at
   n = 200k with two workers.  The speedup assertion requires >= 2 physical
   CPUs -- on a single-core host the measurement is meaningless and the test
-  skips with an explicit message rather than passing vacuously.
+  skips with an explicit message rather than passing vacuously;
+* the multi-process pool must beat the single-process service by >= 1.5x,
+  and its shared-memory data plane must beat the pickle-queue path by
+  >= 1.3x, under the same >= 2 CPU proviso.
 
 The slow-marked deep sweep scales both workloads up and prints the full
 tables (run with ``pytest benchmarks/ -m slow``).
@@ -27,11 +30,13 @@ from repro.experiments import (
     run_parallel_ingest,
     run_predict_throughput,
     run_procpool_throughput,
+    run_shm_throughput,
 )
 
 PREDICT_THROUGHPUT_FLOOR = 500_000  # points / second
 PARALLEL_SPEEDUP_FLOOR = 1.5
 PROCPOOL_SPEEDUP_FLOOR = 1.5
+SHM_SPEEDUP_FLOOR = 1.3
 
 
 def test_bench_predict_throughput(benchmark):
@@ -137,6 +142,55 @@ def test_bench_procpool_throughput_floor(benchmark):
     assert speedup >= PROCPOOL_SPEEDUP_FLOOR, (
         f"2-worker procpool served only {speedup:.2f}x the single-process "
         f"throughput at n=200k; the acceptance bar is {PROCPOOL_SPEEDUP_FLOOR}x."
+    )
+
+
+def test_bench_shm_vs_queue_throughput(benchmark):
+    """The shared-memory data plane must beat the pickle queues by >= 1.3x.
+
+    Identical pooled traffic (200k query points in 64 concurrent batches)
+    through two process pools: one shipping batches over the per-worker
+    shared-memory slab rings, one forced onto the pickle-queue path.  The
+    rings remove two pickle passes and a pipe copy per batch, so anything
+    under the floor means the zero-copy path has regressed into copying.
+    On a single-core host the concurrent measurement is meaningless, so the
+    test skips with an explicit message.
+    """
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip(
+            "shm-vs-queue throughput needs >= 2 CPUs; "
+            f"this host reports {os.cpu_count()}."
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        result = benchmark.pedantic(
+            lambda: run_shm_throughput(
+                n_train=20_000,
+                n_queries=200_000,
+                n_requests=64,
+                n_workers=2,
+                n_threads=4,
+                scale=128,
+                repeats=3,
+                store_dir=tmp,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+    print()
+    print(format_table(result))
+    assert result.metadata["labels_match"], (
+        "the shm and pickle-queue paths disagreed with the frozen model"
+    )
+    assert result.metadata["shm_sends"] > 0, (
+        "the shm configuration never used the ring; the comparison is vacuous"
+    )
+    speedup = next(
+        row["speedup"] for row in result.rows if row["configuration"] == "shm-ring"
+    )
+    assert speedup >= SHM_SPEEDUP_FLOOR, (
+        f"the shared-memory data plane served only {speedup:.2f}x the "
+        f"pickle-queue throughput at n=200k; the acceptance bar is "
+        f"{SHM_SPEEDUP_FLOOR}x."
     )
 
 

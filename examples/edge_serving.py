@@ -1,0 +1,141 @@
+"""HTTP edge walkthrough: network predict, deadlines, chaos, self-healing.
+
+The serving plane from :mod:`examples.multiprocess_serving` only answered
+in-process callers.  This example puts the HTTP edge in front of it and
+exercises the operability story end to end:
+
+1. stand up a :class:`~repro.serve.ProcessPoolService` (2 workers, shared
+   artifact store, shared-memory data plane) behind an
+   :class:`~repro.serve.EdgeThread` on an ephemeral port;
+2. predict over the wire -- JSON for casual clients, raw ``.npy`` bodies
+   for high-volume ones;
+3. send a request with an ``X-Deadline-Ms`` budget and watch an expired
+   deadline answer 504 instead of queueing;
+4. SIGKILL a worker process mid-service and watch the watchdog respawn it:
+   capacity returns, the respawn lands in ``/metrics``, and predictions
+   keep matching the frozen model bit-for-bit;
+5. blue/green swap the model *over HTTP* and verify the respawned worker
+   honors the new version too.
+
+Run with::
+
+    python examples/edge_serving.py
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import AdaWave, ProcessPoolService
+from repro.serve import EdgeThread
+from repro.datasets import running_example
+
+
+def _post(url: str, body: bytes, headers: dict) -> tuple:
+    request = urllib.request.Request(url, data=body, headers=headers)
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return response.status, response.read()
+
+
+def _get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30.0) as response:
+        return json.load(response)
+
+
+def main() -> None:
+    # 1. Freeze two models and put the edge in front of a worker pool.
+    blue_data = running_example(noise_fraction=0.75, n_per_cluster=1200, seed=0)
+    green_data = running_example(noise_fraction=0.55, n_per_cluster=1200, seed=9)
+    blue = AdaWave(scale=128).fit(blue_data.points).export_model()
+    green = AdaWave(scale=128).fit(green_data.points).export_model()
+    queries = np.random.default_rng(1).uniform(
+        blue_data.points.min(0), blue_data.points.max(0), size=(2000, 2)
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with ProcessPoolService(tmp, n_workers=2, max_pending=64) as service:
+            service.register("prod", blue)
+            with EdgeThread(service) as edge:
+                print(f"edge   : listening on {edge.url}")
+
+                # 2. Predict over the wire, JSON then raw npy.
+                body = json.dumps({"points": queries[:5].tolist()}).encode()
+                status, payload = _post(
+                    f"{edge.url}/predict/prod", body,
+                    {"Content-Type": "application/json"},
+                )
+                print(f"json   : {status} -> labels {json.loads(payload)['labels']}")
+
+                buffer = io.BytesIO()
+                np.save(buffer, queries)
+                status, payload = _post(
+                    f"{edge.url}/predict/prod", buffer.getvalue(),
+                    {"Content-Type": "application/x-npy"},
+                )
+                labels = np.load(io.BytesIO(payload))
+                exact = np.array_equal(labels, blue.predict(queries))
+                print(f"npy    : {status} -> {labels.size} labels, "
+                      f"bit-identical to the frozen model: {exact}")
+
+                # 3. Deadline propagation: a spent budget answers 504.
+                try:
+                    _post(f"{edge.url}/predict/prod", body,
+                          {"Content-Type": "application/json",
+                           "X-Deadline-Ms": "0"})
+                except urllib.error.HTTPError as error:
+                    print(f"504    : expired X-Deadline-Ms sheds with "
+                          f"{error.code} ({json.loads(error.read())['error']})")
+
+                # 4. Chaos: SIGKILL a worker, watch the pool heal itself.
+                victim = service.pool.processes[0]
+                os.kill(victim.pid, signal.SIGKILL)
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    if service.pool.respawns >= 1 and all(service.pool.alive()):
+                        break
+                    time.sleep(0.05)
+                health = _get_json(f"{edge.url}/healthz")
+                metrics = _get_json(f"{edge.url}/metrics")
+                print(f"chaos  : killed pid {victim.pid}; workers now "
+                      f"{health['workers']['alive']}/{health['workers']['total']} "
+                      f"alive, respawns={metrics['workers']['respawns']}")
+                status, payload = _post(
+                    f"{edge.url}/predict/prod", buffer.getvalue(),
+                    {"Content-Type": "application/x-npy"},
+                )
+                healed = np.array_equal(
+                    np.load(io.BytesIO(payload)), blue.predict(queries)
+                )
+                print(f"heal   : post-respawn predict still exact: {healed}")
+
+                # 5. Blue/green over HTTP; the respawned worker honors it.
+                artifact = Path(tmp) / "green.npz"
+                green.save(artifact)
+                status, payload = _post(
+                    f"{edge.url}/swap/prod", artifact.read_bytes(), {}
+                )
+                version = json.loads(payload)["version"]
+                swapped = all(
+                    np.array_equal(
+                        service.predict("prod", queries), green.predict(queries)
+                    )
+                    for _ in range(4)  # round-robin across both workers
+                )
+                print(f"swap   : {version} published over HTTP, every worker "
+                      f"(respawned one included) serves it: {swapped}")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,7 @@ from repro.experiments.serving import (
     run_parallel_ingest,
     run_predict_throughput,
     run_procpool_throughput,
+    run_shm_throughput,
 )
 from repro.experiments.tuning import run_tune_overhead, run_tuning_comparison
 from repro.experiments.drift import run_drift_recovery, run_retune_cost
@@ -63,6 +64,7 @@ __all__ = [
     "run_parallel_ingest",
     "run_predict_throughput",
     "run_procpool_throughput",
+    "run_shm_throughput",
     "run_tune_overhead",
     "run_tuning_comparison",
     "run_drift_recovery",

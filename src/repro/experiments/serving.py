@@ -17,6 +17,9 @@ extensions (ROADMAP items).  Two workloads:
   :class:`~repro.serve.ProcessPoolService` worker pool, reporting aggregate
   throughput and the procpool speedup, and verifying the pooled labels are
   bit-for-bit the single-process labels.
+* :func:`run_shm_throughput` -- the same pooled traffic with the
+  shared-memory slab rings on and off, isolating what the zero-copy data
+  plane buys over pickling every batch through the worker queues.
 
 All report rows through the shared :class:`ExperimentResult` machinery so
 the benchmark layer can print them as tables, and assert nothing themselves.
@@ -297,5 +300,114 @@ def run_procpool_throughput(
 
     result.metadata["labels_match"] = bool(labels_match)
     result.metadata["workers_alive"] = bool(workers_alive)
+    result.metadata["model_cells"] = frozen.n_cells
+    return result
+
+
+def run_shm_throughput(
+    n_train: int = 20_000,
+    n_queries: int = 200_000,
+    n_requests: int = 64,
+    n_workers: int = 2,
+    n_threads: int = 4,
+    scale: int = 128,
+    noise_fraction: float = 0.75,
+    seed: int = 0,
+    repeats: int = 3,
+    store_dir=None,
+    mp_context: str = "spawn",
+) -> ExperimentResult:
+    """Shared-memory vs pickle-queue data plane at identical pooled traffic.
+
+    Two :class:`ProcessPoolService` instances serve the same frozen model
+    and the same ``n_requests`` concurrent query batches -- one shipping
+    batches through the per-worker shared-memory slab rings
+    (:mod:`repro.serve.shm`), one forced onto the pickle-queue path
+    (``use_shm=False``).  Each configuration is warmed once and timed
+    ``repeats`` times (best taken).  The ``speedup`` column of the shm row
+    is pickle-seconds / shm-seconds; metadata records that both paths
+    answered bit-for-bit identically and how many sends actually rode each
+    path (the comparison is vacuous if the ring never engaged).
+    """
+    train = scaled_runtime_dataset(n_train, noise_fraction=noise_fraction, seed=seed)
+    queries = scaled_runtime_dataset(
+        n_queries, noise_fraction=noise_fraction, seed=seed + 1
+    ).points
+    frozen = AdaWave(scale=scale).fit(train.points).export_model()
+    requests = np.array_split(queries, n_requests)
+    expected = [frozen.predict(X) for X in requests]
+
+    result = ExperimentResult(
+        experiment="serving: shared-memory vs pickle-queue data plane",
+        columns=["configuration", "workers", "seconds", "points_per_sec", "speedup"],
+        metadata={
+            "n_train": train.n_samples,
+            "n_queries": len(queries),
+            "n_requests": n_requests,
+            "n_threads": n_threads,
+            "n_workers": n_workers,
+            "scale": scale,
+            "seed": seed,
+        },
+    )
+
+    labels_match = True
+
+    def _measure(service) -> float:
+        nonlocal labels_match
+        warm = [service.predict("live", X) for X in requests[:n_threads]]
+        labels_match = labels_match and all(
+            np.array_equal(got, want) for got, want in zip(warm, expected)
+        )
+        best = np.inf
+        for _ in range(max(repeats, 1)):
+            best = min(
+                best,
+                _drive_concurrent(
+                    lambda X: service.predict("live", X), requests, n_threads
+                ),
+            )
+        final = [service.predict("live", X) for X in requests]
+        labels_match = labels_match and all(
+            np.array_equal(got, want) for got, want in zip(final, expected)
+        )
+        return best
+
+    timings = {}
+    sends = {}
+    cleanup = None
+    if store_dir is None:
+        cleanup = tempfile.TemporaryDirectory()
+        store_dir = cleanup.name
+    try:
+        for label, use_shm in (("pickle-queue", False), ("shm-ring", True)):
+            with ProcessPoolService(
+                f"{store_dir}/{label}",
+                n_workers=n_workers,
+                mp_context=mp_context,
+                use_shm=use_shm,
+            ) as service:
+                service.register("live", frozen)
+                timings[label] = _measure(service)
+                sends[label] = (service.pool.shm_sends, service.pool.pickle_sends)
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    pickle_seconds = timings["pickle-queue"]
+    for label in ("pickle-queue", "shm-ring"):
+        seconds = timings[label]
+        result.add_row(
+            configuration=label,
+            workers=n_workers,
+            seconds=float(seconds),
+            points_per_sec=float(len(queries) / max(seconds, 1e-9)),
+            speedup=float(pickle_seconds / max(seconds, 1e-9)),
+        )
+
+    result.metadata["labels_match"] = bool(labels_match)
+    result.metadata["shm_sends"] = int(sends["shm-ring"][0])
+    result.metadata["pickle_fallback_sends"] = int(sends["shm-ring"][1])
+    result.metadata["queue_path_sends"] = int(sends["pickle-queue"][1])
     result.metadata["model_cells"] = frozen.n_cells
     return result

@@ -25,9 +25,17 @@ serving stack:
   models memory-mapped against a shared content-addressed
   :class:`ArtifactStore`, with blue/green swaps preserved across process
   boundaries;
+* :class:`EdgeServer` / :class:`EdgeThread` -- a stdlib-only HTTP/1.1 front
+  door over any service: ``POST /predict/<name>`` (JSON or raw npy bodies),
+  ``POST /swap/<name>``, ``/healthz`` and ``/metrics``, with per-request
+  deadline propagation (``X-Deadline-Ms`` -> bounded backpressure, 429/504
+  load shedding) and graceful drain on close;
 * :class:`Telemetry` -- the shared metrics surface (per-model latency
-  quantiles, batch sizes, queue depth, swap counts, drift history) every
-  serving component reports into;
+  quantiles, batch sizes, queue depth, swap counts, worker respawns, drift
+  history) every serving component reports into;
+* :class:`SlotRing` -- the zero-copy shared-memory data plane the
+  multi-process service ships float batches through (queues carry only
+  descriptors);
 * :func:`parallel_ingest` -- sharded thread/process ingestion of batched
   datasets, exploiting that the quantized grid is an associative sketch
   (:class:`~repro.stream.StreamSketch`).
@@ -45,12 +53,14 @@ Typical flow::
     labels = service.predict("prod", X_new)
 """
 
+from repro.serve.edge import DEADLINE_HEADER, EdgeServer, EdgeThread
 from repro.serve.metrics import Telemetry
 from repro.serve.model import FORMAT_MAGIC, FORMAT_VERSION, ClusterModel
 from repro.serve.parallel import parallel_ingest
 from repro.serve.procpool import ArtifactStore, ProcessPoolService, ProcessWorkerPool
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import ClusteringService, Overloaded, ServiceClosed
+from repro.serve.shm import SlotRing, SlotRingClient, shm_available
 
 __all__ = [
     "ArtifactStore",
@@ -59,6 +69,12 @@ __all__ = [
     "ClusteringService",
     "ProcessPoolService",
     "ProcessWorkerPool",
+    "EdgeServer",
+    "EdgeThread",
+    "DEADLINE_HEADER",
+    "SlotRing",
+    "SlotRingClient",
+    "shm_available",
     "Overloaded",
     "ServiceClosed",
     "Telemetry",

@@ -1,0 +1,516 @@
+"""HTTP front door for the serving plane: predict, swap, health, metrics.
+
+Nothing outside the process could call the PR-5 serving plane; this module
+puts a real network edge on any :class:`~repro.serve.ClusteringService`
+(the multi-process :class:`~repro.serve.ProcessPoolService` included) using
+only the stdlib: an ``asyncio.start_server`` loop speaking a deliberately
+small slice of HTTP/1.1.
+
+* ``POST /predict/<name>`` -- label a batch.  The body is either JSON
+  (``{"points": [[...], ...]}``, answered with ``{"labels": [...]}``) or a
+  raw ``.npy`` array (``Content-Type: application/x-npy``, answered in
+  kind), so high-volume clients skip JSON entirely.
+* ``POST /swap/<name>`` -- blue/green publish: the body is a ClusterModel
+  npz artifact; the response carries the new version name.
+* ``GET /healthz`` -- liveness plus model/worker counts.
+* ``GET /metrics`` -- the service's full
+  :meth:`~repro.serve.metrics.Telemetry.snapshot` with an ``edge`` section
+  (request counts by status) merged in.
+
+**Deadline propagation** is the edge's load-shedding contract: a request
+carrying ``X-Deadline-Ms: <budget>`` is queued with backpressure *bounded
+by that budget* -- if the service cannot answer in time it fails with 504
+(or 429 when shed immediately without a deadline) instead of queueing
+forever.  :meth:`EdgeServer.close` drains gracefully: in-flight requests
+finish (up to ``drain_timeout``), idle keep-alive connections are dropped,
+new connections are refused.
+
+:class:`EdgeThread` runs the whole thing on a private event-loop thread for
+synchronous callers (examples, tests, ``curl`` demos).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.model import ClusterModel
+from repro.serve.service import ClusteringService, Overloaded, ServiceClosed
+
+#: Request header carrying the caller's remaining time budget, in
+#: milliseconds.  See :class:`EdgeServer`.
+DEADLINE_HEADER = "x-deadline-ms"
+
+#: Content types decoded as raw ``.npy`` bodies.
+_NPY_TYPES = ("application/x-npy", "application/octet-stream")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP from the client; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class EdgeServer:
+    """Asyncio HTTP/1.1 edge over a :class:`ClusteringService`.
+
+    Parameters
+    ----------
+    service:
+        The service to front -- single-process or a
+        :class:`~repro.serve.ProcessPoolService`.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back from
+        :attr:`port` after :meth:`start`).
+    max_body_bytes:
+        Request bodies beyond this are refused with 413.
+    drain_timeout:
+        Seconds :meth:`close` waits for in-flight requests to finish before
+        cancelling their connections.
+    idle_timeout:
+        Seconds a keep-alive connection may sit between requests.
+
+    The server is an async context manager::
+
+        async with EdgeServer(service, port=0) as edge:
+            ...  # edge.port is bound
+
+    Requests with an ``X-Deadline-Ms`` header are admitted with
+    deadline-bounded backpressure (the caller's budget caps both the
+    admission wait and the predict itself); requests without one are shed
+    immediately with 429 when the service is saturated.
+    """
+
+    def __init__(
+        self,
+        service: ClusteringService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_body_bytes: int = 256 << 20,
+        drain_timeout: float = 5.0,
+        idle_timeout: float = 30.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.max_body_bytes = int(max_body_bytes)
+        self.drain_timeout = float(drain_timeout)
+        self.idle_timeout = float(idle_timeout)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._active_requests = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._closing = False
+        self.requests_by_status: Dict[int, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> "EdgeServer":
+        """Bind and start accepting connections; resolves the actual port."""
+        if self._server is not None:
+            raise RuntimeError("EdgeServer is already started.")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        """Graceful drain: finish in-flight requests, then drop connections.
+
+        New connections are refused immediately; requests already being
+        processed get up to ``drain_timeout`` seconds to complete; idle
+        keep-alive connections are cancelled.  Idempotent.  The underlying
+        service is left running (it may outlive the edge, or be closed by
+        its own context manager).
+        """
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=self.drain_timeout)
+        except asyncio.TimeoutError:  # pragma: no cover - stuck request
+            pass
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    async def __aenter__(self) -> "EdgeServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> bool:
+        await self.close()
+        return False
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while not self._closing:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader, writer),
+                        timeout=self.idle_timeout,
+                    )
+                except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                    return
+                except _BadRequest as error:
+                    await self._respond_json(
+                        writer, error.status, {"error": str(error)}, close=True
+                    )
+                    return
+                if request is None:  # clean EOF between requests
+                    return
+                method, path, headers, body = request
+                self._active_requests += 1
+                self._idle.clear()
+                try:
+                    status, payload, content_type = await self._route(
+                        method, path, headers, body
+                    )
+                finally:
+                    self._active_requests -= 1
+                    if self._active_requests == 0:
+                        self._idle.set()
+                keep_alive = (
+                    not self._closing
+                    and headers.get("connection", "").lower() != "close"
+                )
+                await self._write_response(
+                    writer, status, payload, content_type, close=not keep_alive
+                )
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover - peer already gone
+                pass
+
+    async def _read_request(
+        self, reader, writer
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _BadRequest(400, "malformed request line.")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= 100 or len(raw) > 16384:
+                raise _BadRequest(400, "header section too large.")
+            key, _, value = raw.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _BadRequest(400, "invalid Content-Length.") from None
+        if length > self.max_body_bytes:
+            raise _BadRequest(
+                413, f"body of {length} bytes exceeds {self.max_body_bytes}."
+            )
+        if headers.get("expect", "").lower() == "100-continue":
+            writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+            await writer.drain()
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target.split("?", 1)[0], headers, body
+
+    # -- routing -----------------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Any, str]:
+        """Dispatch one request; returns ``(status, payload, content_type)``."""
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    return 405, {"error": "use GET."}, "application/json"
+                return 200, self._healthz(), "application/json"
+            if path == "/metrics":
+                if method != "GET":
+                    return 405, {"error": "use GET."}, "application/json"
+                snapshot = self.service.telemetry.snapshot()
+                snapshot["edge"] = {
+                    "active_requests": self._active_requests,
+                    "requests_by_status": {
+                        str(code): count
+                        for code, count in sorted(self.requests_by_status.items())
+                    },
+                }
+                return 200, snapshot, "application/json"
+            if path.startswith("/predict/"):
+                if method != "POST":
+                    return 405, {"error": "use POST."}, "application/json"
+                return await self._predict(path[len("/predict/"):], headers, body)
+            if path.startswith("/swap/"):
+                if method != "POST":
+                    return 405, {"error": "use POST."}, "application/json"
+                return await self._swap(path[len("/swap/"):], body)
+            return 404, {"error": f"unknown path {path!r}."}, "application/json"
+        except _BadRequest as error:
+            return error.status, {"error": str(error)}, "application/json"
+        except Exception as error:  # pragma: no cover - defensive catch-all
+            return (
+                500,
+                {"error": f"{type(error).__name__}: {error}"},
+                "application/json",
+            )
+
+    def _healthz(self) -> Dict[str, Any]:
+        health: Dict[str, Any] = {
+            "status": "closing" if self._closing or self.service.closed else "ok",
+            "models": self.service.registry.names(),
+        }
+        pool = getattr(self.service, "pool", None)
+        if pool is not None:
+            health["workers"] = {
+                "alive": sum(pool.alive()),
+                "total": pool.n_workers,
+                "respawns": pool.respawns,
+            }
+        return health
+
+    async def _predict(
+        self, name: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Any, str]:
+        deadline = self._parse_deadline(headers)
+        if deadline is not None and deadline <= 0.0:
+            return 504, {"error": "deadline already expired."}, "application/json"
+        wants_npy = any(
+            kind in headers.get("content-type", "") for kind in _NPY_TYPES
+        )
+        try:
+            X = self._decode_batch(body, wants_npy)
+        except Exception as error:
+            return (
+                400,
+                {"error": f"could not decode batch: {error}"},
+                "application/json",
+            )
+        try:
+            # A deadline buys bounded backpressure: the request may queue for
+            # a slot, but only until the budget runs out.  Without one, a
+            # saturated service sheds the request immediately (429).
+            labels = await asyncio.wait_for(
+                self.service.predict_async(
+                    name,
+                    X,
+                    backpressure=deadline is not None,
+                    slot_timeout=deadline,
+                ),
+                timeout=deadline,
+            )
+        except asyncio.TimeoutError:
+            return 504, {"error": "deadline exceeded."}, "application/json"
+        except Overloaded as error:
+            if deadline is not None:
+                return 504, {"error": str(error)}, "application/json"
+            return 429, {"error": str(error)}, "application/json"
+        except ServiceClosed as error:
+            return 503, {"error": str(error)}, "application/json"
+        except KeyError as error:
+            return 404, {"error": str(error)}, "application/json"
+        except (ValueError, RuntimeError) as error:
+            return 400, {"error": f"{type(error).__name__}: {error}"}, "application/json"
+        if wants_npy:
+            buffer = io.BytesIO()
+            np.save(buffer, labels)
+            return 200, buffer.getvalue(), "application/x-npy"
+        return (
+            200,
+            {"model": name, "n": int(len(labels)), "labels": labels.tolist()},
+            "application/json",
+        )
+
+    async def _swap(self, name: str, body: bytes) -> Tuple[int, Any, str]:
+        if not body:
+            return 400, {"error": "swap body must be an npz artifact."}, "application/json"
+        loop = asyncio.get_running_loop()
+        try:
+            model = await loop.run_in_executor(None, self._load_artifact, body)
+            version = self.service.swap(name, model)
+        except ServiceClosed as error:
+            return 503, {"error": str(error)}, "application/json"
+        except Exception as error:
+            return (
+                400,
+                {"error": f"could not swap {name!r}: {error}"},
+                "application/json",
+            )
+        return 200, {"name": name, "version": version}, "application/json"
+
+    @staticmethod
+    def _load_artifact(body: bytes) -> ClusterModel:
+        # ClusterModel.load validates magic/version before touching arrays,
+        # so arbitrary uploads fail with a clear error, not a mislabeled model.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "artifact.npz"
+            path.write_bytes(body)
+            return ClusterModel.load(path)
+
+    @staticmethod
+    def _parse_deadline(headers: Dict[str, str]) -> Optional[float]:
+        raw = headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            return float(raw) / 1000.0
+        except ValueError:
+            raise _BadRequest(
+                400, f"invalid {DEADLINE_HEADER} header: {raw!r}."
+            ) from None
+
+    @staticmethod
+    def _decode_batch(body: bytes, is_npy: bool) -> np.ndarray:
+        if is_npy:
+            return np.load(io.BytesIO(body), allow_pickle=False)
+        document = json.loads(body or b"null")
+        points = document.get("points") if isinstance(document, dict) else document
+        if points is None:
+            raise ValueError('expected {"points": [[...], ...]} or a bare array.')
+        return np.asarray(points, dtype=np.float64)
+
+    # -- response writing --------------------------------------------------------
+
+    async def _write_response(
+        self, writer, status: int, payload: Any, content_type: str, *, close: bool
+    ) -> None:
+        if isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+        else:
+            body = json.dumps(payload).encode("utf-8")
+        self.requests_by_status[status] = self.requests_by_status.get(status, 0) + 1
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _respond_json(
+        self, writer, status: int, payload: Any, *, close: bool
+    ) -> None:
+        try:
+            await self._write_response(
+                writer, status, payload, "application/json", close=close
+            )
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+class EdgeThread:
+    """Run an :class:`EdgeServer` on a private event-loop thread.
+
+    Synchronous front door for examples and tests::
+
+        with EdgeThread(service) as edge:
+            requests_like_call(f"http://{edge.host}:{edge.port}/healthz")
+
+    :meth:`close` drains the edge and stops the loop thread; the wrapped
+    service is not closed.
+    """
+
+    def __init__(
+        self,
+        service: ClusteringService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **edge_kwargs,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serve-edge", daemon=True
+        )
+        self._thread.start()
+        self.edge = EdgeServer(service, host, port, **edge_kwargs)
+        try:
+            asyncio.run_coroutine_threadsafe(self.edge.start(), self._loop).result(
+                timeout=10.0
+            )
+        except Exception:
+            self._stop_loop()
+            raise
+        self._closed = False
+
+    @property
+    def host(self) -> str:
+        return self.edge.host
+
+    @property
+    def port(self) -> int:
+        return self.edge.port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running edge (no trailing slash)."""
+        return f"http://{self.edge.host}:{self.edge.port}"
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain the edge and stop the loop thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            asyncio.run_coroutine_threadsafe(self.edge.close(), self._loop).result(
+                timeout=timeout
+            )
+        finally:
+            self._stop_loop(timeout)
+
+    def _stop_loop(self, timeout: float = 10.0) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+        if not self._thread.is_alive():
+            self._loop.close()
+
+    def __enter__(self) -> "EdgeThread":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeThread(url={self.url!r}, closed={self._closed})"

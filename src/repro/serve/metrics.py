@@ -86,6 +86,7 @@ class Telemetry:
         self._max_queue_depth = 0
         self._swaps: Dict[str, int] = {}
         self._last_swap: Optional[str] = None
+        self._worker_respawns: Dict[int, int] = {}
         self._drift_checks = 0
         self._drift_flagged = 0
         self._drift_history: Deque[Dict[str, Any]] = deque(maxlen=int(history_limit))
@@ -142,6 +143,14 @@ class Telemetry:
             self._swaps[name] = self._swaps.get(name, 0) + 1
             self._last_swap = version
         self._emit({"event": "swap", "model": name, "version": version})
+
+    def record_worker_respawn(self, worker: int) -> None:
+        """One dead worker process replaced by the pool's watchdog."""
+        with self._lock:
+            self._worker_respawns[int(worker)] = (
+                self._worker_respawns.get(int(worker), 0) + 1
+            )
+        self._emit({"event": "worker_respawn", "worker": int(worker)})
 
     def record_drift_check(self, report: Any) -> None:
         """One drift check; ``report`` is a DriftReport (or mapping)."""
@@ -205,6 +214,10 @@ class Telemetry:
                 "swaps": {"count": sum(self._swaps.values()),
                           "by_name": dict(self._swaps),
                           "last_version": self._last_swap},
+                "workers": {
+                    "respawns": sum(self._worker_respawns.values()),
+                    "by_worker": dict(self._worker_respawns),
+                },
                 "drift": {"checks": self._drift_checks,
                           "drifted": self._drift_flagged,
                           "history": [dict(entry) for entry in self._drift_history]},

@@ -18,11 +18,19 @@ it.  This module removes that wall without giving up blue/green semantics:
   FIFO queues as predict work, which is what preserves blue/green across
   the process boundary: a predict enqueued after a swap is always answered
   by the new version, one enqueued before it by a version that *was* live.
+  Dead workers are **respawned** (:meth:`ProcessWorkerPool.respawn`): the
+  pool replays its current name -> digest bindings from the store into a
+  fresh process, so a crash costs the in-flight batches (failed fast, never
+  hung) but not capacity.
 * :class:`ProcessPoolService` -- a drop-in :class:`ClusteringService`
   subclass whose predict micro-batches are dispatched round-robin to the
   worker pool (several batches genuinely in flight at once), with the base
   class's admission control (:class:`~repro.serve.service.Overloaded`,
   backpressure) and :class:`~repro.serve.metrics.Telemetry` in front.
+  Float batches travel through per-worker shared-memory slab rings
+  (:mod:`repro.serve.shm`) -- the queues carry only ``(slot, shape,
+  dtype)`` descriptors, and oversized or non-contiguous batches fall back
+  to the pickle path automatically.
 
 The parent keeps its own :class:`~repro.serve.ModelRegistry` (attached to
 the store) for bookkeeping, versioning and fail-fast name checks; worker
@@ -40,6 +48,7 @@ import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future, InvalidStateError
+from queue import Empty
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
@@ -50,6 +59,14 @@ from repro.serve.metrics import Telemetry
 from repro.serve.model import ClusterModel
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import ClusteringService, ServiceClosed
+from repro.serve.shm import (
+    DEFAULT_SLOT_BYTES,
+    DEFAULT_SLOTS,
+    SlotRing,
+    SlotRingClient,
+    fits_slot,
+    shm_available,
+)
 
 
 class ArtifactStore:
@@ -95,15 +112,38 @@ class ArtifactStore:
         return digest
 
     def load(self, digest: str, *, mmap: bool = True) -> ClusterModel:
-        """Open the artifact with ``digest`` (memory-mapped by default)."""
+        """Open the artifact with ``digest`` (memory-mapped by default).
+
+        A digest can pass an existence check and still be unlinked by a
+        concurrent :meth:`gc` before the open lands, so a vanished file is
+        retried once and then surfaced as the same actionable ``KeyError``
+        a never-present digest gets -- callers never see a raw
+        ``FileNotFoundError`` from a gc race.
+        """
         path = self.path(digest)
-        if not path.exists():
-            known = ", ".join(self.digests()[:8]) or "<none>"
-            raise KeyError(
-                f"artifact {digest!r} is not in the store at {self.directory} "
-                f"(present: {known})."
-            )
-        return ClusterModel.load(path, mmap=mmap)
+        for _ in range(2):
+            if not path.exists():
+                break
+            try:
+                return ClusterModel.load(path, mmap=mmap)
+            except (FileNotFoundError, ValueError) as error:
+                # ClusterModel.load wraps I/O failures in ValueError; only a
+                # *vanished* file is the gc race -- genuine corruption of a
+                # still-present artifact must keep its ValueError.
+                vanished = (
+                    isinstance(error, FileNotFoundError)
+                    or isinstance(error.__cause__, FileNotFoundError)
+                    or not path.exists()
+                )
+                if not vanished:
+                    raise
+                continue
+        known = ", ".join(self.digests()[:8]) or "<none>"
+        raise KeyError(
+            f"artifact {digest!r} is not in the store at {self.directory} "
+            f"(present: {known}). It may have been removed by a concurrent "
+            "gc(); re-publish the model or widen the gc keep set."
+        )
 
     def digests(self) -> List[str]:
         """Sorted digests of every artifact currently in the store."""
@@ -135,15 +175,18 @@ def _portable_error(error: BaseException) -> BaseException:
         return RuntimeError(f"{type(error).__name__}: {error}")
 
 
-def _worker_main(store_dir: str, task_queue, result_queue) -> None:
+def _worker_main(store_dir: str, task_queue, result_queue, ring_spec) -> None:
     """Worker-process body: serve predict tasks against mmap'd store artifacts.
 
     Messages arrive on ``task_queue`` in FIFO order -- ``("bind", name,
     digest)`` (re)binds a model from the store, ``("drop", name)`` forgets
     one, ``("predict", request_id, name, X)`` answers with ``("done",
-    request_id, labels, error)`` on ``result_queue``, ``("stop",)`` exits.
-    The FIFO ordering is the blue/green guarantee: a bind enqueued before a
-    predict is always applied before it.
+    request_id, labels, error)`` on ``result_queue``, ``("predict-shm",
+    request_id, name, slot, shape, dtype)`` reads the batch zero-copy from
+    the shared-memory ring described by ``ring_spec`` and writes the labels
+    back into the same slot (``("done-shm", request_id, shape, dtype,
+    None)``), and ``("stop",)`` exits.  The FIFO ordering is the blue/green
+    guarantee: a bind enqueued before a predict is always applied before it.
 
     Artifacts are content-addressed and immutable, so loads are cached by
     digest: a swap storm flipping between versions costs one disk open per
@@ -153,9 +196,24 @@ def _worker_main(store_dir: str, task_queue, result_queue) -> None:
     import it.
     """
     store = ArtifactStore(store_dir)
+    ring = None
+    if ring_spec is not None:
+        try:
+            ring = SlotRingClient(*ring_spec)
+        except Exception:
+            ring = None  # shm descriptors will be answered with an error
     models: Dict[str, ClusterModel] = {}
     cache: "OrderedDict[str, ClusterModel]" = OrderedDict()
     cache_limit = 64
+
+    def _predict(name: str, X) -> np.ndarray:
+        model = models.get(name)
+        if model is None:
+            raise KeyError(
+                f"worker pid {os.getpid()} has no model bound as {name!r}."
+            )
+        return model.predict(X)
+
     while True:
         try:
             message = task_queue.get()
@@ -163,6 +221,8 @@ def _worker_main(store_dir: str, task_queue, result_queue) -> None:
             return
         kind = message[0]
         if kind == "stop":
+            if ring is not None:
+                ring.close()
             return
         if kind == "bind":
             _, name, digest = message
@@ -187,12 +247,28 @@ def _worker_main(store_dir: str, task_queue, result_queue) -> None:
         elif kind == "predict":
             _, request_id, name, X = message
             try:
-                model = models.get(name)
-                if model is None:
-                    raise KeyError(
-                        f"worker pid {os.getpid()} has no model bound as {name!r}."
+                result_queue.put(("done", request_id, _predict(name, X), None))
+            except Exception as error:
+                result_queue.put(("done", request_id, None, _portable_error(error)))
+        elif kind == "predict-shm":
+            _, request_id, name, slot, shape, dtype = message
+            try:
+                if ring is None:
+                    raise RuntimeError(
+                        f"worker pid {os.getpid()} could not attach the "
+                        "shared-memory ring; shm descriptors cannot be served."
                     )
-                result_queue.put(("done", request_id, model.predict(X), None))
+                labels = _predict(name, ring.view(slot, shape, dtype))
+                if labels.nbytes <= ring.slot_bytes:
+                    # The labels ride back in the request's own slot: the
+                    # parent holds it until this answer is read, so the
+                    # request bytes are dead and the slot is exclusively ours.
+                    out_shape, out_dtype = ring.write(slot, labels)
+                    result_queue.put(
+                        ("done-shm", request_id, out_shape, out_dtype, None)
+                    )
+                else:  # pragma: no cover - labels larger than the batch
+                    result_queue.put(("done", request_id, labels, None))
             except Exception as error:
                 result_queue.put(("done", request_id, None, _portable_error(error)))
 
@@ -211,11 +287,23 @@ class ProcessWorkerPool:
         Multiprocessing start method.  The default ``"spawn"`` is safe in
         arbitrarily threaded parents (the serving plane always is one);
         ``"fork"`` starts faster where the platform allows it.
+    use_shm:
+        Ship float batches through per-worker shared-memory slab rings
+        (:mod:`repro.serve.shm`) instead of pickling them through the
+        queues.  Enabled by default where ``multiprocessing.shared_memory``
+        works; silently disabled (pickle path only) where it does not.
+    shm_slot_bytes, shm_slots:
+        Geometry of each worker's ring: ``shm_slots`` slots of
+        ``shm_slot_bytes`` payload each.  Batches that do not fit a slot --
+        or arrive while every slot is in flight -- fall back to the pickle
+        path automatically.
 
     Control messages (:meth:`bind` / :meth:`drop`) are broadcast to every
     worker's FIFO queue; predict tasks go to one worker each, chosen
     round-robin over the live processes.  Results from all workers funnel
-    into the shared :attr:`result_queue`.
+    into the shared :attr:`result_queue`.  The pool remembers its current
+    name -> digest bindings, which is what lets :meth:`respawn` rebuild a
+    dead worker's model set from the store.
     """
 
     def __init__(
@@ -224,40 +312,109 @@ class ProcessWorkerPool:
         n_workers: Optional[int] = None,
         *,
         mp_context: str = "spawn",
+        use_shm: bool = True,
+        shm_slot_bytes: int = DEFAULT_SLOT_BYTES,
+        shm_slots: int = DEFAULT_SLOTS,
     ) -> None:
         from repro.serve.parallel import resolve_n_workers
 
         self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
         self.n_workers = resolve_n_workers(n_workers)
         self._ctx = multiprocessing.get_context(mp_context)
+        self.rings: Optional[List[SlotRing]] = None
+        if use_shm and shm_available():
+            self.rings = [
+                SlotRing(shm_slot_bytes, shm_slots) for _ in range(self.n_workers)
+            ]
+        self.use_shm = self.rings is not None
         self._task_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
         self.result_queue = self._ctx.Queue()
         self.processes = [
-            self._ctx.Process(
-                target=_worker_main,
-                args=(str(self.store.directory), task_queue, self.result_queue),
-                name=f"repro-serve-worker-{index}",
-                daemon=True,
-            )
+            self._spawn_process(index, task_queue)
             for index, task_queue in enumerate(self._task_queues)
         ]
         for process in self.processes:
             process.start()
         self._rotation = itertools.cycle(range(self.n_workers))
         self._lock = threading.Lock()
+        self._bindings: Dict[str, str] = {}
+        self._generations = [0] * self.n_workers
+        self.shm_sends = 0
+        self.pickle_sends = 0
+        self.respawns = 0
         self._closed = False
+
+    def _ring_spec(self, index: int):
+        return None if self.rings is None else self.rings[index].spec()
+
+    def _spawn_process(self, index: int, task_queue):
+        return self._ctx.Process(
+            target=_worker_main,
+            args=(
+                str(self.store.directory),
+                task_queue,
+                self.result_queue,
+                self._ring_spec(index),
+            ),
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
 
     # -- control plane -----------------------------------------------------------
 
     def bind(self, name: str, digest: str) -> None:
         """Broadcast: every worker re-opens ``digest`` and serves it as ``name``."""
-        for task_queue in self._task_queues:
-            task_queue.put(("bind", name, digest))
+        with self._lock:
+            self._bindings[str(name)] = str(digest)
+            for task_queue in self._task_queues:
+                task_queue.put(("bind", name, digest))
 
     def drop(self, name: str) -> None:
         """Broadcast: every worker forgets the model bound as ``name``."""
-        for task_queue in self._task_queues:
-            task_queue.put(("drop", name))
+        with self._lock:
+            self._bindings.pop(str(name), None)
+            for task_queue in self._task_queues:
+                task_queue.put(("drop", name))
+
+    def bindings(self) -> Dict[str, str]:
+        """Snapshot of the current name -> digest bindings."""
+        with self._lock:
+            return dict(self._bindings)
+
+    def respawn(self, index: int) -> Optional[int]:
+        """Replace the dead worker at ``index`` with a fresh process.
+
+        The new worker reuses the slot's shared-memory ring and result
+        queue, gets a *fresh* task queue (whatever the dead worker left
+        unread is gone -- the watchdog already failed those requests fast),
+        and has the pool's current name -> digest bindings replayed from
+        the store before it serves anything, so blue/green state survives
+        the crash.  Returns the slot's new generation number, or ``None``
+        when the worker is actually alive (benign race) or the pool is
+        closed.  Callers see the restored capacity through the usual
+        round-robin rotation -- no rebalancing is needed.
+        """
+        with self._lock:
+            if self._closed:
+                return None
+            old_process = self.processes[index]
+            if old_process.is_alive():
+                return None
+            old_queue = self._task_queues[index]
+            task_queue = self._ctx.Queue()
+            for name, digest in sorted(self._bindings.items()):
+                task_queue.put(("bind", name, digest))
+            process = self._spawn_process(index, task_queue)
+            self._task_queues[index] = task_queue
+            self.processes[index] = process
+            self._generations[index] += 1
+            self.respawns += 1
+            generation = self._generations[index]
+            process.start()
+        old_process.join(timeout=0.1)  # reap the corpse
+        old_queue.close()
+        old_queue.cancel_join_thread()
+        return generation
 
     # -- data plane --------------------------------------------------------------
 
@@ -273,36 +430,91 @@ class ProcessWorkerPool:
             "restarted."
         )
 
-    def send_predict(self, worker: int, request_id: int, name: str, X) -> None:
-        """Enqueue one predict task on ``worker``'s FIFO queue."""
-        self._task_queues[worker].put(("predict", request_id, name, X))
+    def send_predict(
+        self, worker: int, request_id: int, name: str, X: np.ndarray
+    ) -> Tuple[int, Optional[int]]:
+        """Enqueue one predict task on ``worker``'s FIFO queue.
+
+        Ships the batch through the worker's shared-memory ring when it
+        fits a free slot (the queue then carries only the descriptor),
+        falling back to the pickle path otherwise.  Returns ``(generation,
+        slot)`` -- the worker generation the task was sent to (so the
+        watchdog can fail requests stranded on a superseded incarnation)
+        and the ring slot to release once the answer lands (``None`` on the
+        pickle path).
+        """
+        with self._lock:
+            task_queue = self._task_queues[worker]
+            generation = self._generations[worker]
+            ring = None if self.rings is None else self.rings[worker]
+            if ring is not None and fits_slot(X, ring.slot_bytes):
+                slot = ring.acquire()
+                if slot is not None:
+                    shape, dtype = ring.write(slot, X)
+                    task_queue.put(
+                        ("predict-shm", request_id, name, slot, shape, dtype)
+                    )
+                    self.shm_sends += 1
+                    return generation, slot
+            task_queue.put(("predict", request_id, name, X))
+            self.pickle_sends += 1
+            return generation, None
+
+    def read_labels(self, worker: int, slot: int, shape, dtype) -> np.ndarray:
+        """Copy a worker's shm-path answer out of its ring (slot stays held)."""
+        assert self.rings is not None
+        return self.rings[worker].read(slot, shape, dtype)
+
+    def release_slot(self, worker: int, slot: Optional[int]) -> None:
+        """Return a ring slot to ``worker``'s free-list (no-op for ``None``)."""
+        if slot is not None and self.rings is not None:
+            self.rings[worker].release(slot)
 
     def alive(self) -> List[bool]:
         """Liveness of each worker process, by index."""
         return [process.is_alive() for process in self.processes]
 
+    def generations(self) -> List[int]:
+        """Current generation number of each worker slot, by index."""
+        with self._lock:
+            return list(self._generations)
+
     # -- lifecycle ---------------------------------------------------------------
 
-    def close(self, timeout: float = 5.0) -> None:
-        """Stop every worker: polite ``stop`` sentinel, then terminate stragglers."""
-        if self._closed:
-            return
-        self._closed = True
-        for task_queue in self._task_queues:
-            try:
-                task_queue.put(("stop",))
-            except (ValueError, OSError):  # pragma: no cover - queue torn down
-                pass
-        deadline = time.monotonic() + timeout
-        for process in self.processes:
-            process.join(timeout=max(0.0, deadline - time.monotonic()))
-        for process in self.processes:
-            if process.is_alive():  # pragma: no cover - hung worker
-                process.terminate()
-                process.join(timeout=1.0)
-        for task_queue in self._task_queues:
-            task_queue.close()
-            task_queue.cancel_join_thread()
+    def close(self, timeout: float = 5.0, *, release_shm: bool = True) -> None:
+        """Stop every worker: polite ``stop`` sentinel, then terminate stragglers.
+
+        ``release_shm=False`` leaves the shared-memory rings linked (the
+        owning service releases them once its collector thread -- which may
+        still be reading an answer out of a ring -- has exited; call
+        :meth:`release_rings` afterwards).
+        """
+        if not self._closed:
+            with self._lock:
+                self._closed = True
+            for task_queue in self._task_queues:
+                try:
+                    task_queue.put(("stop",))
+                except (ValueError, OSError):  # pragma: no cover - queue torn down
+                    pass
+            deadline = time.monotonic() + timeout
+            for process in self.processes:
+                process.join(timeout=max(0.0, deadline - time.monotonic()))
+            for process in self.processes:
+                if process.is_alive():  # pragma: no cover - hung worker
+                    process.terminate()
+                    process.join(timeout=1.0)
+            for task_queue in self._task_queues:
+                task_queue.close()
+                task_queue.cancel_join_thread()
+        if release_shm:
+            self.release_rings()
+
+    def release_rings(self) -> None:
+        """Unlink the shared-memory rings (idempotent)."""
+        if self.rings is not None:
+            for ring in self.rings:
+                ring.close()
 
     def __enter__(self) -> "ProcessWorkerPool":
         return self
@@ -312,7 +524,10 @@ class ProcessWorkerPool:
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ProcessWorkerPool(n_workers={self.n_workers}, alive={sum(self.alive())})"
+        return (
+            f"ProcessWorkerPool(n_workers={self.n_workers}, "
+            f"alive={sum(self.alive())}, shm={self.use_shm})"
+        )
 
 
 @dataclass
@@ -323,6 +538,12 @@ class _Inflight:
     name: str
     futures: List[Future]
     sizes: Optional[List[int]]
+    #: Worker generation the batch was shipped to; -1 while the dispatcher
+    #: is still writing/enqueueing it (the watchdog must not touch the entry
+    #: before the send lands, or it could release a slot the worker is about
+    #: to write into).
+    generation: int = -1
+    slot: Optional[int] = None
     started: float = field(default_factory=time.perf_counter)
 
 
@@ -338,6 +559,12 @@ class ProcessPoolService(ClusteringService):
     class, with every ``register``/``swap``/``load`` additionally published
     to the :class:`ArtifactStore` and broadcast to the workers, preserving
     blue/green semantics end to end across process boundaries.
+
+    Batches ride per-worker shared-memory rings where they fit (see
+    :class:`ProcessWorkerPool`), and a watchdog keeps the pool at full
+    capacity: a dead worker's in-flight batches fail fast with an explicit
+    error, then the worker is respawned with the current bindings replayed
+    -- every respawn lands in ``telemetry.snapshot()["workers"]``.
 
     Parameters
     ----------
@@ -358,6 +585,12 @@ class ProcessPoolService(ClusteringService):
         Seconds :meth:`close` waits for in-flight worker answers before
         terminating the pool and failing the stragglers with
         :class:`ServiceClosed`.
+    respawn_workers:
+        Automatically replace dead workers (default).  ``False`` restores
+        the PR-5 behaviour of leaving the slot empty.
+    use_shm, shm_slot_bytes, shm_slots:
+        Shared-memory data-plane knobs, passed to
+        :class:`ProcessWorkerPool`.
     max_pending, max_batch_delay, max_async_workers, telemetry:
         As in :class:`ClusteringService` (``max_batch_delay`` here bounds
         how long the dispatcher waits for a fuller batch).
@@ -372,6 +605,10 @@ class ProcessPoolService(ClusteringService):
         mp_context: str = "spawn",
         max_batch_requests: int = 32,
         worker_timeout: float = 10.0,
+        respawn_workers: bool = True,
+        use_shm: bool = True,
+        shm_slot_bytes: int = DEFAULT_SLOT_BYTES,
+        shm_slots: int = DEFAULT_SLOTS,
         max_pending: Optional[int] = None,
         max_batch_delay: float = 0.0,
         max_async_workers: int = 4,
@@ -408,7 +645,15 @@ class ProcessPoolService(ClusteringService):
         self.store = store
         self.max_batch_requests = int(max_batch_requests)
         self.worker_timeout = float(worker_timeout)
-        self.pool = ProcessWorkerPool(store, n_workers, mp_context=mp_context)
+        self.respawn_workers = bool(respawn_workers)
+        self.pool = ProcessWorkerPool(
+            store,
+            n_workers,
+            mp_context=mp_context,
+            use_shm=use_shm,
+            shm_slot_bytes=shm_slot_bytes,
+            shm_slots=shm_slots,
+        )
         self._requests: Deque[Tuple[str, np.ndarray, Future]] = deque()
         self._requests_cond = threading.Condition()
         self._stop_dispatch = False
@@ -416,6 +661,7 @@ class ProcessPoolService(ClusteringService):
         self._inflight_lock = threading.Lock()
         self._request_ids = itertools.count()
         self._shutdown = threading.Event()
+        self._collector_stop = threading.Event()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
         )
@@ -480,7 +726,12 @@ class ProcessPoolService(ClusteringService):
     # -- serving -----------------------------------------------------------------
 
     def submit(
-        self, name: str, X, *, wait_for_slot: bool = False
+        self,
+        name: str,
+        X,
+        *,
+        wait_for_slot: bool = False,
+        slot_timeout: Optional[float] = None,
     ) -> "Future[np.ndarray]":
         """Admit a predict request and hand it to the dispatcher.
 
@@ -492,7 +743,7 @@ class ProcessPoolService(ClusteringService):
             raise ServiceClosed("ProcessPoolService is closed; no further requests.")
         self.registry.get(name)  # fail fast on unknown names
         X = np.asarray(X, dtype=np.float64)
-        self._admit(name, wait=wait_for_slot)
+        self._admit(name, wait=wait_for_slot, timeout=slot_timeout)
         future: "Future[np.ndarray]" = Future()
         future.add_done_callback(self._release_slot)
         with self._requests_cond:
@@ -557,65 +808,108 @@ class ProcessPoolService(ClusteringService):
         with self._inflight_lock:
             self._inflight[request_id] = entry
         try:
-            self.pool.send_predict(worker, request_id, name, stacked)
+            generation, slot = self.pool.send_predict(
+                worker, request_id, name, stacked
+            )
+            entry.slot = slot
+            # Publish the generation last: it flips the entry from
+            # "send in progress" (watchdog hands off) to "watchable".
+            entry.generation = generation
         except Exception as error:  # pragma: no cover - queue torn down
             with self._inflight_lock:
                 self._inflight.pop(request_id, None)
             for future in futures:
                 self._resolve_future(future, error=error)
 
+    def _finish_entry(self, entry: _Inflight, labels: np.ndarray) -> None:
+        """Resolve an answered batch's futures and account it exactly once."""
+        seconds = time.perf_counter() - entry.started
+        self.telemetry.record_predict(entry.name, seconds, len(labels))
+        with self._stats_lock:
+            self.n_requests_ += len(entry.futures)
+            self.n_batches_ += 1
+        if entry.sizes is None:
+            self._resolve_future(entry.futures[0], result=labels)
+        else:
+            offsets = np.cumsum(entry.sizes)[:-1]
+            for future, part in zip(entry.futures, np.split(labels, offsets)):
+                self._resolve_future(future, result=part)
+
     def _collect_loop(self) -> None:
+        # The timed get is deliberate: the parent must never `put` on the
+        # result queue (not even a stop sentinel), because a worker SIGKILL'd
+        # mid-`put` dies holding the queue's shared write lock -- a parent
+        # blocked on that lock would hang close() and interpreter exit.
+        # Reads contend only on the reader lock, which workers never touch.
         while True:
             try:
-                message = self.pool.result_queue.get()
+                message = self.pool.result_queue.get(timeout=0.1)
+            except Empty:
+                if self._collector_stop.is_set():
+                    return
+                continue
             except (EOFError, OSError):  # pragma: no cover - queue torn down
                 return
             try:
                 kind = message[0]
-                if kind == "stop-collector":
-                    return
                 if kind == "bind-error":
                     _, name, error = message
                     self.telemetry.record_callback_error(f"worker-bind:{name}", error)
+                    continue
+                if kind == "done-shm":
+                    _, request_id, shape, dtype, error = message
+                    with self._inflight_lock:
+                        entry = self._inflight.pop(request_id, None)
+                    if entry is None:
+                        continue
+                    labels = self.pool.read_labels(
+                        entry.worker, entry.slot, shape, dtype
+                    )
+                    self.pool.release_slot(entry.worker, entry.slot)
+                    self._finish_entry(entry, labels)
                     continue
                 _, request_id, labels, error = message
                 with self._inflight_lock:
                     entry = self._inflight.pop(request_id, None)
                 if entry is None:
                     continue
+                self.pool.release_slot(entry.worker, entry.slot)
                 if error is not None:
                     for future in entry.futures:
                         self._resolve_future(future, error=error)
                     continue
-                seconds = time.perf_counter() - entry.started
-                self.telemetry.record_predict(entry.name, seconds, len(labels))
-                with self._stats_lock:
-                    self.n_requests_ += len(entry.futures)
-                    self.n_batches_ += 1
-                if entry.sizes is None:
-                    self._resolve_future(entry.futures[0], result=labels)
-                else:
-                    offsets = np.cumsum(entry.sizes)[:-1]
-                    for future, part in zip(entry.futures, np.split(labels, offsets)):
-                        self._resolve_future(future, result=part)
+                self._finish_entry(entry, labels)
             except Exception as error:  # pragma: no cover - defensive
                 self.telemetry.record_callback_error("collector", error)
 
     def _watch_loop(self) -> None:
-        """Fail the in-flight batches of any worker that died, never hang them."""
+        """Keep the pool at capacity: fail a dead worker's batches, respawn it.
+
+        Every tick compares each in-flight entry against the liveness *and
+        generation* of the worker slot it was shipped to.  The generation
+        check closes the race where the dispatcher ships to a worker in the
+        same tick the watchdog replaces it: the entry's messages sit in the
+        superseded incarnation's (discarded) queue, so it must fail fast
+        like the rest -- never hang until ``close()``.
+        """
         while not self._shutdown.wait(0.1):
             alive = self.pool.alive()
-            if all(alive):
-                continue
+            generations = self.pool.generations()
+            dead = [index for index, ok in enumerate(alive) if not ok]
             with self._inflight_lock:
                 doomed = [
                     (request_id, entry)
                     for request_id, entry in self._inflight.items()
-                    if not alive[entry.worker]
+                    if entry.generation >= 0
+                    and (
+                        not alive[entry.worker]
+                        or entry.generation != generations[entry.worker]
+                    )
                 ]
                 for request_id, _ in doomed:
                     self._inflight.pop(request_id, None)
             for _, entry in doomed:
+                self.pool.release_slot(entry.worker, entry.slot)
                 exitcode = self.pool.processes[entry.worker].exitcode
                 for future in entry.futures:
                     self._resolve_future(
@@ -625,6 +919,12 @@ class ProcessPoolService(ClusteringService):
                             f"{exitcode}) with this request in flight."
                         ),
                     )
+            if not dead or not self.respawn_workers or self._closing:
+                continue
+            for index in dead:
+                generation = self.pool.respawn(index)
+                if generation is not None:
+                    self.telemetry.record_worker_respawn(index)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -660,11 +960,10 @@ class ProcessPoolService(ClusteringService):
             time.sleep(0.01)
         self._shutdown.set()
         self._watchdog.join()
-        self.pool.close()
-        try:
-            self.pool.result_queue.put(("stop-collector",))
-        except (ValueError, OSError):  # pragma: no cover - queue torn down
-            pass
+        # The collector may still be copying an answer out of a ring, so the
+        # shared-memory segments are released only after it exits.
+        self.pool.close(release_shm=False)
+        self._collector_stop.set()
         self._collector.join(timeout=5.0)
         with self._inflight_lock:
             stranded = list(self._inflight.values())
@@ -677,6 +976,7 @@ class ProcessPoolService(ClusteringService):
                         "ProcessPoolService closed before the worker answered."
                     ),
                 )
+        self.pool.release_rings()
         self._closed = True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

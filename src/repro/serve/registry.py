@@ -185,12 +185,25 @@ class ModelRegistry:
             return self._active.get(str(name))
 
     def evict_stale(self) -> List[str]:
-        """Apply the retention policy to every swapped name; returns evictions."""
+        """Apply the retention policy to every swapped name; returns evictions.
+
+        When an artifact store with a ``gc`` method is attached, the
+        surviving digests are passed to it so TTL-evicted versions release
+        their npz files instead of leaking them.  Note the store is garbage-
+        collected against *this* registry's survivors -- a store shared by
+        several registries should be gc'd explicitly with the union of their
+        digests instead.
+        """
         with self._lock:
             evicted: List[str] = []
             for name in list(self._versions):
                 evicted.extend(self._evict_locked(name))
-            return evicted
+            survivors = sorted(set(self._digests.values()))
+        if evicted and self.store is not None:
+            gc = getattr(self.store, "gc", None)
+            if gc is not None:
+                gc(survivors)
+        return evicted
 
     def _evict_locked(self, name: str) -> List[str]:
         versions = self._versions.get(name)

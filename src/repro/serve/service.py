@@ -203,14 +203,23 @@ class ClusteringService:
 
     # -- admission control ------------------------------------------------------
 
-    def _admit(self, name: str, *, wait: bool = False) -> None:
+    def _admit(
+        self, name: str, *, wait: bool = False, timeout: Optional[float] = None
+    ) -> None:
         """Claim a pending-request slot (or reject/block when none are free).
 
-        Telemetry (which may run a user-supplied sink) is only ever touched
-        *outside* the admission lock, so a slow or reentrant sink can stall
-        nothing but its own caller.
+        Blocked waiters park on the admission condition -- no polling;
+        :meth:`_release_slot` notifies it, so a freed slot admits a waiter
+        immediately.  With ``timeout`` set, a waiter gives up after that
+        many seconds and raises :class:`Overloaded` (this is how the HTTP
+        edge bounds queueing by the request deadline).  Telemetry (which may
+        run a user-supplied sink) is only ever touched *outside* the
+        admission lock, so a slow or reentrant sink can stall nothing but
+        its own caller.
         """
         rejected_at = None
+        timed_out = False
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
         with self._admission:
             if self.max_pending is not None:
                 while self._pending_slots >= self.max_pending:
@@ -221,12 +230,26 @@ class ClusteringService:
                     if not wait:
                         rejected_at = self._pending_slots
                         break
-                    self._admission.wait(timeout=0.1)
+                    if deadline is None:
+                        self._admission.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0.0:
+                            rejected_at = self._pending_slots
+                            timed_out = True
+                            break
+                        self._admission.wait(timeout=remaining)
             if rejected_at is None:
                 self._pending_slots += 1
                 depth = self._pending_slots
         if rejected_at is not None:
             self.telemetry.record_reject(name)
+            if timed_out:
+                raise Overloaded(
+                    f"request for {name!r} timed out after {timeout:g}s waiting "
+                    f"for an admission slot ({rejected_at} requests pending >= "
+                    f"max_pending={self.max_pending})."
+                )
             raise Overloaded(
                 f"request for {name!r} rejected: {rejected_at} requests "
                 f"pending >= max_pending={self.max_pending}. Retry later, or "
@@ -269,7 +292,12 @@ class ClusteringService:
         return self.submit(name, X).result()
 
     def submit(
-        self, name: str, X, *, wait_for_slot: bool = False
+        self,
+        name: str,
+        X,
+        *,
+        wait_for_slot: bool = False,
+        slot_timeout: Optional[float] = None,
     ) -> "Future[np.ndarray]":
         """Enqueue a predict request; returns a future with the labels.
 
@@ -279,13 +307,14 @@ class ClusteringService:
         service is saturated (``max_pending`` requests already admitted) the
         default is an immediate :class:`Overloaded` rejection;
         ``wait_for_slot=True`` blocks until a slot frees instead
-        (backpressure on the caller).
+        (backpressure on the caller), bounded by ``slot_timeout`` seconds
+        when given (then :class:`Overloaded` after all).
         """
         if self._closed:
             raise ServiceClosed("ClusteringService is closed; no further requests.")
         self.registry.get(name)  # fail fast on unknown names
         X = np.asarray(X, dtype=np.float64)
-        self._admit(name, wait=wait_for_slot)
+        self._admit(name, wait=wait_for_slot, timeout=slot_timeout)
         future: "Future[np.ndarray]" = Future()
         future.add_done_callback(self._release_slot)
         queue = self._queue_for(name)
@@ -383,7 +412,14 @@ class ClusteringService:
                 )
             return self._async_pool
 
-    async def predict_async(self, name: str, X, *, backpressure: bool = False) -> np.ndarray:
+    async def predict_async(
+        self,
+        name: str,
+        X,
+        *,
+        backpressure: bool = False,
+        slot_timeout: Optional[float] = None,
+    ) -> np.ndarray:
         """Awaitable :meth:`predict`: labels of ``X`` under model ``name``.
 
         The request runs on the service's dispatch pool, so the event loop
@@ -392,13 +428,17 @@ class ClusteringService:
         micro-batches.  With ``backpressure=True`` a saturated service
         (``max_pending``) parks the request until a slot frees instead of
         raising :class:`Overloaded` -- the awaiting coroutine simply resumes
-        later.
+        later, or raises :class:`Overloaded` after ``slot_timeout`` seconds
+        when one is given (deadline-bounded backpressure: the parked
+        dispatch-pool thread is reclaimed instead of waiting forever).
         """
         loop = asyncio.get_running_loop()
         pool = self._dispatch_pool()
         return await loop.run_in_executor(
             pool,
-            lambda: self.submit(name, X, wait_for_slot=backpressure).result(),
+            lambda: self.submit(
+                name, X, wait_for_slot=backpressure, slot_timeout=slot_timeout
+            ).result(),
         )
 
     async def ingest_async(

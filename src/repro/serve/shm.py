@@ -1,0 +1,247 @@
+"""Zero-copy data plane: shared-memory slab rings for float batches.
+
+The PR-5 process pool ships every predict micro-batch through an
+``mp.Queue``, which pickles the float array in the parent, copies it through
+a pipe and unpickles it in the worker -- three touches of every byte before
+the lookup even starts.  This module removes that hop for the common case:
+
+* :class:`SlotRing` -- the *parent-side* owner of one
+  ``multiprocessing.shared_memory`` segment, carved into a fixed number of
+  equal-size slots managed by a free-list.  The dispatcher acquires a slot,
+  copies the batch into it once, and the queue carries only a tiny
+  ``(slot, shape, dtype)`` descriptor.
+* :class:`SlotRingClient` -- the *worker-side* attachment to the same
+  segment.  :meth:`SlotRingClient.view` is a zero-copy ndarray view straight
+  over the shared pages, and the worker writes its labels back into the same
+  slot, so the response rides the slab too.
+
+Ownership rules keep this safe without any cross-process synchronisation:
+the free-list lives only in the parent (dispatcher acquires, collector or
+watchdog releases), a slot is referenced by exactly one in-flight request at
+a time, and the worker only ever touches a slot named by a descriptor it was
+handed.  A SIGKILL'd worker therefore cannot corrupt the ring -- its slots
+are simply released when the watchdog fails the in-flight batches.
+
+Batches that do not fit a slot (or are not C-contiguous) fall back to the
+pickle path automatically; equivalence tests pin that both paths are
+bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - stdlib, but absent on exotic builds
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+    resource_tracker = None
+
+#: Default slot payload capacity (8 MiB holds a 500k-point 2-D float64 batch).
+DEFAULT_SLOT_BYTES = 8 << 20
+
+#: Default slots per worker ring; bounds how many batches can be in flight
+#: on the shm path per worker before the dispatcher falls back to pickling.
+DEFAULT_SLOTS = 4
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` is usable on this host."""
+    if shared_memory is None:
+        return False
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=1)
+    except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+class _untracked_attach:
+    """Suppress resource-tracker registration while attaching a segment.
+
+    An *attaching* process does not own the segment, but (before Python
+    3.13's ``track=False``) ``SharedMemory(name=...)`` registers it with the
+    resource tracker anyway -- and the tracker would unlink the parent's
+    live ring at worker exit.  Unregistering *after* the attach is no
+    better: the process tree shares one tracker whose cache is a set, so
+    the worker's unregister would also erase the creator's entry and the
+    final unlink would crash the tracker with a ``KeyError``.  The only
+    clean pre-3.13 option is to not register the attachment at all.
+    """
+
+    def __enter__(self) -> None:
+        self._register = None
+        if resource_tracker is not None:
+            self._register = resource_tracker.register
+            resource_tracker.register = lambda name, rtype: None
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._register is not None:
+            resource_tracker.register = self._register
+        return False
+
+
+def fits_slot(array: np.ndarray, slot_bytes: int) -> bool:
+    """True when ``array`` is eligible for a slot of ``slot_bytes``.
+
+    Empty batches are routed to the pickle path (nothing to share) and
+    non-contiguous ones too, mirroring the descriptor contract: a slot holds
+    exactly ``array.nbytes`` raw C-order bytes.
+    """
+    return (
+        0 < array.nbytes <= int(slot_bytes)
+        and array.flags["C_CONTIGUOUS"]
+    )
+
+
+class SlotRingClient:
+    """Worker-side attachment to a :class:`SlotRing` segment.
+
+    Holds no free-list: the worker may only read or write slots named by a
+    descriptor the parent handed it, which the parent guarantees are not
+    concurrently reused.
+    """
+
+    def __init__(self, name: str, slot_bytes: int, n_slots: int) -> None:
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory is unavailable.")
+        self.slot_bytes = int(slot_bytes)
+        self.n_slots = int(n_slots)
+        with _untracked_attach():
+            self._shm = shared_memory.SharedMemory(name=name)
+
+    def _check(self, slot: int, nbytes: int) -> int:
+        slot = int(slot)
+        if not 0 <= slot < self.n_slots:
+            raise IndexError(f"slot {slot} out of range [0, {self.n_slots}).")
+        if nbytes > self.slot_bytes:
+            raise ValueError(
+                f"{nbytes} bytes do not fit a {self.slot_bytes}-byte slot."
+            )
+        return slot
+
+    def view(self, slot: int, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Zero-copy ndarray view of ``slot`` (do not retain past the request)."""
+        dtype = np.dtype(dtype)
+        count = int(np.prod(shape, dtype=np.int64))
+        slot = self._check(slot, count * dtype.itemsize)
+        flat = np.frombuffer(
+            self._shm.buf,
+            dtype=dtype,
+            count=count,
+            offset=slot * self.slot_bytes,
+        )
+        return flat.reshape(shape)
+
+    def write(self, slot: int, array: np.ndarray) -> Tuple[Tuple[int, ...], str]:
+        """Copy ``array`` into ``slot``; returns its ``(shape, dtype)`` descriptor."""
+        array = np.ascontiguousarray(array)
+        slot = self._check(slot, array.nbytes)
+        target = np.frombuffer(
+            self._shm.buf,
+            dtype=array.dtype,
+            count=array.size,
+            offset=slot * self.slot_bytes,
+        )
+        target[:] = array.reshape(-1)
+        del target
+        return tuple(array.shape), str(array.dtype)
+
+    def close(self) -> None:
+        """Detach from the segment (the owner unlinks it)."""
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a view is still alive
+            pass
+
+
+class SlotRing(SlotRingClient):
+    """Parent-side ring: one shared segment of ``n_slots`` fixed-size slots.
+
+    The free-list is process-local and thread-safe (dispatcher acquires,
+    collector/watchdog release); workers attach with
+    :class:`SlotRingClient` via :meth:`spec` and never see the free-list.
+    """
+
+    def __init__(
+        self,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        n_slots: int = DEFAULT_SLOTS,
+    ) -> None:
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("multiprocessing.shared_memory is unavailable.")
+        slot_bytes = int(slot_bytes)
+        n_slots = int(n_slots)
+        if slot_bytes < 1 or n_slots < 1:
+            raise ValueError(
+                f"slot_bytes and n_slots must be >= 1; got {slot_bytes}, {n_slots}."
+            )
+        self.slot_bytes = slot_bytes
+        self.n_slots = n_slots
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=slot_bytes * n_slots
+        )
+        self.name = self._shm.name
+        self._lock = threading.Lock()
+        self._free: List[int] = list(range(n_slots))
+        self._closed = False
+
+    def spec(self) -> Tuple[str, int, int]:
+        """``(name, slot_bytes, n_slots)`` -- the client's attach arguments."""
+        return (self.name, self.slot_bytes, self.n_slots)
+
+    # -- free-list ---------------------------------------------------------------
+
+    def acquire(self) -> Optional[int]:
+        """Claim a free slot index, or None when the ring is saturated."""
+        with self._lock:
+            if self._closed or not self._free:
+                return None
+            return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        """Return ``slot`` to the free-list (idempotence is the caller's job)."""
+        with self._lock:
+            if not self._closed:
+                self._free.append(int(slot))
+
+    def free_slots(self) -> int:
+        """Currently available slot count."""
+        with self._lock:
+            return len(self._free)
+
+    def read(self, slot: int, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Copy the array described by ``(slot, shape, dtype)`` out of the ring."""
+        view = self.view(slot, shape, dtype)
+        out = np.array(view, copy=True)
+        del view
+        return out
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach *and unlink* the segment; the ring is unusable afterwards."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._free.clear()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a view is still alive
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SlotRing({self.name!r}, slot_bytes={self.slot_bytes}, "
+            f"n_slots={self.n_slots}, free={self.free_slots()})"
+        )

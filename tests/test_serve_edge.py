@@ -1,0 +1,242 @@
+"""HTTP edge: round trips, deadline propagation, load shedding, drain.
+
+The acceptance bars from the dead-worker/edge issue:
+
+* a tier-1 smoke test drives a real socket round trip -- start on an
+  ephemeral port, one JSON predict, clean shutdown;
+* ``X-Deadline-Ms`` propagates: an expired or exceeded deadline answers
+  504 instead of queueing forever, while a saturated service without a
+  deadline sheds with 429;
+* ``POST /swap/<name>`` performs a blue/green publish over the wire;
+* ``/healthz`` and ``/metrics`` serve the telemetry snapshot;
+* npy request bodies are answered in kind (no JSON on the hot path).
+"""
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.adawave import AdaWave
+from repro.serve import ClusteringService, EdgeThread
+
+BOUNDS = ([0.0, 0.0], [1.0, 1.0])
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(47)
+    models = []
+    for offset in (0.3, 0.7):
+        blob = np.clip(rng.normal(offset, 0.04, size=(1500, 2)), 0.0, 1.0)
+        X = np.vstack([blob, rng.uniform(size=(2500, 2))])
+        models.append(AdaWave(scale=64, bounds=BOUNDS).fit(X).export_model())
+    queries = rng.uniform(size=(200, 2))
+    expected = [model.predict(queries) for model in models]
+    assert not np.array_equal(expected[0], expected[1])
+    return models, queries, expected
+
+
+@pytest.fixture()
+def edge(corpus):
+    models, _, _ = corpus
+    service = ClusteringService(max_pending=8)
+    service.register("prod", models[0])
+    with EdgeThread(service) as running:
+        yield running, service, models
+    service.close()
+
+
+def _request(url, *, data=None, headers=None, method=None):
+    request = urllib.request.Request(
+        url, data=data, headers=headers or {}, method=method
+    )
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return response.status, response.read(), response.headers
+
+
+def _predict_json(edge_url, name, points, headers=None):
+    body = json.dumps({"points": np.asarray(points).tolist()}).encode()
+    merged = {"Content-Type": "application/json", **(headers or {})}
+    status, payload, _ = _request(
+        f"{edge_url}/predict/{name}", data=body, headers=merged
+    )
+    return status, json.loads(payload)
+
+
+class TestEdgeRoundTrip:
+    def test_smoke_round_trip(self, corpus):
+        """Tier-1 smoke: ephemeral port, one predict, clean shutdown."""
+        models, queries, expected = corpus
+        service = ClusteringService()
+        service.register("prod", models[0])
+        with EdgeThread(service) as edge:
+            assert edge.port != 0
+            status, document = _predict_json(edge.url, "prod", queries[:20])
+            assert status == 200
+            assert document["n"] == 20
+            np.testing.assert_array_equal(document["labels"], expected[0][:20])
+        service.close()
+
+    def test_json_and_npy_bodies_answer_in_kind(self, edge, corpus):
+        running, _, _ = edge
+        _, queries, expected = corpus
+        status, document = _predict_json(running.url, "prod", queries)
+        assert status == 200
+        np.testing.assert_array_equal(document["labels"], expected[0])
+
+        buffer = io.BytesIO()
+        np.save(buffer, queries)
+        status, payload, headers = _request(
+            f"{running.url}/predict/prod",
+            data=buffer.getvalue(),
+            headers={"Content-Type": "application/x-npy"},
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/x-npy"
+        labels = np.load(io.BytesIO(payload))
+        assert labels.dtype == expected[0].dtype
+        np.testing.assert_array_equal(labels, expected[0])
+
+    def test_healthz_and_metrics(self, edge, corpus):
+        running, service, _ = edge
+        _, queries, _ = corpus
+        _predict_json(running.url, "prod", queries[:10])
+        status, payload, _ = _request(f"{running.url}/healthz")
+        assert status == 200
+        health = json.loads(payload)
+        assert health["status"] == "ok"
+        assert "prod" in health["models"]
+
+        status, payload, _ = _request(f"{running.url}/metrics")
+        assert status == 200
+        snapshot = json.loads(payload)
+        # The full Telemetry.snapshot() surface plus the edge's own section.
+        assert snapshot["predict"]["prod"]["count"] >= 1
+        assert {"queue", "rejections", "swaps", "workers", "edge"} <= set(snapshot)
+        assert snapshot["edge"]["requests_by_status"]["200"] >= 1
+
+    def test_swap_over_the_wire(self, edge, corpus, tmp_path):
+        running, service, models = edge
+        _, queries, expected = corpus
+        artifact = tmp_path / "next.npz"
+        models[1].save(artifact)
+        status, payload, _ = _request(
+            f"{running.url}/swap/prod", data=artifact.read_bytes()
+        )
+        assert status == 200
+        assert json.loads(payload)["version"] == "prod@v1"
+        status, document = _predict_json(running.url, "prod", queries)
+        assert status == 200
+        np.testing.assert_array_equal(document["labels"], expected[1])
+
+    def test_drain_refuses_new_connections(self, edge, corpus):
+        running, _, _ = edge
+        _, queries, _ = corpus
+        status, _ = _predict_json(running.url, "prod", queries[:5])
+        assert status == 200
+        running.close()
+        with pytest.raises(urllib.error.URLError):
+            _request(f"{running.url}/healthz")
+        running.close()  # idempotent
+
+
+class TestEdgeErrors:
+    def _error_status(self, call):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call()
+        return excinfo.value.code, json.loads(excinfo.value.read())
+
+    def test_unknown_model_is_404(self, edge, corpus):
+        running, _, _ = edge
+        _, queries, _ = corpus
+        code, document = self._error_status(
+            lambda: _predict_json(running.url, "ghost", queries[:5])
+        )
+        assert code == 404
+        assert "ghost" in document["error"]
+
+    def test_unknown_path_is_404_and_wrong_method_405(self, edge):
+        running, _, _ = edge
+        code, _ = self._error_status(lambda: _request(f"{running.url}/nope"))
+        assert code == 404
+        code, _ = self._error_status(
+            lambda: _request(f"{running.url}/healthz", data=b"x")
+        )
+        assert code == 405
+
+    def test_malformed_body_is_400(self, edge):
+        running, _, _ = edge
+        code, document = self._error_status(
+            lambda: _request(
+                f"{running.url}/predict/prod",
+                data=b"not json",
+                headers={"Content-Type": "application/json"},
+            )
+        )
+        assert code == 400
+        assert "decode" in document["error"]
+
+    def test_bad_swap_artifact_is_400(self, edge):
+        running, _, _ = edge
+        code, _ = self._error_status(
+            lambda: _request(f"{running.url}/swap/prod", data=b"garbage npz")
+        )
+        assert code == 400
+
+    def test_expired_deadline_is_504(self, edge, corpus):
+        running, _, _ = edge
+        _, queries, _ = corpus
+        code, document = self._error_status(
+            lambda: _predict_json(
+                running.url, "prod", queries[:5], headers={"X-Deadline-Ms": "0"}
+            )
+        )
+        assert code == 504
+        assert "deadline" in document["error"]
+
+    def test_invalid_deadline_is_400(self, edge, corpus):
+        running, _, _ = edge
+        _, queries, _ = corpus
+        code, _ = self._error_status(
+            lambda: _predict_json(
+                running.url, "prod", queries[:5],
+                headers={"X-Deadline-Ms": "soon"},
+            )
+        )
+        assert code == 400
+
+
+class TestEdgeLoadShedding:
+    def test_saturated_service_sheds_429_or_times_out_504(self, corpus):
+        models, queries, _ = corpus
+        service = ClusteringService(max_pending=1)
+        service.register("prod", models[0])
+        with EdgeThread(service) as edge:
+            # Hold the only admission slot so the edge sees saturation.
+            service._admit("prod")
+            try:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    _predict_json(edge.url, "prod", queries[:5])
+                assert excinfo.value.code == 429
+
+                # With a deadline, the request *waits* for a slot -- and
+                # answers 504 once the budget is spent, never queueing forever.
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    _predict_json(
+                        edge.url, "prod", queries[:5],
+                        headers={"X-Deadline-Ms": "200"},
+                    )
+                assert excinfo.value.code == 504
+            finally:
+                service._release_slot()
+            # Slot free again: the same deadline now succeeds.
+            status, document = _predict_json(
+                edge.url, "prod", queries[:5], headers={"X-Deadline-Ms": "5000"}
+            )
+            assert status == 200
+            assert document["n"] == 5
+        service.close()

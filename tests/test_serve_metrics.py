@@ -197,6 +197,57 @@ class TestAdmissionControl:
         assert not blocked.is_alive(), "backpressure waiter hung across close()"
         assert outcome in (["closed"], ["admitted"])
 
+    def test_freed_slot_wakes_waiter_immediately(self, fitted):
+        """A released slot must admit a parked waiter in well under 100 ms.
+
+        Admission used to poll ``wait(timeout=0.1)``, so a freed slot could
+        sit idle for up to a full poll interval; ``_release_slot`` now
+        notifies the condition, waking the waiter directly.
+        """
+        X, model = fitted
+        service = ClusteringService(max_pending=1)
+        service.register("m", model)
+        # Hold the only slot directly so the release instant is ours to time.
+        service._admit("m")
+        admitted_at = []
+
+        def waiter():
+            future = service.submit("m", X[:30], wait_for_slot=True)
+            admitted_at.append(time.monotonic())
+            future.result(timeout=10.0)
+
+        blocked = threading.Thread(target=waiter)
+        blocked.start()
+        time.sleep(0.2)  # make sure the waiter is parked, not racing the admit
+        assert not admitted_at, "waiter was admitted while the slot was held"
+        released_at = time.monotonic()
+        service._release_slot()
+        blocked.join(timeout=10.0)
+        assert not blocked.is_alive()
+        wake_latency = admitted_at[0] - released_at
+        assert wake_latency < 0.05, (
+            f"freed slot took {wake_latency * 1000:.1f} ms to admit a waiter "
+            "(busy-wait regression: should be notify-driven, not polled)"
+        )
+        service.close()
+
+    def test_slot_timeout_bounds_backpressure(self, fitted):
+        """``slot_timeout`` turns endless backpressure into a timed rejection."""
+        X, model = fitted
+        service = ClusteringService(max_pending=1)
+        service.register("m", model)
+        service._admit("m")
+        try:
+            start = time.monotonic()
+            with pytest.raises(Overloaded, match="timed out after"):
+                service.submit("m", X[:30], wait_for_slot=True, slot_timeout=0.2)
+            elapsed = time.monotonic() - start
+            assert 0.15 <= elapsed < 5.0
+            assert service.telemetry.snapshot()["rejections"]["total"] == 1
+        finally:
+            service._release_slot()
+            service.close()
+
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValueError, match="max_pending"):
             ClusteringService(max_pending=0)

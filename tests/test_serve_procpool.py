@@ -79,6 +79,86 @@ class TestArtifactStore:
         assert store.gc([keep]) == [drop]
         assert store.digests() == [keep]
 
+    def test_load_racing_gc_raises_actionable_keyerror(self, corpus, tmp_path, monkeypatch):
+        """A digest can pass ``in store`` and be unlinked before the open lands.
+
+        The open is retried once (a transient unlink mid-``np.load`` is
+        indistinguishable from a slow republish) and then surfaced as the
+        same actionable ``KeyError`` a never-present digest gets -- callers
+        must never see a raw ``FileNotFoundError`` from the race.
+        """
+        models, _, _ = corpus
+        store = ArtifactStore(tmp_path)
+        digest = store.publish(models[0])
+        assert digest in store
+
+        real_load = ClusterModel.load
+
+        def racing_load(path, *args, **kwargs):
+            # Concurrent gc() unlinks between the existence check and the open.
+            store.path(digest).unlink(missing_ok=True)
+            return real_load(path, *args, **kwargs)
+
+        monkeypatch.setattr(ClusterModel, "load", staticmethod(racing_load))
+        with pytest.raises(KeyError, match="concurrent gc"):
+            store.load(digest)
+
+    def test_load_survives_one_transient_vanish(self, corpus, tmp_path, monkeypatch):
+        models, queries, expected = corpus
+        store = ArtifactStore(tmp_path)
+        digest = store.publish(models[0])
+        real_load = ClusterModel.load
+        calls = []
+
+        def flaky_load(path, *args, **kwargs):
+            if not calls:
+                calls.append("raced")
+                raise FileNotFoundError(path)
+            return real_load(path, *args, **kwargs)
+
+        monkeypatch.setattr(ClusterModel, "load", staticmethod(flaky_load))
+        served = store.load(digest)
+        assert calls == ["raced"]
+        np.testing.assert_array_equal(served.predict(queries), expected[0])
+
+    def test_evict_stale_garbage_collects_store_files(self, corpus, tmp_path):
+        """TTL eviction must release npz files, keeping live + pinned digests."""
+        models, _, _ = corpus
+        now = [0.0]
+        store = ArtifactStore(tmp_path)
+        registry = ModelRegistry(
+            ttl_seconds=10.0, clock=lambda: now[0], store=store
+        )
+        registry.swap("live", models[0])
+        now[0] = 5.0
+        registry.swap("live", models[1])  # v1 superseded at t=5
+        assert set(store.digests()) == {
+            models[0].content_digest(), models[1].content_digest()
+        }
+        now[0] = 20.0  # v1 is 20s old (stale); v2 is live
+        assert registry.evict_stale() == ["live@v1"]
+        assert store.digests() == [models[1].content_digest()]
+        assert registry.digest("live") == models[1].content_digest()
+
+    def test_evict_stale_keeps_files_still_referenced_elsewhere(self, corpus, tmp_path):
+        """A digest evicted under one name but bound under another survives gc."""
+        models, _, _ = corpus
+        now = [0.0]
+        store = ArtifactStore(tmp_path)
+        registry = ModelRegistry(
+            ttl_seconds=10.0, clock=lambda: now[0], store=store
+        )
+        registry.swap("live", models[0])
+        registry.register("pinned", models[0])  # same artifact, second binding
+        now[0] = 5.0
+        registry.swap("live", models[1])
+        now[0] = 20.0
+        assert registry.evict_stale() == ["live@v1"]
+        # models[0]'s file survives: "pinned" still resolves to it.
+        assert set(store.digests()) == {
+            models[0].content_digest(), models[1].content_digest()
+        }
+
     def test_registry_with_store_records_digests(self, corpus, tmp_path):
         models, _, _ = corpus
         store = ArtifactStore(tmp_path)

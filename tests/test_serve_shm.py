@@ -1,0 +1,199 @@
+"""Zero-copy shared-memory data plane: slab rings and path equivalence.
+
+The acceptance bars from the dead-worker/data-plane issue:
+
+* :class:`SlotRing` round-trips arrays bit-for-bit across dtypes and
+  shapes, and its parent-side free-list saturates to the pickle fallback
+  instead of blocking;
+* a :class:`ProcessPoolService` answers *identically* whether a batch rode
+  the shared-memory ring or the pickle queue -- a Hypothesis property over
+  batch shapes (empty and 1-point included) pins bit-for-bit equality;
+* oversized and non-contiguous batches fall back to the pickle path
+  automatically and still answer correctly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adawave import AdaWave
+from repro.serve import ProcessPoolService, SlotRing, SlotRingClient, shm_available
+from repro.serve.shm import fits_slot
+
+BOUNDS = ([0.0, 0.0], [1.0, 1.0])
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+class TestSlotRing:
+    def test_write_read_round_trip_across_dtypes(self):
+        rng = np.random.default_rng(7)
+        with_ring = SlotRing(slot_bytes=4096, n_slots=2)
+        try:
+            for dtype in (np.float64, np.float32, np.int64, np.int32, np.uint8):
+                array = (rng.uniform(0, 100, size=(16, 3)) + 0.5).astype(dtype)
+                slot = with_ring.acquire()
+                assert slot is not None
+                shape, dtype_str = with_ring.write(slot, array)
+                out = with_ring.read(slot, shape, dtype_str)
+                assert out.dtype == array.dtype
+                np.testing.assert_array_equal(out, array)
+                with_ring.release(slot)
+        finally:
+            with_ring.close()
+
+    def test_free_list_saturates_then_recovers(self):
+        ring = SlotRing(slot_bytes=64, n_slots=2)
+        try:
+            slots = [ring.acquire(), ring.acquire()]
+            assert sorted(slots) == [0, 1]
+            assert ring.acquire() is None  # saturated -> caller falls back
+            assert ring.free_slots() == 0
+            ring.release(slots[0])
+            assert ring.acquire() == slots[0]
+        finally:
+            ring.close()
+
+    def test_client_attach_views_the_same_bytes(self):
+        ring = SlotRing(slot_bytes=1024, n_slots=1)
+        try:
+            client = SlotRingClient(*ring.spec())
+            payload = np.arange(24, dtype=np.float64).reshape(4, 6)
+            slot = ring.acquire()
+            shape, dtype = ring.write(slot, payload)
+            view = client.view(slot, shape, dtype)
+            np.testing.assert_array_equal(view, payload)
+            # The worker answers in the request's own slot.
+            labels = np.arange(4, dtype=np.int64)
+            out_shape, out_dtype = client.write(slot, labels)
+            del view
+            np.testing.assert_array_equal(
+                ring.read(slot, out_shape, out_dtype), labels
+            )
+            client.close()
+        finally:
+            ring.close()
+
+    def test_bounds_and_capacity_are_enforced(self):
+        ring = SlotRing(slot_bytes=64, n_slots=1)
+        try:
+            with pytest.raises(ValueError, match="do not fit"):
+                ring.write(0, np.zeros(100, dtype=np.float64))
+            with pytest.raises(IndexError, match="out of range"):
+                ring.read(5, (1,), "float64")
+        finally:
+            ring.close()
+        with pytest.raises(ValueError, match="must be >= 1"):
+            SlotRing(slot_bytes=0, n_slots=1)
+
+    def test_close_is_idempotent_and_acquire_refuses(self):
+        ring = SlotRing(slot_bytes=64, n_slots=1)
+        ring.close()
+        ring.close()
+        assert ring.acquire() is None
+
+    def test_fits_slot_gates_eligibility(self):
+        assert fits_slot(np.zeros((10, 2)), 8 << 20)
+        assert not fits_slot(np.zeros((0, 2)), 8 << 20)  # empty -> pickle
+        assert not fits_slot(np.zeros((10, 2)), 64)  # oversized
+        contiguous = np.zeros((10, 4))
+        assert not fits_slot(contiguous[:, ::2], 8 << 20)  # strided
+        assert not fits_slot(np.asfortranarray(np.zeros((3, 4))), 8 << 20)
+
+
+@pytest.fixture(scope="module")
+def shm_and_queue_services(tmp_path_factory):
+    """One model served twice: over the shm ring and over the pickle queue."""
+    rng = np.random.default_rng(13)
+    blob = np.clip(rng.normal(0.35, 0.05, size=(1500, 2)), 0.0, 1.0)
+    X = np.vstack([blob, rng.uniform(size=(2000, 2))])
+    model = AdaWave(scale=64, bounds=BOUNDS).fit(X).export_model()
+    services = []
+    for use_shm in (True, False):
+        directory = tmp_path_factory.mktemp(f"store-shm-{use_shm}")
+        service = ProcessPoolService(
+            directory, n_workers=2, use_shm=use_shm, worker_timeout=5.0
+        )
+        service.register("prod", model)
+        services.append(service)
+    yield services[0], services[1], model
+    for service in services:
+        service.close()
+
+
+class TestPathEquivalence:
+    @given(
+        n=st.one_of(st.sampled_from([0, 1, 2]), st.integers(min_value=3, max_value=80)),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shm_and_queue_paths_are_bit_identical(
+        self, shm_and_queue_services, n, seed
+    ):
+        shm_service, queue_service, model = shm_and_queue_services
+        X = np.random.default_rng(seed).uniform(size=(n, 2))
+        via_shm = shm_service.predict("prod", X)
+        via_queue = queue_service.predict("prod", X)
+        expected = model.predict(X)
+        assert via_shm.dtype == via_queue.dtype == expected.dtype
+        np.testing.assert_array_equal(via_shm, via_queue)
+        np.testing.assert_array_equal(via_shm, expected)
+
+    def test_paths_actually_diverged(self, shm_and_queue_services):
+        """The property above is vacuous unless the shm path really ran."""
+        shm_service, queue_service, _ = shm_and_queue_services
+        assert shm_service.pool.use_shm
+        assert shm_service.pool.shm_sends > 0
+        assert not queue_service.pool.use_shm
+        assert queue_service.pool.shm_sends == 0
+        assert queue_service.pool.pickle_sends > 0
+
+    def test_empty_batch_takes_pickle_path(self, shm_and_queue_services):
+        shm_service, _, model = shm_and_queue_services
+        before = shm_service.pool.shm_sends
+        labels = shm_service.predict("prod", np.empty((0, 2)))
+        assert labels.shape == (0,)
+        assert shm_service.pool.shm_sends == before
+
+    def test_non_contiguous_batch_answers_correctly(self, shm_and_queue_services):
+        shm_service, _, model = shm_and_queue_services
+        wide = np.random.default_rng(3).uniform(size=(50, 4))
+        X = wide[:, ::2]
+        assert not X.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(
+            shm_service.predict("prod", X), model.predict(X)
+        )
+
+
+class TestForcedFallback:
+    def test_tiny_slots_force_pickle_fallback(self, tmp_path):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(size=(1200, 2))
+        model = AdaWave(scale=32, bounds=BOUNDS).fit(X).export_model()
+        with ProcessPoolService(
+            tmp_path, n_workers=1, use_shm=True, shm_slot_bytes=64, worker_timeout=5.0
+        ) as service:
+            service.register("prod", model)
+            queries = rng.uniform(size=(300, 2))  # 4800 bytes >> 64-byte slots
+            np.testing.assert_array_equal(
+                service.predict("prod", queries), model.predict(queries)
+            )
+            assert service.pool.shm_sends == 0
+            assert service.pool.pickle_sends > 0
+
+    def test_small_batches_use_the_ring(self, tmp_path):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(size=(1200, 2))
+        model = AdaWave(scale=32, bounds=BOUNDS).fit(X).export_model()
+        with ProcessPoolService(
+            tmp_path, n_workers=1, use_shm=True, worker_timeout=5.0
+        ) as service:
+            service.register("prod", model)
+            queries = rng.uniform(size=(100, 2))
+            np.testing.assert_array_equal(
+                service.predict("prod", queries), model.predict(queries)
+            )
+            assert service.pool.shm_sends > 0
+            assert service.pool.pickle_sends == 0
