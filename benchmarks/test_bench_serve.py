@@ -31,12 +31,14 @@ from repro.experiments import (
     run_predict_throughput,
     run_procpool_throughput,
     run_shm_throughput,
+    run_tracing_overhead,
 )
 
 PREDICT_THROUGHPUT_FLOOR = 500_000  # points / second
 PARALLEL_SPEEDUP_FLOOR = 1.5
 PROCPOOL_SPEEDUP_FLOOR = 1.5
 SHM_SPEEDUP_FLOOR = 1.3
+TRACING_OVERHEAD_FLOOR = 0.95  # traced / untraced points-per-sec
 
 
 def test_bench_predict_throughput(benchmark):
@@ -290,3 +292,56 @@ def test_bench_serve_deep_sweep(benchmark):
     print(format_table(predict))
     assert ingest.metadata["labels_identical"]
     assert predict.metadata["labels_match"]
+
+
+def test_bench_tracing_overhead_floor(benchmark):
+    """Per-request tracing must cost <= 5% of in-process predict throughput.
+
+    Identical concurrent traffic (200k query points in 32 batches) through
+    two single-process services, one with ``tracing=False`` and one with the
+    default tracing on.  Tracing stamps a handful of monotonic instants and
+    pushes one bounded-histogram update per request, so anything below the
+    floor means observability has started taxing the serving hot path.
+
+    Noise can only *understate* the ratio (a scheduler hiccup during the
+    traced drives looks like overhead; nothing makes tracing look free), so
+    the floor is asserted on the best of up to three measurement attempts.
+    """
+    result = benchmark.pedantic(
+        lambda: run_tracing_overhead(
+            n_train=20_000,
+            n_queries=200_000,
+            n_requests=32,
+            scale=128,
+            repeats=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    relative = 0.0
+    for _ in range(3):
+        print()
+        print(format_table(result))
+        assert result.metadata["labels_match"], (
+            "the traced and untraced services disagreed with the frozen model"
+        )
+        assert result.metadata["traced_requests"] > 0, (
+            "the traced configuration recorded no traces; the comparison is vacuous"
+        )
+        relative = max(
+            relative,
+            next(
+                row["relative"]
+                for row in result.rows
+                if row["configuration"] == "traced"
+            ),
+        )
+        if relative >= TRACING_OVERHEAD_FLOOR:
+            break
+        result = run_tracing_overhead(
+            n_train=20_000, n_queries=200_000, n_requests=32, scale=128, repeats=7
+        )
+    assert relative >= TRACING_OVERHEAD_FLOOR, (
+        f"tracing dropped predict throughput to {relative:.3f}x the untraced "
+        f"service at n=200k; the acceptance floor is {TRACING_OVERHEAD_FLOOR}x."
+    )

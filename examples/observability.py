@@ -1,0 +1,176 @@
+"""Observability walkthrough: traces, stage breakdown, Prometheus, slow ring.
+
+Stands the HTTP edge up in front of a multi-process serving plane, drives
+mixed traffic through it (healthy predicts, a deadline violation, a
+malformed request) and then reads everything back out the way an operator
+would:
+
+1. every response carries an ``X-Trace-Id`` header, and structured JSON
+   logs (opt-in) carry the same id -- one grep correlates a request across
+   the edge, the dispatcher and the worker that answered it;
+2. the per-stage latency table shows *where* the round trip went:
+   admission wait, queue wait, the shm/pickle hop into the worker, the
+   model lookup, the predict pass, the hop back and the collect;
+3. ``GET /metrics`` content-negotiates -- JSON for dashboards,
+   Prometheus text exposition 0.0.4 for a stock scraper;
+4. ``GET /debug/slow`` lists the slowest captured traces plus every
+   deadline violation and error, with full span breakdowns.
+
+Run with::
+
+    python examples/observability.py [--output-dir DIR]
+
+With ``--output-dir`` the scraped artifacts land on disk as
+``metrics.prom`` (text exposition), ``metrics.json`` (snapshot) and
+``slow-traces.json`` (the capture ring) -- the same three files the
+nightly benchmark workflow uploads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import AdaWave
+from repro.datasets import running_example
+from repro.obs import enable_json_logging
+from repro.serve import EdgeThread, ProcessPoolService
+
+
+def _post(url: str, body: bytes, headers: dict):
+    request = urllib.request.Request(url, data=body, headers=headers)
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return response.status, response.read(), response.headers
+
+
+def _get(url: str, accept: str | None = None):
+    request = urllib.request.Request(url)
+    if accept:
+        request.add_header("Accept", accept)
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return response.read()
+
+
+def stage_table(snapshot: dict) -> str:
+    """Render the per-stage latency histograms as an aligned text table."""
+    rows = [("stage", "count", "mean_ms", "max_ms", "total_ms")]
+    for stage, series in snapshot["stages"].items():
+        mean = series["seconds_total"] / max(series["count"], 1)
+        rows.append((
+            stage,
+            str(series["count"]),
+            f"{mean * 1e3:.3f}",
+            f"{series['max'] * 1e3:.3f}",
+            f"{series['seconds_total'] * 1e3:.3f}",
+        ))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output-dir", type=Path, default=None,
+        help="write metrics.prom / metrics.json / slow-traces.json here",
+    )
+    args = parser.parse_args()
+
+    enable_json_logging()  # JSON-lines on stderr, trace ids included
+
+    data = running_example(noise_fraction=0.75, n_per_cluster=1200, seed=0)
+    frozen = AdaWave(scale=64, bounds=([0, 0], [1, 1])).fit(data.points).export_model()
+    rng = np.random.default_rng(1)
+
+    with tempfile.TemporaryDirectory() as store:
+        with ProcessPoolService(store, n_workers=2) as service:
+            service.register("live", frozen)
+            with EdgeThread(service) as edge:
+                # -- 1. traced traffic ------------------------------------
+                print("== requests ==")
+                for index in range(8):
+                    body = json.dumps(
+                        {"points": rng.uniform(size=(500, 2)).tolist()}
+                    ).encode()
+                    status, _, headers = _post(
+                        f"{edge.url}/predict/live", body,
+                        {"Content-Type": "application/json"},
+                    )
+                    if index < 3:
+                        print(f"predict -> {status}  "
+                              f"X-Trace-Id: {headers['X-Trace-Id']}")
+
+                # A deadline violation and a malformed request, so the
+                # capture ring and per-status counters have failures too.
+                for extra_headers in (
+                    {"X-Deadline-Ms": "0"},
+                    {"X-Deadline-Ms": "soon"},
+                ):
+                    try:
+                        _post(
+                            f"{edge.url}/predict/live",
+                            json.dumps({"points": [[0.5, 0.5]]}).encode(),
+                            {"Content-Type": "application/json",
+                             **extra_headers},
+                        )
+                    except urllib.error.HTTPError as error:
+                        print(f"{extra_headers} -> {error.code}")
+
+                # -- 2. stage breakdown -----------------------------------
+                snapshot = json.loads(_get(f"{edge.url}/metrics"))
+                print("\n== per-stage latency ==")
+                print(stage_table(snapshot))
+
+                print("\n== per-route edge latency ==")
+                for route, series in snapshot["edge"]["routes"].items():
+                    latency = series["latency"]
+                    print(f"{route:12s} n={series['count']:<4d} "
+                          f"p50={latency['p50'] * 1e3:.2f}ms "
+                          f"p99={latency['p99'] * 1e3:.2f}ms "
+                          f"status={series['by_status']}")
+
+                # -- 3. Prometheus exposition -----------------------------
+                prom = _get(f"{edge.url}/metrics", accept="text/plain")
+                print("\n== prometheus exposition (first 12 lines) ==")
+                print("\n".join(prom.decode().splitlines()[:12]))
+
+                # -- 4. slow-trace capture --------------------------------
+                slow = json.loads(_get(f"{edge.url}/debug/slow"))
+                print(f"\n== slow traces ==")
+                print(f"captured {len(slow['slowest'])} slowest of "
+                      f"{slow['count']} traces; "
+                      f"{slow['deadline_violations']} deadline violations")
+                worst = slow["slowest"][0]
+                print(f"worst: {worst['total_seconds'] * 1e3:.2f}ms "
+                      f"(coverage {worst['coverage']:.1%})")
+                for span in worst["spans"]:
+                    print(f"    {span['stage']:16s} "
+                          f"{span['seconds'] * 1e3:8.3f}ms")
+
+                if args.output_dir is not None:
+                    args.output_dir.mkdir(parents=True, exist_ok=True)
+                    (args.output_dir / "metrics.prom").write_bytes(prom)
+                    (args.output_dir / "metrics.json").write_text(
+                        json.dumps(snapshot, indent=2)
+                    )
+                    (args.output_dir / "slow-traces.json").write_text(
+                        json.dumps(slow, indent=2)
+                    )
+                    print(f"\nwrote artifacts to {args.output_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -270,6 +270,7 @@ class AdaWave:
         self.threshold_: Optional[float] = None
         self.result_: Optional[AdaWaveResult] = None
         self.tune_result_: Optional["TuneResult"] = None
+        self.stage_seconds_: Optional[Dict[str, float]] = None
         self.n_seen_: int = 0
 
         # Streaming state (populated by partial_fit).  The sketch owns the
@@ -334,6 +335,9 @@ class AdaWave:
         self.n_clusters_ = result.n_clusters
         self.threshold_ = result.threshold.threshold
         self.result_ = result
+        # Wall-clock breakdown of the winning grid-side run; rides into
+        # artifact metadata so a served model carries its fit provenance.
+        self.stage_seconds_ = dict(pipe.stage_seconds)
         self._served_model = None
         return self
 
@@ -465,6 +469,7 @@ class AdaWave:
         self.threshold_ = None
         self.result_ = None
         self.tune_result_ = None
+        self.stage_seconds_ = None
         self._served_model = None
         return self
 

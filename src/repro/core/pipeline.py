@@ -17,8 +17,8 @@ three consumers share a single implementation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.core.threshold import ThresholdDiagnostics, adaptive_threshold
 from repro.core.transform import Workspace, wavelet_smooth_grid
 from repro.grid.connectivity import label_components_array
 from repro.grid.sparse_grid import SparseGrid
+from repro.obs.trace import StageTimer
 
 #: Dimensionalities up to which ``connectivity="auto"`` resolves to "full".
 _FULL_CONNECTIVITY_MAX_DIM = 3
@@ -116,6 +117,11 @@ class GridPipelineResult:
     their cluster ids; ``n_clusters`` counts the distinct ids.  The result is
     point-free: mapping objects to labels is a separate lookup against
     ``cell_coords``.
+
+    ``stage_seconds`` is the wall-clock breakdown of this run over the three
+    grid-side stages (``transform`` / ``threshold`` / ``extract``) -- the
+    same shape of record the serving plane keeps per request, here available
+    for tuning provenance and artifact metadata.
     """
 
     transformed: SparseGrid
@@ -124,6 +130,7 @@ class GridPipelineResult:
     cell_labels: np.ndarray
     n_clusters: int
     level: int
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 def run_grid_pipeline(
@@ -136,21 +143,35 @@ def run_grid_pipeline(
     min_cluster_cells: int = 3,
     angle_divisor: float = 3.0,
     workspace: Optional[Workspace] = None,
+    timer: Optional[StageTimer] = None,
 ) -> GridPipelineResult:
     """Run transform, threshold and component extraction on one grid.
 
     Cost is ``O(occupied cells * scale)`` -- it never touches the points, so
     callers holding one quantization can afford to run it many times (per
     decomposition level, per pyramid resolution, ...).
+
+    Pass a :class:`~repro.obs.trace.StageTimer` as ``timer`` to accumulate
+    the per-stage wall clock across *many* runs (a pyramid sweep, a
+    multi-level decomposition); the per-run breakdown is always available on
+    ``GridPipelineResult.stage_seconds`` regardless.
     """
-    transformed, _shape = wavelet_smooth_grid(
-        grid, wavelet=wavelet, level=level, workspace=workspace
-    )
-    threshold = select_threshold(transformed, threshold_method, angle_divisor)
-    cell_coords, cell_labels = extract_clusters(
-        transformed, threshold.threshold, grid.ndim, connectivity, min_cluster_cells
-    )
+    run_timer = StageTimer()
+    with run_timer.stage("transform"):
+        transformed, _shape = wavelet_smooth_grid(
+            grid, wavelet=wavelet, level=level, workspace=workspace
+        )
+    with run_timer.stage("threshold"):
+        threshold = select_threshold(transformed, threshold_method, angle_divisor)
+    with run_timer.stage("extract"):
+        cell_coords, cell_labels = extract_clusters(
+            transformed, threshold.threshold, grid.ndim, connectivity,
+            min_cluster_cells,
+        )
     n_clusters = int(cell_labels.max()) + 1 if len(cell_labels) else 0
+    if timer is not None:
+        for name, seconds in run_timer.seconds.items():
+            timer.add(name, seconds)
     return GridPipelineResult(
         transformed=transformed,
         threshold=threshold,
@@ -158,4 +179,5 @@ def run_grid_pipeline(
         cell_labels=cell_labels,
         n_clusters=n_clusters,
         level=level,
+        stage_seconds=run_timer.as_dict(),
     )

@@ -41,6 +41,7 @@ from repro.experiments.serving import (
     run_predict_throughput,
     run_procpool_throughput,
     run_shm_throughput,
+    run_tracing_overhead,
 )
 from repro.experiments.tuning import run_tune_overhead, run_tuning_comparison
 from repro.experiments.drift import run_drift_recovery, run_retune_cost
@@ -65,6 +66,7 @@ __all__ = [
     "run_predict_throughput",
     "run_procpool_throughput",
     "run_shm_throughput",
+    "run_tracing_overhead",
     "run_tune_overhead",
     "run_tuning_comparison",
     "run_drift_recovery",

@@ -38,7 +38,7 @@ from repro.core.adawave import AdaWave
 from repro.datasets.synthetic import scaled_runtime_dataset
 from repro.experiments.runner import ExperimentResult
 from repro.serve.model import ClusterModel
-from repro.serve.parallel import _ingest_shard, parallel_ingest
+from repro.serve.parallel import _ingest_shard, parallel_ingest, resolve_n_workers
 from repro.serve.procpool import ProcessPoolService
 from repro.serve.service import ClusteringService
 
@@ -409,5 +409,106 @@ def run_shm_throughput(
     result.metadata["shm_sends"] = int(sends["shm-ring"][0])
     result.metadata["pickle_fallback_sends"] = int(sends["shm-ring"][1])
     result.metadata["queue_path_sends"] = int(sends["pickle-queue"][1])
+    result.metadata["model_cells"] = frozen.n_cells
+    return result
+
+
+def run_tracing_overhead(
+    n_train: int = 20_000,
+    n_queries: int = 200_000,
+    n_requests: int = 32,
+    n_threads: Optional[int] = None,
+    scale: int = 128,
+    noise_fraction: float = 0.75,
+    seed: int = 0,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Cost of per-request tracing on the in-process serving path.
+
+    Drives identical concurrent predict traffic through two
+    :class:`ClusteringService` instances serving the same frozen model --
+    one with tracing on (the default: every request gets a trace, stage
+    spans and a slow-ring candidate entry), one constructed with
+    ``tracing=False`` -- and reports both throughputs plus their ratio.
+    Each configuration is warmed once and timed ``repeats`` times (best
+    taken).  The ``relative`` column of the traced row is
+    traced-points-per-sec / untraced-points-per-sec, the number the
+    benchmark floor pins: observability must stay a rounding error, not a
+    tax on the serving plane.
+
+    ``n_threads=None`` caps the caller threads at the host CPU count:
+    oversubscribing a small box turns the measurement into GIL-scheduling
+    noise that swamps the microseconds under test.
+    """
+    if n_threads is None:
+        n_threads = min(4, resolve_n_workers(None))
+    train = scaled_runtime_dataset(n_train, noise_fraction=noise_fraction, seed=seed)
+    queries = scaled_runtime_dataset(
+        n_queries, noise_fraction=noise_fraction, seed=seed + 1
+    ).points
+    frozen = AdaWave(scale=scale).fit(train.points).export_model()
+    requests = np.array_split(queries, n_requests)
+    expected = [frozen.predict(X) for X in requests]
+
+    result = ExperimentResult(
+        experiment="serving: tracing overhead on in-process predict",
+        columns=["configuration", "seconds", "points_per_sec", "relative"],
+        metadata={
+            "n_train": train.n_samples,
+            "n_queries": len(queries),
+            "n_requests": n_requests,
+            "n_threads": n_threads,
+            "scale": scale,
+            "seed": seed,
+        },
+    )
+
+    labels_match = True
+    timings = {"untraced": np.inf, "traced": np.inf}
+    services = {
+        "untraced": ClusteringService(tracing=False),
+        "traced": ClusteringService(tracing=True),
+    }
+    try:
+        for label, service in services.items():
+            service.register("live", frozen)
+            warm = [service.predict("live", X) for X in requests[:n_threads]]
+            labels_match = labels_match and all(
+                np.array_equal(got, want) for got, want in zip(warm, expected)
+            )
+        # The configurations alternate within every repeat so slow system
+        # noise (CPU frequency, cache state, co-tenants) hits both equally
+        # instead of biasing whichever ran second.
+        for _ in range(max(repeats, 1)):
+            for label, service in services.items():
+                timings[label] = min(
+                    timings[label],
+                    _drive_concurrent(
+                        lambda X: service.predict("live", X), requests, n_threads
+                    ),
+                )
+        traced_snapshot = services["traced"].telemetry.snapshot()
+    finally:
+        for service in services.values():
+            service.close()
+
+    untraced_pps = len(queries) / max(timings["untraced"], 1e-9)
+    for label in ("untraced", "traced"):
+        seconds = timings[label]
+        pps = len(queries) / max(seconds, 1e-9)
+        result.add_row(
+            configuration=label,
+            seconds=float(seconds),
+            points_per_sec=float(pps),
+            relative=float(pps / max(untraced_pps, 1e-9)),
+        )
+
+    result.metadata["labels_match"] = bool(labels_match)
+    result.metadata["traced_requests"] = int(
+        traced_snapshot["traces"]["count"] if traced_snapshot else 0
+    )
+    result.metadata["stages_observed"] = sorted(
+        traced_snapshot["stages"].keys() if traced_snapshot else []
+    )
     result.metadata["model_cells"] = frozen.n_cells
     return result

@@ -1,0 +1,62 @@
+"""Observability layer: request traces, stage timers, Prometheus, JSON logs.
+
+See :mod:`repro.obs.trace` for the per-request trace context the serving
+plane threads from the HTTP edge down to worker processes and back,
+:mod:`repro.obs.prometheus` for text-exposition rendering of
+``Telemetry.snapshot()``, and :mod:`repro.obs.logging` for the opt-in
+structured log stream correlated by trace id.
+"""
+
+from repro.obs.logging import (
+    JsonFormatter,
+    disable_json_logging,
+    enable_json_logging,
+)
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_exposition_line,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    STAGE_ADMISSION_WAIT,
+    STAGE_COLLECT,
+    STAGE_EDGE_PARSE,
+    STAGE_ERROR,
+    STAGE_IPC_BACK,
+    STAGE_IPC_OUT,
+    STAGE_QUEUE_WAIT,
+    STAGE_WORKER_LOAD,
+    STAGE_WORKER_PREDICT,
+    STAGES,
+    Span,
+    StageTimer,
+    Trace,
+    WorkerStamps,
+    apply_worker_stamps,
+    new_trace_id,
+)
+
+__all__ = [
+    "JsonFormatter",
+    "disable_json_logging",
+    "enable_json_logging",
+    "PROMETHEUS_CONTENT_TYPE",
+    "parse_exposition_line",
+    "render_prometheus",
+    "STAGE_ADMISSION_WAIT",
+    "STAGE_COLLECT",
+    "STAGE_EDGE_PARSE",
+    "STAGE_ERROR",
+    "STAGE_IPC_BACK",
+    "STAGE_IPC_OUT",
+    "STAGE_QUEUE_WAIT",
+    "STAGE_WORKER_LOAD",
+    "STAGE_WORKER_PREDICT",
+    "STAGES",
+    "Span",
+    "StageTimer",
+    "Trace",
+    "WorkerStamps",
+    "apply_worker_stamps",
+    "new_trace_id",
+]

@@ -1,0 +1,113 @@
+"""Structured JSON logging with trace-id correlation, off by default.
+
+The serving components log through plain stdlib loggers
+(``repro.serve.edge``, ``repro.stream.controller``, ...), passing
+``extra={"trace_id": ...}`` where a trace context exists.  By default those
+records go nowhere beyond whatever handlers the embedding application
+configured -- importing :mod:`repro` never touches global logging state.
+
+:func:`enable_json_logging` opts a process in: it attaches a
+:class:`JsonFormatter` handler to the ``repro`` logger so every record
+emits as one JSON object per line (timestamp, level, logger, message,
+trace_id when present, exception text when present), which downstream log
+pipelines can join against the trace ids in ``snapshot()["traces"]`` and
+the ``X-Trace-Id`` response header.
+
+Formatting failures are contained exactly like the telemetry sink: a
+record that cannot be serialised degrades to a minimal JSON envelope
+instead of raising into the serving path.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional, TextIO
+
+#: Root logger every repro component logs under.
+ROOT_LOGGER = "repro"
+
+#: LogRecord attributes that are plumbing, not payload; anything *else* on a
+#: record (i.e. passed via ``extra=``) is forwarded into the JSON object.
+_STANDARD_ATTRS = frozenset(
+    vars(
+        logging.LogRecord("x", logging.INFO, "x", 0, "x", None, None)
+    ).keys()
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """Format each record as a single-line JSON object.
+
+    Keys: ``ts`` (UTC ISO-8601), ``level``, ``logger``, ``message``, plus
+    any ``extra=`` attributes (notably ``trace_id``) and ``exc`` when the
+    record carries exception info.  A record whose extras defeat
+    ``json.dumps`` falls back to stringifying them; the formatter never
+    raises.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": datetime.fromtimestamp(
+                record.created, tz=timezone.utc
+            ).isoformat(),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in vars(record).items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        try:
+            return json.dumps(payload, default=str)
+        except Exception:
+            # Contained: never let a weird extra break the serving path.
+            return json.dumps(
+                {
+                    "ts": payload["ts"],
+                    "level": record.levelname,
+                    "logger": record.name,
+                    "message": str(record.getMessage()),
+                }
+            )
+
+
+_handler: Optional[logging.Handler] = None
+
+
+def enable_json_logging(
+    level: int = logging.INFO, stream: Optional[TextIO] = None
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the ``repro`` logger tree.
+
+    Idempotent: calling twice replaces the previous handler rather than
+    stacking duplicates.  Returns the installed handler (useful for tests
+    that want to point ``stream`` at a buffer).
+    """
+    global _handler
+    logger = logging.getLogger(ROOT_LOGGER)
+    if _handler is not None:
+        logger.removeHandler(_handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    # The embedding app's root handlers would double-print every record.
+    logger.propagate = False
+    _handler = handler
+    return handler
+
+
+def disable_json_logging() -> None:
+    """Detach the handler installed by :func:`enable_json_logging`."""
+    global _handler
+    if _handler is None:
+        return
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.removeHandler(_handler)
+    logger.propagate = True
+    _handler = None

@@ -32,7 +32,9 @@ serving stack:
   load shedding) and graceful drain on close;
 * :class:`Telemetry` -- the shared metrics surface (per-model latency
   quantiles, batch sizes, queue depth, swap counts, worker respawns, drift
-  history) every serving component reports into;
+  history, per-stage latency histograms, per-route edge quantiles and the
+  slow-trace ring) every serving component reports into; Prometheus text
+  exposition lives in :mod:`repro.obs` and ``Telemetry.to_prometheus()``;
 * :class:`SlotRing` -- the zero-copy shared-memory data plane the
   multi-process service ships float batches through (queues carry only
   descriptors);

@@ -14,8 +14,18 @@ small slice of HTTP/1.1.
   npz artifact; the response carries the new version name.
 * ``GET /healthz`` -- liveness plus model/worker counts.
 * ``GET /metrics`` -- the service's full
-  :meth:`~repro.serve.metrics.Telemetry.snapshot` with an ``edge`` section
-  (request counts by status) merged in.
+  :meth:`~repro.serve.metrics.Telemetry.snapshot` with the edge's own
+  counters merged into its ``edge`` section.  Content-negotiated: an
+  ``Accept`` header asking for ``text/plain`` (or OpenMetrics) gets
+  Prometheus text exposition 0.0.4 instead of JSON.
+* ``GET /debug/slow`` -- the slow-request capture: full span breakdowns of
+  the slowest and deadline-violating traces.
+
+Every predict request is traced end to end (when the service has tracing
+enabled): the edge opens the trace before decoding the body, hands it to
+``predict_async``, and returns its id in the ``X-Trace-Id`` response header
+so clients can correlate slow responses with ``GET /debug/slow`` and the
+structured log stream.
 
 **Deadline propagation** is the edge's load-shedding contract: a request
 carrying ``X-Deadline-Ms: <budget>`` is queued with backpressure *bounded
@@ -34,15 +44,25 @@ from __future__ import annotations
 import asyncio
 import io
 import json
+import logging
+import math
 import tempfile
 import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.trace import STAGE_EDGE_PARSE, Trace
 from repro.serve.model import ClusterModel
 from repro.serve.service import ClusteringService, Overloaded, ServiceClosed
+
+#: Structured request log.  Silent unless the embedding application (or
+#: :func:`repro.obs.enable_json_logging`) attaches a handler -- importing
+#: or running the edge never configures global logging state.
+logger = logging.getLogger("repro.serve.edge")
 
 #: Request header carrying the caller's remaining time budget, in
 #: milliseconds.  See :class:`EdgeServer`.
@@ -185,6 +205,11 @@ class EdgeServer:
                 except (asyncio.TimeoutError, asyncio.IncompleteReadError):
                     return
                 except _BadRequest as error:
+                    # Never parsed far enough to time or route; count it
+                    # under its own label so malformed traffic is visible.
+                    self.service.telemetry.record_edge_request(
+                        "bad-request", error.status, 0.0
+                    )
                     await self._respond_json(
                         writer, error.status, {"error": str(error)}, close=True
                     )
@@ -194,20 +219,35 @@ class EdgeServer:
                 method, path, headers, body = request
                 self._active_requests += 1
                 self._idle.clear()
+                started = time.perf_counter()
                 try:
-                    status, payload, content_type = await self._route(
+                    status, payload, content_type, extra_headers = await self._route(
                         method, path, headers, body
                     )
                 finally:
                     self._active_requests -= 1
                     if self._active_requests == 0:
                         self._idle.set()
+                seconds = time.perf_counter() - started
+                route = self._route_label(path)
+                self.service.telemetry.record_edge_request(route, status, seconds)
+                if logger.isEnabledFor(logging.INFO):
+                    logger.info(
+                        "%s %s -> %d in %.1fms",
+                        method, path, status, seconds * 1e3,
+                        extra={
+                            "route": route,
+                            "status": status,
+                            "trace_id": extra_headers.get("X-Trace-Id"),
+                        },
+                    )
                 keep_alive = (
                     not self._closing
                     and headers.get("connection", "").lower() != "close"
                 )
                 await self._write_response(
-                    writer, status, payload, content_type, close=not keep_alive
+                    writer, status, payload, content_type,
+                    close=not keep_alive, headers=extra_headers,
                 )
                 if not keep_alive:
                     return
@@ -256,44 +296,76 @@ class EdgeServer:
 
     # -- routing -----------------------------------------------------------------
 
+    @staticmethod
+    def _route_label(path: str) -> str:
+        """Bounded-cardinality route label for telemetry (no raw paths)."""
+        if path.startswith("/predict/"):
+            return "predict"
+        if path.startswith("/swap/"):
+            return "swap"
+        if path == "/healthz":
+            return "healthz"
+        if path == "/metrics":
+            return "metrics"
+        if path == "/debug/slow":
+            return "debug-slow"
+        return "other"
+
     async def _route(
         self, method: str, path: str, headers: Dict[str, str], body: bytes
-    ) -> Tuple[int, Any, str]:
-        """Dispatch one request; returns ``(status, payload, content_type)``."""
+    ) -> Tuple[int, Any, str, Dict[str, str]]:
+        """Dispatch one request; returns ``(status, payload, content_type, headers)``."""
         try:
             if path == "/healthz":
                 if method != "GET":
-                    return 405, {"error": "use GET."}, "application/json"
-                return 200, self._healthz(), "application/json"
+                    return 405, {"error": "use GET."}, "application/json", {}
+                return 200, self._healthz(), "application/json", {}
             if path == "/metrics":
                 if method != "GET":
-                    return 405, {"error": "use GET."}, "application/json"
-                snapshot = self.service.telemetry.snapshot()
-                snapshot["edge"] = {
-                    "active_requests": self._active_requests,
-                    "requests_by_status": {
-                        str(code): count
-                        for code, count in sorted(self.requests_by_status.items())
-                    },
-                }
-                return 200, snapshot, "application/json"
+                    return 405, {"error": "use GET."}, "application/json", {}
+                return self._metrics(headers)
+            if path == "/debug/slow":
+                if method != "GET":
+                    return 405, {"error": "use GET."}, "application/json", {}
+                traces = self.service.telemetry.snapshot()["traces"]
+                return 200, traces, "application/json", {}
             if path.startswith("/predict/"):
                 if method != "POST":
-                    return 405, {"error": "use POST."}, "application/json"
+                    return 405, {"error": "use POST."}, "application/json", {}
                 return await self._predict(path[len("/predict/"):], headers, body)
             if path.startswith("/swap/"):
                 if method != "POST":
-                    return 405, {"error": "use POST."}, "application/json"
+                    return 405, {"error": "use POST."}, "application/json", {}
                 return await self._swap(path[len("/swap/"):], body)
-            return 404, {"error": f"unknown path {path!r}."}, "application/json"
+            return 404, {"error": f"unknown path {path!r}."}, "application/json", {}
         except _BadRequest as error:
-            return error.status, {"error": str(error)}, "application/json"
+            return error.status, {"error": str(error)}, "application/json", {}
         except Exception as error:  # pragma: no cover - defensive catch-all
             return (
                 500,
                 {"error": f"{type(error).__name__}: {error}"},
                 "application/json",
+                {},
             )
+
+    def _metrics(self, headers: Dict[str, str]) -> Tuple[int, Any, str, Dict[str, str]]:
+        """``GET /metrics``: JSON snapshot, or Prometheus text when asked.
+
+        Content negotiation is deliberately simple: any ``Accept`` naming
+        ``text/plain`` or an OpenMetrics type gets the text exposition;
+        everything else (including the usual ``*/*`` default) gets JSON.
+        """
+        snapshot = self.service.telemetry.snapshot()
+        edge_section = snapshot.setdefault("edge", {})
+        edge_section["active_requests"] = self._active_requests
+        edge_section["requests_by_status"] = {
+            str(code): count
+            for code, count in sorted(self.requests_by_status.items())
+        }
+        accept = headers.get("accept", "")
+        if "text/plain" in accept or "openmetrics" in accept:
+            return 200, render_prometheus(snapshot), PROMETHEUS_CONTENT_TYPE, {}
+        return 200, snapshot, "application/json", {}
 
     def _healthz(self) -> Dict[str, Any]:
         health: Dict[str, Any] = {
@@ -306,26 +378,53 @@ class EdgeServer:
                 "alive": sum(pool.alive()),
                 "total": pool.n_workers,
                 "respawns": pool.respawns,
+                "shm_sends": pool.shm_sends,
+                "pickle_sends": pool.pickle_sends,
             }
+            if pool.rings is not None:
+                health["workers"]["rings"] = [
+                    ring.stats() for ring in pool.rings
+                ]
         return health
+
+    def _finish_trace(
+        self, trace: Optional[Trace], error: Optional[str] = None
+    ) -> None:
+        """Close and record a trace the service never got to close itself.
+
+        No-op for traces already closed by the serving path (the normal
+        case) -- only edge-side failures (decode errors, deadline expiry,
+        unknown models) are accounted here.
+        """
+        if trace is not None and not trace.closed and trace.close(error=error):
+            self.service.telemetry.record_trace(trace)
 
     async def _predict(
         self, name: str, headers: Dict[str, str], body: bytes
-    ) -> Tuple[int, Any, str]:
+    ) -> Tuple[int, Any, str, Dict[str, str]]:
         deadline = self._parse_deadline(headers)
+        trace: Optional[Trace] = None
+        if getattr(self.service, "tracing", False):
+            trace = Trace(route="predict", model=name, deadline=deadline)
+        extra = {} if trace is None else {"X-Trace-Id": trace.trace_id}
         if deadline is not None and deadline <= 0.0:
-            return 504, {"error": "deadline already expired."}, "application/json"
+            self._finish_trace(trace, error="deadline already expired")
+            return 504, {"error": "deadline already expired."}, "application/json", extra
         wants_npy = any(
             kind in headers.get("content-type", "") for kind in _NPY_TYPES
         )
         try:
             X = self._decode_batch(body, wants_npy)
         except Exception as error:
+            self._finish_trace(trace, error=f"decode: {error}")
             return (
                 400,
                 {"error": f"could not decode batch: {error}"},
                 "application/json",
+                extra,
             )
+        if trace is not None:
+            trace.add_span(STAGE_EDGE_PARSE, trace.started, time.monotonic())
         try:
             # A deadline buys bounded backpressure: the request may queue for
             # a slot, but only until the budget runs out.  Without one, a
@@ -336,47 +435,67 @@ class EdgeServer:
                     X,
                     backpressure=deadline is not None,
                     slot_timeout=deadline,
+                    trace=trace,
                 ),
                 timeout=deadline,
             )
         except asyncio.TimeoutError:
-            return 504, {"error": "deadline exceeded."}, "application/json"
+            # The trace is still riding the serving path; whoever resolves
+            # the abandoned future closes it (it shows up deadline_violated
+            # in the slow ring), so it is not finished here.
+            return 504, {"error": "deadline exceeded."}, "application/json", extra
         except Overloaded as error:
             if deadline is not None:
-                return 504, {"error": str(error)}, "application/json"
-            return 429, {"error": str(error)}, "application/json"
+                return 504, {"error": str(error)}, "application/json", extra
+            return 429, {"error": str(error)}, "application/json", extra
         except ServiceClosed as error:
-            return 503, {"error": str(error)}, "application/json"
+            return 503, {"error": str(error)}, "application/json", extra
         except KeyError as error:
-            return 404, {"error": str(error)}, "application/json"
+            self._finish_trace(trace, error=f"unknown model: {error}")
+            return 404, {"error": str(error)}, "application/json", extra
         except (ValueError, RuntimeError) as error:
-            return 400, {"error": f"{type(error).__name__}: {error}"}, "application/json"
+            self._finish_trace(trace, error=f"{type(error).__name__}: {error}")
+            return (
+                400,
+                {"error": f"{type(error).__name__}: {error}"},
+                "application/json",
+                extra,
+            )
         if wants_npy:
             buffer = io.BytesIO()
             np.save(buffer, labels)
-            return 200, buffer.getvalue(), "application/x-npy"
+            return 200, buffer.getvalue(), "application/x-npy", extra
         return (
             200,
             {"model": name, "n": int(len(labels)), "labels": labels.tolist()},
             "application/json",
+            extra,
         )
 
-    async def _swap(self, name: str, body: bytes) -> Tuple[int, Any, str]:
+    async def _swap(
+        self, name: str, body: bytes
+    ) -> Tuple[int, Any, str, Dict[str, str]]:
         if not body:
-            return 400, {"error": "swap body must be an npz artifact."}, "application/json"
+            return (
+                400,
+                {"error": "swap body must be an npz artifact."},
+                "application/json",
+                {},
+            )
         loop = asyncio.get_running_loop()
         try:
             model = await loop.run_in_executor(None, self._load_artifact, body)
             version = self.service.swap(name, model)
         except ServiceClosed as error:
-            return 503, {"error": str(error)}, "application/json"
+            return 503, {"error": str(error)}, "application/json", {}
         except Exception as error:
             return (
                 400,
                 {"error": f"could not swap {name!r}: {error}"},
                 "application/json",
+                {},
             )
-        return 200, {"name": name, "version": version}, "application/json"
+        return 200, {"name": name, "version": version}, "application/json", {}
 
     @staticmethod
     def _load_artifact(body: bytes) -> ClusterModel:
@@ -389,15 +508,40 @@ class EdgeServer:
 
     @staticmethod
     def _parse_deadline(headers: Dict[str, str]) -> Optional[float]:
+        """Deadline budget in seconds from ``X-Deadline-Ms``, validated.
+
+        Non-numeric, negative, infinite and NaN values are all refused with
+        an actionable 400 -- ``inf`` would disable load shedding silently,
+        ``nan`` would poison every deadline comparison, and a negative
+        budget is a client bug worth surfacing rather than a synonym for
+        "already expired".  ``0`` stays legal and expires immediately (504).
+        """
         raw = headers.get(DEADLINE_HEADER)
         if raw is None:
             return None
+        header = "X-Deadline-Ms"
         try:
-            return float(raw) / 1000.0
+            value = float(raw)
         except ValueError:
             raise _BadRequest(
-                400, f"invalid {DEADLINE_HEADER} header: {raw!r}."
+                400,
+                f"invalid {header} header: {raw!r} is not a number; "
+                "send the remaining budget in milliseconds, e.g. "
+                f"{header}: 250.",
             ) from None
+        if not math.isfinite(value):
+            raise _BadRequest(
+                400,
+                f"invalid {header} header: {raw!r} must be finite; "
+                "omit the header entirely for no deadline.",
+            )
+        if value < 0.0:
+            raise _BadRequest(
+                400,
+                f"invalid {header} header: {raw!r} is negative; "
+                "the budget is the remaining milliseconds and must be >= 0.",
+            )
+        return value / 1000.0
 
     @staticmethod
     def _decode_batch(body: bytes, is_npy: bool) -> np.ndarray:
@@ -412,18 +556,32 @@ class EdgeServer:
     # -- response writing --------------------------------------------------------
 
     async def _write_response(
-        self, writer, status: int, payload: Any, content_type: str, *, close: bool
+        self,
+        writer,
+        status: int,
+        payload: Any,
+        content_type: str,
+        *,
+        close: bool,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
         if isinstance(payload, (bytes, bytearray)):
             body = bytes(payload)
+        elif isinstance(payload, str):
+            # Pre-rendered text bodies (Prometheus exposition) ship as-is.
+            body = payload.encode("utf-8")
         else:
             body = json.dumps(payload).encode("utf-8")
         self.requests_by_status[status] = self.requests_by_status.get(status, 0) + 1
+        extra = "".join(
+            f"{key}: {value}\r\n" for key, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"{extra}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + body)

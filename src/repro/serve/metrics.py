@@ -20,14 +20,81 @@ contained and counted, never propagated into the serving path.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import threading
+from bisect import bisect_left
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 #: Latency quantiles exported by :meth:`Telemetry.snapshot`.
 QUANTILES = (0.5, 0.9, 0.99)
+
+#: Upper bounds (seconds) of the per-stage latency histograms: log-spaced
+#: from 10us to 10s, covering everything from a queue hand-off to a
+#: deadline-blown worker pass.  The final implicit bucket is ``+Inf``.
+STAGE_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _StageSeries:
+    """Fixed-bucket latency histogram for one serving-path stage.
+
+    Unlike the reservoir-backed predict series, stage observations land in
+    pre-sized cumulative-at-snapshot buckets, so the memory cost is constant
+    no matter how hot the path is -- the natural shape for Prometheus
+    ``_bucket``/``_sum``/``_count`` exposition.
+    """
+
+    __slots__ = ("count", "seconds_total", "seconds_max", "bucket_counts")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.seconds_total = 0.0
+        self.seconds_max = 0.0
+        # One slot per finite bound plus the +Inf overflow slot.
+        self.bucket_counts = [0] * (len(STAGE_BUCKETS) + 1)
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self.count += 1
+        self.seconds_total += seconds
+        if seconds > self.seconds_max:
+            self.seconds_max = seconds
+        # bisect_left finds the first bound >= seconds (``le`` semantics);
+        # past-the-end lands in the trailing +Inf slot.  C-implemented, so
+        # the hot recording path does no Python-level bucket scan.
+        self.bucket_counts[bisect_left(STAGE_BUCKETS, seconds)] += 1
+
+    def cumulative_buckets(self) -> List[List[Any]]:
+        """``[le, cumulative_count]`` pairs ending with ``["+Inf", count]``."""
+        out: List[List[Any]] = []
+        running = 0
+        for bound, n in zip(STAGE_BUCKETS, self.bucket_counts):
+            running += n
+            out.append([bound, running])
+        out.append(["+Inf", self.count])
+        return out
+
+
+class _EdgeSeries:
+    """Per-route HTTP statistics: status counts + round-trip reservoir."""
+
+    __slots__ = ("count", "by_status", "latencies", "seconds_total", "seconds_max")
+
+    def __init__(self, reservoir: int) -> None:
+        self.count = 0
+        self.by_status: Dict[str, int] = {}
+        self.latencies: Deque[float] = deque(maxlen=reservoir)
+        self.seconds_total = 0.0
+        self.seconds_max = 0.0
 
 
 class _PredictSeries:
@@ -56,6 +123,11 @@ class Telemetry:
         remain exact over the full lifetime).
     history_limit:
         Drift-check reports retained in :meth:`snapshot`'s history.
+    slow_traces:
+        Closed request traces retained with their full span breakdown: the
+        N slowest seen so far (a min-heap, so the bar keeps rising) plus a
+        ring of the most recent error/deadline-violating traces.  Exposed
+        under ``snapshot()["traces"]`` and the edge's ``GET /debug/slow``.
     sink:
         Optional callable receiving every recorded event as a flat ``dict``
         (``{"event": "predict", "model": ..., "seconds": ...}``).  The
@@ -71,13 +143,17 @@ class Telemetry:
         *,
         reservoir: int = 2048,
         history_limit: int = 256,
+        slow_traces: int = 32,
         sink: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if int(reservoir) < 1:
             raise ValueError(f"reservoir must be >= 1; got {reservoir}.")
         if int(history_limit) < 1:
             raise ValueError(f"history_limit must be >= 1; got {history_limit}.")
+        if int(slow_traces) < 1:
+            raise ValueError(f"slow_traces must be >= 1; got {slow_traces}.")
         self.reservoir = int(reservoir)
+        self.slow_traces = int(slow_traces)
         self.sink = sink
         self._lock = threading.Lock()
         self._predict: Dict[str, _PredictSeries] = {}
@@ -93,6 +169,14 @@ class Telemetry:
         self._callback_errors = 0
         self._last_callback_error: Optional[str] = None
         self._sink_errors = 0
+        self._stages: Dict[str, _StageSeries] = {}
+        self._edge: Dict[str, _EdgeSeries] = {}
+        self._trace_count = 0
+        self._trace_errors = 0
+        self._trace_violations = 0
+        self._trace_seq = 0  # heap tie-breaker; dicts don't compare
+        self._slowest: List[Tuple[float, int, Dict[str, Any]]] = []
+        self._bad_traces: Deque[Dict[str, Any]] = deque(maxlen=self.slow_traces)
 
     # -- recording ---------------------------------------------------------------
 
@@ -152,13 +236,92 @@ class Telemetry:
             )
         self._emit({"event": "worker_respawn", "worker": int(worker)})
 
-    def record_drift_check(self, report: Any) -> None:
-        """One drift check; ``report`` is a DriftReport (or mapping)."""
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """One observation of a named serving-path (or pipeline) stage.
+
+        Stage observations aggregate into fixed log-spaced histograms
+        (:data:`STAGE_BUCKETS`), exported as proper cumulative Prometheus
+        histograms.  Not streamed to the sink individually -- one traced
+        request produces ~8 of these, which would drown the event stream;
+        :meth:`record_trace` emits a single summarising event instead.
+        """
+        with self._lock:
+            series = self._stages.get(stage)
+            if series is None:
+                series = self._stages[stage] = _StageSeries()
+            series.observe(seconds)
+
+    def record_edge_request(self, route: str, status: int, seconds: float) -> None:
+        """One HTTP request answered by the edge: route, status, round trip."""
+        with self._lock:
+            series = self._edge.get(route)
+            if series is None:
+                series = self._edge[route] = _EdgeSeries(self.reservoir)
+            series.count += 1
+            key = str(int(status))
+            series.by_status[key] = series.by_status.get(key, 0) + 1
+            series.latencies.append(float(seconds))
+            series.seconds_total += float(seconds)
+            series.seconds_max = max(series.seconds_max, float(seconds))
+        self._emit({"event": "edge_request", "route": route,
+                    "status": int(status), "seconds": float(seconds)})
+
+    def record_trace(self, trace: Any) -> None:
+        """One closed request trace: fan its spans into the stage histograms.
+
+        Also maintains the slow-request capture: the ``slow_traces``
+        slowest traces ever seen (min-heap -- the bar only rises) plus a
+        ring of the most recent traces that errored or violated their
+        deadline, each retained with the full span breakdown.
+        """
+        if not trace.closed:
+            trace.close()
+        total = float(trace.total_seconds or 0.0)
+        bad = trace.error is not None or trace.deadline_violated
+        # The span dict is only materialised for traces that are actually
+        # captured (bad, or slow enough to enter the heap) -- the steady
+        # state is a fast path of counter bumps and histogram updates.
+        entry = trace.to_dict() if bad else None
+        with self._lock:
+            for span in trace.spans:
+                series = self._stages.get(span.stage)
+                if series is None:
+                    series = self._stages[span.stage] = _StageSeries()
+                series.observe(span.seconds)
+            self._trace_count += 1
+            if trace.error is not None:
+                self._trace_errors += 1
+            if trace.deadline_violated:
+                self._trace_violations += 1
+            if bad:
+                self._bad_traces.append(entry)
+            self._trace_seq += 1
+            if len(self._slowest) < self.slow_traces:
+                if entry is None:
+                    entry = trace.to_dict()
+                heapq.heappush(self._slowest, (total, self._trace_seq, entry))
+            elif total > self._slowest[0][0]:
+                if entry is None:
+                    entry = trace.to_dict()
+                heapq.heapreplace(self._slowest, (total, self._trace_seq, entry))
+        if self.sink is not None:
+            self._emit({"event": "trace", "trace_id": trace.trace_id,
+                        "model": trace.model, "route": trace.route,
+                        "seconds": total, "error": trace.error})
+
+    def record_drift_check(self, report: Any, *, trace_id: Optional[str] = None) -> None:
+        """One drift check; ``report`` is a DriftReport (or mapping).
+
+        ``trace_id`` correlates the check with the structured log stream
+        and any re-tune it triggers.
+        """
         if dataclasses.is_dataclass(report):
             entry = dataclasses.asdict(report)
         else:
             entry = dict(report)
         entry["reasons"] = list(entry.get("reasons") or ())
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
         with self._lock:
             self._drift_checks += 1
             if entry.get("drifted"):
@@ -205,8 +368,41 @@ class Telemetry:
                         "max": series.batch_max,
                     },
                 }
+            stages: Dict[str, Any] = {}
+            for stage, stage_series in self._stages.items():
+                stages[stage] = {
+                    "count": stage_series.count,
+                    "seconds_total": stage_series.seconds_total,
+                    "max": stage_series.seconds_max,
+                    "buckets": stage_series.cumulative_buckets(),
+                }
+            routes: Dict[str, Any] = {}
+            for route, edge_series in self._edge.items():
+                latency = self._distribution(edge_series.latencies)
+                latency["max"] = edge_series.seconds_max
+                latency["total"] = edge_series.seconds_total
+                routes[route] = {
+                    "count": edge_series.count,
+                    "by_status": dict(edge_series.by_status),
+                    "latency": latency,
+                }
+            slowest = [
+                dict(entry)
+                for _, _, entry in sorted(
+                    self._slowest, key=lambda item: item[0], reverse=True
+                )
+            ]
             return {
                 "predict": predict,
+                "stages": stages,
+                "edge": {"routes": routes},
+                "traces": {
+                    "count": self._trace_count,
+                    "errors": self._trace_errors,
+                    "deadline_violations": self._trace_violations,
+                    "slowest": slowest,
+                    "violations": [dict(entry) for entry in self._bad_traces],
+                },
                 "queue": {"depth": self._queue_depth,
                           "max_depth": self._max_queue_depth},
                 "rejections": {"total": sum(self._rejections.values()),
@@ -225,6 +421,12 @@ class Telemetry:
                               "last": self._last_callback_error},
                 "sink_errors": self._sink_errors,
             }
+
+    def to_prometheus(self) -> str:
+        """Current state as Prometheus text exposition (version 0.0.4)."""
+        from repro.obs.prometheus import render_prometheus
+
+        return render_prometheus(self.snapshot())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         with self._lock:

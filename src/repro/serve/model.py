@@ -168,6 +168,11 @@ class ClusterModel:
             "threshold_rule": result.threshold.method,
             "n_seen": int(getattr(estimator, "n_seen_", 0)),
         }
+        stage_seconds = getattr(estimator, "stage_seconds_", None)
+        if stage_seconds:
+            # Fit-time provenance: how long each grid-side stage of the
+            # winning run took, same stage vocabulary the serving plane uses.
+            metadata["stage_seconds"] = dict(stage_seconds)
         tune_result = getattr(estimator, "tune_result_", None)
         if tune_result is not None:
             # A tuned model ships the evidence for its own resolution: the

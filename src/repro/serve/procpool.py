@@ -55,6 +55,13 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.trace import (
+    STAGE_ADMISSION_WAIT,
+    STAGE_COLLECT,
+    STAGE_QUEUE_WAIT,
+    Trace,
+    apply_worker_stamps,
+)
 from repro.serve.metrics import Telemetry
 from repro.serve.model import ClusterModel
 from repro.serve.registry import ModelRegistry
@@ -181,11 +188,15 @@ def _worker_main(store_dir: str, task_queue, result_queue, ring_spec) -> None:
     Messages arrive on ``task_queue`` in FIFO order -- ``("bind", name,
     digest)`` (re)binds a model from the store, ``("drop", name)`` forgets
     one, ``("predict", request_id, name, X)`` answers with ``("done",
-    request_id, labels, error)`` on ``result_queue``, ``("predict-shm",
-    request_id, name, slot, shape, dtype)`` reads the batch zero-copy from
-    the shared-memory ring described by ``ring_spec`` and writes the labels
-    back into the same slot (``("done-shm", request_id, shape, dtype,
-    None)``), and ``("stop",)`` exits.  The FIFO ordering is the blue/green
+    request_id, labels, error, stamps)`` on ``result_queue``,
+    ``("predict-shm", request_id, name, slot, shape, dtype)`` reads the
+    batch zero-copy from the shared-memory ring described by ``ring_spec``
+    and writes the labels back into the same slot (``("done-shm",
+    request_id, shape, dtype, None, stamps)``), and ``("stop",)`` exits.
+    ``stamps`` is the trace triple ``(dequeued, loaded, predicted)`` on the
+    shared monotonic clock -- identical on both data planes, so the parent
+    expands either answer into the same cross-process spans; ``None`` on
+    error answers.  The FIFO ordering is the blue/green
     guarantee: a bind enqueued before a predict is always applied before it.
 
     Artifacts are content-addressed and immutable, so loads are cached by
@@ -205,14 +216,6 @@ def _worker_main(store_dir: str, task_queue, result_queue, ring_spec) -> None:
     models: Dict[str, ClusterModel] = {}
     cache: "OrderedDict[str, ClusterModel]" = OrderedDict()
     cache_limit = 64
-
-    def _predict(name: str, X) -> np.ndarray:
-        model = models.get(name)
-        if model is None:
-            raise KeyError(
-                f"worker pid {os.getpid()} has no model bound as {name!r}."
-            )
-        return model.predict(X)
 
     while True:
         try:
@@ -246,31 +249,63 @@ def _worker_main(store_dir: str, task_queue, result_queue, ring_spec) -> None:
             models.pop(message[1], None)
         elif kind == "predict":
             _, request_id, name, X = message
+            # Trace stamps on the host-shared monotonic clock: dequeue,
+            # model-in-hand, labels-in-hand.  The parent expands them into
+            # the ipc-out / worker-load / worker-predict / ipc-back spans.
+            dequeued = time.monotonic()
             try:
-                result_queue.put(("done", request_id, _predict(name, X), None))
+                model = models.get(name)
+                if model is None:
+                    raise KeyError(
+                        f"worker pid {os.getpid()} has no model bound as {name!r}."
+                    )
+                loaded = time.monotonic()
+                labels = model.predict(X)
+                predicted = time.monotonic()
+                result_queue.put(
+                    ("done", request_id, labels, None, (dequeued, loaded, predicted))
+                )
             except Exception as error:
-                result_queue.put(("done", request_id, None, _portable_error(error)))
+                result_queue.put(
+                    ("done", request_id, None, _portable_error(error), None)
+                )
         elif kind == "predict-shm":
             _, request_id, name, slot, shape, dtype = message
+            dequeued = time.monotonic()
             try:
                 if ring is None:
                     raise RuntimeError(
                         f"worker pid {os.getpid()} could not attach the "
                         "shared-memory ring; shm descriptors cannot be served."
                     )
-                labels = _predict(name, ring.view(slot, shape, dtype))
+                model = models.get(name)
+                if model is None:
+                    raise KeyError(
+                        f"worker pid {os.getpid()} has no model bound as {name!r}."
+                    )
+                X = ring.view(slot, shape, dtype)
+                loaded = time.monotonic()
+                labels = model.predict(X)
+                predicted = time.monotonic()
+                # Drop the slab view immediately: a live export into the
+                # shared segment keeps SharedMemory.close() from unmapping
+                # it at worker shutdown.
+                del X
+                stamps = (dequeued, loaded, predicted)
                 if labels.nbytes <= ring.slot_bytes:
                     # The labels ride back in the request's own slot: the
                     # parent holds it until this answer is read, so the
                     # request bytes are dead and the slot is exclusively ours.
                     out_shape, out_dtype = ring.write(slot, labels)
                     result_queue.put(
-                        ("done-shm", request_id, out_shape, out_dtype, None)
+                        ("done-shm", request_id, out_shape, out_dtype, None, stamps)
                     )
                 else:  # pragma: no cover - labels larger than the batch
-                    result_queue.put(("done", request_id, labels, None))
+                    result_queue.put(("done", request_id, labels, None, stamps))
             except Exception as error:
-                result_queue.put(("done", request_id, None, _portable_error(error)))
+                result_queue.put(
+                    ("done", request_id, None, _portable_error(error), None)
+                )
 
 
 class ProcessWorkerPool:
@@ -538,6 +573,14 @@ class _Inflight:
     name: str
     futures: List[Future]
     sizes: Optional[List[int]]
+    #: Member-request traces, index-aligned with ``futures`` (None entries
+    #: when tracing is off).  The worker's stamp triple fans back out onto
+    #: every one of these when the answer lands.
+    traces: List[Optional[Trace]] = field(default_factory=list)
+    #: Monotonic instant the dispatcher started the send (ring write +
+    #: queue put); the worker's dequeue stamp closes the ipc-out span
+    #: opened here.
+    sent_at: float = 0.0
     #: Worker generation the batch was shipped to; -1 while the dispatcher
     #: is still writing/enqueueing it (the watchdog must not touch the entry
     #: before the send lands, or it could release a slot the worker is about
@@ -613,6 +656,7 @@ class ProcessPoolService(ClusteringService):
         max_batch_delay: float = 0.0,
         max_async_workers: int = 4,
         telemetry: Optional[Telemetry] = None,
+        tracing: bool = True,
     ) -> None:
         if int(max_batch_requests) < 1:
             raise ValueError(
@@ -641,6 +685,7 @@ class ProcessPoolService(ClusteringService):
             max_pending=max_pending,
             max_batch_delay=max_batch_delay,
             telemetry=telemetry,
+            tracing=tracing,
         )
         self.store = store
         self.max_batch_requests = int(max_batch_requests)
@@ -654,7 +699,9 @@ class ProcessPoolService(ClusteringService):
             shm_slot_bytes=shm_slot_bytes,
             shm_slots=shm_slots,
         )
-        self._requests: Deque[Tuple[str, np.ndarray, Future]] = deque()
+        self._requests: Deque[
+            Tuple[str, np.ndarray, Future, Optional[Trace]]
+        ] = deque()
         self._requests_cond = threading.Condition()
         self._stop_dispatch = False
         self._inflight: Dict[int, _Inflight] = {}
@@ -732,32 +779,47 @@ class ProcessPoolService(ClusteringService):
         *,
         wait_for_slot: bool = False,
         slot_timeout: Optional[float] = None,
+        trace: Optional[Trace] = None,
     ) -> "Future[np.ndarray]":
         """Admit a predict request and hand it to the dispatcher.
 
         Unlike the base class, the calling thread never executes the pass
         itself -- the future resolves from the collector thread once a
-        worker process answers.
+        worker process answers.  The trace (caller's, or a fresh one when
+        tracing is on) rides the dispatch queue with the request and is
+        closed by whichever thread resolves the future -- collector,
+        watchdog, or ``close``.
         """
         if self._closed:
             raise ServiceClosed("ProcessPoolService is closed; no further requests.")
         self.registry.get(name)  # fail fast on unknown names
         X = np.asarray(X, dtype=np.float64)
-        self._admit(name, wait=wait_for_slot, timeout=slot_timeout)
+        trace = self._trace_for(name, trace)
+        admit_start = None if trace is None else trace.last_stamp()
+        try:
+            self._admit(name, wait=wait_for_slot, timeout=slot_timeout)
+        except BaseException as error:
+            if trace is not None:
+                trace.add_span(STAGE_ADMISSION_WAIT, admit_start, time.monotonic())
+                self._abort_trace(trace, error)
+            raise
+        if trace is not None:
+            trace.add_span(STAGE_ADMISSION_WAIT, admit_start, time.monotonic())
         future: "Future[np.ndarray]" = Future()
         future.add_done_callback(self._release_slot)
         with self._requests_cond:
             if self._stop_dispatch:
                 # close() already drained the dispatcher; resolving here (not
                 # raising before the append) keeps the slot accounting exact.
-                self._resolve_future(
-                    future,
-                    error=ServiceClosed(
-                        "ProcessPoolService is closed; no further requests."
-                    ),
+                closed_error = ServiceClosed(
+                    "ProcessPoolService is closed; no further requests."
                 )
+                self._resolve_future(future, error=closed_error)
+                self._abort_trace(trace, closed_error)
                 return future
-            self._requests.append((name, X, future))
+            if trace is not None:
+                trace.enqueued_at = trace.last_stamp()
+            self._requests.append((name, X, future, trace))
             self._requests_cond.notify()
         return future
 
@@ -777,8 +839,8 @@ class ProcessPoolService(ClusteringService):
                     self._requests_cond.wait(timeout=self.max_batch_delay)
                     if not self._requests:
                         continue
-                name, X, future = self._requests.popleft()
-                batch = [(X, future)]
+                name, X, future, trace = self._requests.popleft()
+                batch = [(X, future, trace)]
                 while (
                     len(batch) < self.max_batch_requests
                     and self._requests
@@ -789,9 +851,12 @@ class ProcessPoolService(ClusteringService):
                     batch.append(self._requests.popleft()[1:])
             self._ship(name, batch)
 
-    def _ship(self, name: str, batch: List[Tuple[np.ndarray, Future]]) -> None:
-        arrays = [X for X, _ in batch]
-        futures = [future for _, future in batch]
+    def _ship(
+        self, name: str, batch: List[Tuple[np.ndarray, Future, Optional[Trace]]]
+    ) -> None:
+        arrays = [X for X, _, _ in batch]
+        futures = [future for _, future, _ in batch]
+        traces = [trace for _, _, trace in batch]
         try:
             worker = self.pool.next_alive_worker()
             if len(arrays) == 1:
@@ -800,14 +865,24 @@ class ProcessPoolService(ClusteringService):
                 stacked = np.concatenate(arrays, axis=0)
                 sizes = [len(X) for X in arrays]
         except Exception as error:
-            for future in futures:
+            for future, trace in zip(futures, traces):
                 self._resolve_future(future, error=error)
+                self._abort_trace(trace, error)
             return
         request_id = next(self._request_ids)
-        entry = _Inflight(worker=worker, name=name, futures=futures, sizes=sizes)
+        entry = _Inflight(
+            worker=worker, name=name, futures=futures, sizes=sizes, traces=traces
+        )
         with self._inflight_lock:
             self._inflight[request_id] = entry
         try:
+            # Stamp before the send so the ring write + queue put land inside
+            # the ipc-out span (closed by the worker's dequeue stamp).
+            sent_at = time.monotonic()
+            for trace in traces:
+                if trace is not None:
+                    trace.add_span(STAGE_QUEUE_WAIT, trace.enqueued_at, sent_at)
+            entry.sent_at = sent_at
             generation, slot = self.pool.send_predict(
                 worker, request_id, name, stacked
             )
@@ -818,22 +893,47 @@ class ProcessPoolService(ClusteringService):
         except Exception as error:  # pragma: no cover - queue torn down
             with self._inflight_lock:
                 self._inflight.pop(request_id, None)
-            for future in futures:
+            for future, trace in zip(futures, traces):
                 self._resolve_future(future, error=error)
+                self._abort_trace(trace, error)
 
-    def _finish_entry(self, entry: _Inflight, labels: np.ndarray) -> None:
-        """Resolve an answered batch's futures and account it exactly once."""
+    def _finish_entry(
+        self,
+        entry: _Inflight,
+        labels: np.ndarray,
+        stamps=None,
+        received_at: Optional[float] = None,
+    ) -> None:
+        """Resolve an answered batch's futures and account it exactly once.
+
+        ``stamps`` is the worker's ``(dequeued, loaded, predicted)`` triple;
+        it fans back out onto every member trace of the coalesced batch,
+        followed by a per-trace collect span covering this resolution.
+        """
         seconds = time.perf_counter() - entry.started
         self.telemetry.record_predict(entry.name, seconds, len(labels))
         with self._stats_lock:
             self.n_requests_ += len(entry.futures)
             self.n_batches_ += 1
         if entry.sizes is None:
-            self._resolve_future(entry.futures[0], result=labels)
+            parts = [labels]
         else:
             offsets = np.cumsum(entry.sizes)[:-1]
-            for future, part in zip(entry.futures, np.split(labels, offsets)):
-                self._resolve_future(future, result=part)
+            parts = np.split(labels, offsets)
+        for future, part, trace in zip(entry.futures, parts, entry.traces):
+            self._resolve_future(future, result=part)
+            if trace is not None:
+                if received_at is None:
+                    received_at = time.monotonic()
+                apply_worker_stamps(trace, entry.sent_at, stamps, received_at)
+                done = time.monotonic()
+                trace.add_span(STAGE_COLLECT, received_at, done)
+                # close() is first-wins: a watchdog that doomed this entry
+                # already closed and recorded the trace.  Closing at the
+                # collect span's own end stamp keeps a preemption right here
+                # from stretching the total past the spans.
+                if trace.close(at=done):
+                    self.telemetry.record_trace(trace)
 
     def _collect_loop(self) -> None:
         # The timed get is deliberate: the parent must never `put` on the
@@ -850,6 +950,7 @@ class ProcessPoolService(ClusteringService):
                 continue
             except (EOFError, OSError):  # pragma: no cover - queue torn down
                 return
+            received_at = time.monotonic()
             try:
                 kind = message[0]
                 if kind == "bind-error":
@@ -857,7 +958,7 @@ class ProcessPoolService(ClusteringService):
                     self.telemetry.record_callback_error(f"worker-bind:{name}", error)
                     continue
                 if kind == "done-shm":
-                    _, request_id, shape, dtype, error = message
+                    _, request_id, shape, dtype, error, stamps = message
                     with self._inflight_lock:
                         entry = self._inflight.pop(request_id, None)
                     if entry is None:
@@ -866,19 +967,24 @@ class ProcessPoolService(ClusteringService):
                         entry.worker, entry.slot, shape, dtype
                     )
                     self.pool.release_slot(entry.worker, entry.slot)
-                    self._finish_entry(entry, labels)
+                    self._finish_entry(
+                        entry, labels, stamps=stamps, received_at=received_at
+                    )
                     continue
-                _, request_id, labels, error = message
+                _, request_id, labels, error, stamps = message
                 with self._inflight_lock:
                     entry = self._inflight.pop(request_id, None)
                 if entry is None:
                     continue
                 self.pool.release_slot(entry.worker, entry.slot)
                 if error is not None:
-                    for future in entry.futures:
+                    for future, trace in zip(entry.futures, entry.traces):
                         self._resolve_future(future, error=error)
+                        self._abort_trace(trace, error)
                     continue
-                self._finish_entry(entry, labels)
+                self._finish_entry(
+                    entry, labels, stamps=stamps, received_at=received_at
+                )
             except Exception as error:  # pragma: no cover - defensive
                 self.telemetry.record_callback_error("collector", error)
 
@@ -911,14 +1017,16 @@ class ProcessPoolService(ClusteringService):
             for _, entry in doomed:
                 self.pool.release_slot(entry.worker, entry.slot)
                 exitcode = self.pool.processes[entry.worker].exitcode
-                for future in entry.futures:
-                    self._resolve_future(
-                        future,
-                        error=RuntimeError(
-                            f"worker process {entry.worker} died (exitcode "
-                            f"{exitcode}) with this request in flight."
-                        ),
-                    )
+                death = RuntimeError(
+                    f"worker process {entry.worker} died (exitcode "
+                    f"{exitcode}) with this request in flight."
+                )
+                for future, trace in zip(entry.futures, entry.traces):
+                    self._resolve_future(future, error=death)
+                    # Doomed traces close with an error span covering the
+                    # unaccounted tail -- they surface in the slow ring, they
+                    # never leak half-open.
+                    self._abort_trace(trace, death)
             if not dead or not self.respawn_workers or self._closing:
                 continue
             for index in dead:
@@ -969,13 +1077,12 @@ class ProcessPoolService(ClusteringService):
             stranded = list(self._inflight.values())
             self._inflight.clear()
         for entry in stranded:  # pragma: no cover - only on worker timeout
-            for future in entry.futures:
-                self._resolve_future(
-                    future,
-                    error=ServiceClosed(
-                        "ProcessPoolService closed before the worker answered."
-                    ),
-                )
+            stranded_error = ServiceClosed(
+                "ProcessPoolService closed before the worker answered."
+            )
+            for future, trace in zip(entry.futures, entry.traces):
+                self._resolve_future(future, error=stranded_error)
+                self._abort_trace(trace, stranded_error)
         self.pool.release_rings()
         self._closed = True
 

@@ -40,6 +40,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.trace import (
+    STAGE_ADMISSION_WAIT,
+    STAGE_COLLECT,
+    STAGE_QUEUE_WAIT,
+    STAGE_WORKER_PREDICT,
+    Trace,
+)
 from repro.serve.metrics import Telemetry
 from repro.serve.model import ClusterModel
 from repro.serve.parallel import parallel_ingest
@@ -66,7 +73,7 @@ class _ModelQueue:
 
     def __init__(self) -> None:
         self.lock = threading.Lock()
-        self.pending: List[Tuple[np.ndarray, Future]] = []
+        self.pending: List[Tuple[np.ndarray, Future, Optional[Trace]]] = []
         self.leader_active = False
 
 
@@ -97,6 +104,14 @@ class ClusteringService:
         Optional externally shared :class:`~repro.serve.metrics.Telemetry`;
         a private one is created when omitted, so ``telemetry.snapshot()``
         always works.
+    tracing:
+        When True (default), every request carries a
+        :class:`~repro.obs.trace.Trace` -- stage spans (admission-wait,
+        queue-wait, worker-predict, collect, and the cross-process stages in
+        the procpool subclass) land in per-stage histograms under
+        ``telemetry.snapshot()["stages"]`` and the slowest traces are kept
+        with their full breakdown under ``["traces"]``.  Set False to serve
+        with zero tracing overhead.
 
     Attributes
     ----------
@@ -119,6 +134,7 @@ class ClusteringService:
         max_pending: Optional[int] = None,
         max_batch_delay: float = 0.0,
         telemetry: Optional[Telemetry] = None,
+        tracing: bool = True,
     ) -> None:
         if int(max_async_workers) < 1:
             raise ValueError(
@@ -133,6 +149,7 @@ class ClusteringService:
         self.max_pending = None if max_pending is None else int(max_pending)
         self.max_batch_delay = float(max_batch_delay)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.tracing = bool(tracing)
         self._queues: Dict[str, _ModelQueue] = {}
         self._queues_lock = threading.Lock()
         self._stats_lock = threading.Lock()
@@ -291,6 +308,19 @@ class ClusteringService:
         """
         return self.submit(name, X).result()
 
+    def _trace_for(self, name: str, trace: Optional[Trace]) -> Optional[Trace]:
+        """The trace to thread through this request: caller's, fresh, or None."""
+        if trace is not None:
+            return trace
+        if not self.tracing:
+            return None
+        return Trace(model=name)
+
+    def _abort_trace(self, trace: Optional[Trace], error: BaseException) -> None:
+        """Close and record a trace whose request died before executing."""
+        if trace is not None and trace.close(error=error):
+            self.telemetry.record_trace(trace)
+
     def submit(
         self,
         name: str,
@@ -298,6 +328,7 @@ class ClusteringService:
         *,
         wait_for_slot: bool = False,
         slot_timeout: Optional[float] = None,
+        trace: Optional[Trace] = None,
     ) -> "Future[np.ndarray]":
         """Enqueue a predict request; returns a future with the labels.
 
@@ -309,17 +340,35 @@ class ClusteringService:
         ``wait_for_slot=True`` blocks until a slot frees instead
         (backpressure on the caller), bounded by ``slot_timeout`` seconds
         when given (then :class:`Overloaded` after all).
+
+        ``trace`` continues an existing request trace (the HTTP edge passes
+        the one it opened at parse time); with tracing enabled and no trace
+        given, a fresh one is created here -- direct callers get the same
+        stage breakdown as edge traffic, minus the edge-parse span.
         """
         if self._closed:
             raise ServiceClosed("ClusteringService is closed; no further requests.")
         self.registry.get(name)  # fail fast on unknown names
         X = np.asarray(X, dtype=np.float64)
-        self._admit(name, wait=wait_for_slot, timeout=slot_timeout)
+        trace = self._trace_for(name, trace)
+        if trace is None:
+            self._admit(name, wait=wait_for_slot, timeout=slot_timeout)
+        else:
+            admit_start = trace.last_stamp()
+            try:
+                self._admit(name, wait=wait_for_slot, timeout=slot_timeout)
+            except BaseException as error:
+                trace.add_span(STAGE_ADMISSION_WAIT, admit_start, time.monotonic())
+                self._abort_trace(trace, error)
+                raise
+            trace.add_span(STAGE_ADMISSION_WAIT, admit_start, time.monotonic())
         future: "Future[np.ndarray]" = Future()
         future.add_done_callback(self._release_slot)
         queue = self._queue_for(name)
         with queue.lock:
-            queue.pending.append((X, future))
+            if trace is not None:
+                trace.enqueued_at = trace.last_stamp()
+            queue.pending.append((X, future, trace))
             if queue.leader_active:
                 # An executing leader will pick this request up in its next
                 # drain pass; nothing to do.
@@ -360,26 +409,31 @@ class ClusteringService:
         else:
             future.set_result(result)
 
-    def _execute(self, name: str, batch: List[Tuple[np.ndarray, Future]]) -> None:
+    def _execute(
+        self, name: str, batch: List[Tuple[np.ndarray, Future, Optional[Trace]]]
+    ) -> None:
         with self._stats_lock:
             self.n_requests_ += len(batch)
             self.n_batches_ += 1
         try:
             model = self.registry.get(name)
         except KeyError as error:
-            for _, future in batch:
+            for _, future, trace in batch:
                 self._resolve_future(future, error=error)
+                self._abort_trace(trace, error)
             return
         # Group by feature count so heterogeneous requests (or malformed
         # inputs) cannot poison each other's concatenation.
         groups: Dict[int, List[int]] = {}
-        for index, (X, _) in enumerate(batch):
+        for index, (X, _, _) in enumerate(batch):
             width = X.shape[1] if X.ndim == 2 else -1
             groups.setdefault(width, []).append(index)
         for indices in groups.values():
             arrays = [batch[i][0] for i in indices]
             futures = [batch[i][1] for i in indices]
+            traces = [batch[i][2] for i in indices]
             try:
+                exec_start = time.monotonic()
                 start = time.perf_counter()
                 if len(arrays) == 1:
                     results = [model.predict(arrays[0])]
@@ -389,15 +443,30 @@ class ClusteringService:
                     offsets = np.cumsum([len(a) for a in arrays])[:-1]
                     results = np.split(labels, offsets)
                 seconds = time.perf_counter() - start
+                exec_end = time.monotonic()
             except Exception as error:  # propagate per-request, keep serving
-                for future in futures:
+                for future, trace in zip(futures, traces):
                     self._resolve_future(future, error=error)
+                    self._abort_trace(trace, error)
                 continue
             self.telemetry.record_predict(
                 name, seconds, sum(len(labels) for labels in results)
             )
-            for future, labels in zip(futures, results):
+            for future, labels, trace in zip(futures, results, traces):
                 self._resolve_future(future, result=labels)
+                if trace is not None:
+                    # One coalesced pass serves many requests: the shared
+                    # predict span fans back out onto every member trace.
+                    trace.add_span(STAGE_QUEUE_WAIT, trace.enqueued_at, exec_start)
+                    trace.add_span(STAGE_WORKER_PREDICT, exec_start, exec_end)
+                    done = time.monotonic()
+                    trace.add_span(STAGE_COLLECT, exec_end, done)
+                    # close() is first-wins: if a doomed-trace path already
+                    # closed it, do not record it a second time.  Closing at
+                    # the collect span's own end stamp keeps a preemption
+                    # right here from stretching the total past the spans.
+                    if trace.close(at=done):
+                        self.telemetry.record_trace(trace)
 
     # -- asyncio front end -------------------------------------------------------
 
@@ -419,6 +488,7 @@ class ClusteringService:
         *,
         backpressure: bool = False,
         slot_timeout: Optional[float] = None,
+        trace: Optional[Trace] = None,
     ) -> np.ndarray:
         """Awaitable :meth:`predict`: labels of ``X`` under model ``name``.
 
@@ -437,7 +507,11 @@ class ClusteringService:
         return await loop.run_in_executor(
             pool,
             lambda: self.submit(
-                name, X, wait_for_slot=backpressure, slot_timeout=slot_timeout
+                name,
+                X,
+                wait_for_slot=backpressure,
+                slot_timeout=slot_timeout,
+                trace=trace,
             ).result(),
         )
 

@@ -190,6 +190,9 @@ class SlotRing(SlotRingClient):
         self._lock = threading.Lock()
         self._free: List[int] = list(range(n_slots))
         self._closed = False
+        self.acquires = 0
+        self.releases = 0
+        self.exhausted = 0
 
     def spec(self) -> Tuple[str, int, int]:
         """``(name, slot_bytes, n_slots)`` -- the client's attach arguments."""
@@ -201,19 +204,38 @@ class SlotRing(SlotRingClient):
         """Claim a free slot index, or None when the ring is saturated."""
         with self._lock:
             if self._closed or not self._free:
+                self.exhausted += 1
                 return None
+            self.acquires += 1
             return self._free.pop()
 
     def release(self, slot: int) -> None:
         """Return ``slot`` to the free-list (idempotence is the caller's job)."""
         with self._lock:
             if not self._closed:
+                self.releases += 1
                 self._free.append(int(slot))
 
     def free_slots(self) -> int:
         """Currently available slot count."""
         with self._lock:
             return len(self._free)
+
+    def stats(self) -> dict:
+        """Lifetime ring counters: acquires, releases, saturation misses.
+
+        ``exhausted`` counts acquire attempts that found no free slot (the
+        batch then rode the pickle path) -- a persistently high value says
+        the ring is undersized for the in-flight depth.
+        """
+        with self._lock:
+            return {
+                "acquires": self.acquires,
+                "releases": self.releases,
+                "exhausted": self.exhausted,
+                "free": len(self._free),
+                "n_slots": self.n_slots,
+            }
 
     def read(self, slot: int, shape: Tuple[int, ...], dtype) -> np.ndarray:
         """Copy the array described by ``(slot, shape, dtype)`` out of the ring."""

@@ -26,6 +26,7 @@ from typing import Callable, Deque, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.trace import StageTimer, new_trace_id
 from repro.serve.metrics import Telemetry
 from repro.serve.model import ClusterModel
 from repro.serve.service import ClusteringService
@@ -240,7 +241,10 @@ class StreamController:
             self.n_checks_ += 1
             self.history_.append(report)
             self.last_report_ = report
-            self.telemetry.record_drift_check(report)
+            # Each drift check gets its own trace id so a check, the alert
+            # it fired and the re-tune it triggered correlate across the
+            # telemetry stream and the JSON logs.
+            self.telemetry.record_drift_check(report, trace_id=new_trace_id())
             if report.drifted:
                 self._fire(self.on_drift, "on_drift", report)
             settling_due = (
@@ -277,29 +281,40 @@ class StreamController:
         if self.sketch.n_seen == 0:
             raise ValueError("cannot publish a model from an empty sketch.")
         start = time.perf_counter()
-        # The sweep coarsens its base grid in place along the pyramid; give
-        # it a copy so the live sketch keeps accumulating undisturbed.
-        tune_result = tune_pyramid(
-            self.sketch.grid.copy(), levels=self.levels, **self._pipeline_params
-        )
-        best = tune_result.best.candidate
-        model = ClusterModel(
-            lower=self.sketch.lower,
-            upper=self.sketch.upper,
-            grid_shape=best.scale,
-            level=best.level,
-            threshold=best.pipeline.threshold.threshold,
-            cell_coords=best.pipeline.cell_coords,
-            cell_labels=best.pipeline.cell_labels,
-            n_clusters=best.n_clusters,
-            metadata={
-                "n_seen": int(self.sketch.n_seen),
-                "sketch_mass": float(self.sketch.total_mass()),
-                "retune_index": self.n_retunes_,
-                "tuning": tune_result.provenance(),
-            },
-        )
-        self.version_ = self.service.swap(self.name, model)
+        timer = StageTimer()
+        with timer.stage("tune-sweep"):
+            # The sweep coarsens its base grid in place along the pyramid;
+            # give it a copy so the live sketch keeps accumulating
+            # undisturbed.
+            tune_result = tune_pyramid(
+                self.sketch.grid.copy(), levels=self.levels, **self._pipeline_params
+            )
+        with timer.stage("publish"):
+            best = tune_result.best.candidate
+            model = ClusterModel(
+                lower=self.sketch.lower,
+                upper=self.sketch.upper,
+                grid_shape=best.scale,
+                level=best.level,
+                threshold=best.pipeline.threshold.threshold,
+                cell_coords=best.pipeline.cell_coords,
+                cell_labels=best.pipeline.cell_labels,
+                n_clusters=best.n_clusters,
+                metadata={
+                    "n_seen": int(self.sketch.n_seen),
+                    "sketch_mass": float(self.sketch.total_mass()),
+                    "retune_index": self.n_retunes_,
+                    "tuning": tune_result.provenance(),
+                    "stage_seconds": dict(best.pipeline.stage_seconds),
+                },
+            )
+            self.version_ = self.service.swap(self.name, model)
+        # The winning run's grid-side breakdown plus the control-plane
+        # stages feed the same per-stage histograms the serving path fills,
+        # so one scrape shows where re-tunes spend their time too.
+        model.metadata["retune_stage_seconds"] = timer.as_dict()
+        for stage, seconds in timer.seconds.items():
+            self.telemetry.record_stage(stage, seconds)
         self.model_ = model
         self.monitor.rebase(model, self.sketch)
         self.n_retunes_ += 1

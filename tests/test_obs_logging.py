@@ -1,0 +1,127 @@
+"""Structured JSON logging: opt-in, trace-correlated, contained, reversible.
+
+Importing :mod:`repro` must never touch global logging state; enabling the
+JSON stream attaches exactly one handler to the ``repro`` logger tree,
+every record emits as one JSON object per line with ``extra=`` fields
+(notably ``trace_id``) forwarded, formatter failures degrade to a minimal
+envelope instead of raising, and disabling restores the prior state.
+"""
+
+import io
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro.obs import JsonFormatter, disable_json_logging, enable_json_logging
+from repro.obs.logging import ROOT_LOGGER
+
+
+@pytest.fixture(autouse=True)
+def clean_logging_state():
+    yield
+    disable_json_logging()
+
+
+def _capture():
+    stream = io.StringIO()
+    handler = enable_json_logging(level=logging.INFO, stream=stream)
+    return stream, handler
+
+
+class TestJsonLogging:
+    def test_disabled_by_default(self):
+        logger = logging.getLogger(ROOT_LOGGER)
+        assert not any(
+            isinstance(h.formatter, JsonFormatter) for h in logger.handlers
+        )
+
+    def test_records_emit_one_json_object_per_line(self):
+        stream, _ = _capture()
+        logging.getLogger("repro.serve.edge").info(
+            "POST /predict/live -> 200", extra={"trace_id": "abc123", "status": 200}
+        )
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["message"] == "POST /predict/live -> 200"
+        assert record["trace_id"] == "abc123"
+        assert record["status"] == 200
+        assert record["logger"] == "repro.serve.edge"
+        assert record["level"] == "INFO"
+        assert record["ts"].endswith("+00:00")
+
+    def test_enable_is_idempotent(self):
+        _capture()
+        _capture()
+        logger = logging.getLogger(ROOT_LOGGER)
+        json_handlers = [
+            h for h in logger.handlers if isinstance(h.formatter, JsonFormatter)
+        ]
+        assert len(json_handlers) == 1
+        assert logger.propagate is False
+
+    def test_disable_restores_state(self):
+        _capture()
+        disable_json_logging()
+        logger = logging.getLogger(ROOT_LOGGER)
+        assert not any(
+            isinstance(h.formatter, JsonFormatter) for h in logger.handlers
+        )
+        assert logger.propagate is True
+        disable_json_logging()  # second call is a no-op
+
+    def test_unserialisable_extras_are_contained(self):
+        stream, _ = _capture()
+        logging.getLogger("repro.test").info(
+            "weird payload", extra={"blob": np.zeros(3)}
+        )
+        record = json.loads(stream.getvalue().strip())
+        assert record["message"] == "weird payload"  # stringified, not raised
+
+    def test_exceptions_carry_traceback_text(self):
+        stream, _ = _capture()
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logging.getLogger("repro.test").exception("predict failed")
+        record = json.loads(stream.getvalue().strip())
+        assert record["level"] == "ERROR"
+        assert "ValueError: boom" in record["exc"]
+
+    def test_edge_logs_requests_with_trace_ids(self):
+        from repro.core.adawave import AdaWave
+        from repro.serve import ClusteringService, EdgeThread
+        import urllib.request
+
+        rng = np.random.default_rng(2)
+        blob = np.clip(rng.normal(0.3, 0.05, size=(1200, 2)), 0.0, 1.0)
+        X = np.vstack([blob, rng.uniform(size=(1200, 2))])
+        frozen = AdaWave(
+            scale=64, bounds=([0.0, 0.0], [1.0, 1.0])
+        ).fit(X).export_model()
+        stream, _ = _capture()
+        service = ClusteringService()
+        service.register("live", frozen)
+        with EdgeThread(service) as edge:
+            body = json.dumps({"points": [[0.3, 0.3]]}).encode()
+            request = urllib.request.Request(
+                f"{edge.url}/predict/live",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                header_id = response.headers["X-Trace-Id"]
+        service.close()
+        records = [
+            json.loads(line)
+            for line in stream.getvalue().splitlines()
+            if line.strip().startswith("{")
+        ]
+        predict_logs = [
+            r for r in records if r.get("route") == "predict"
+        ]
+        assert predict_logs, "the edge must log served predicts"
+        assert predict_logs[0]["trace_id"] == header_id
+        assert predict_logs[0]["status"] == 200

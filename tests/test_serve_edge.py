@@ -240,3 +240,140 @@ class TestEdgeLoadShedding:
             assert status == 200
             assert document["n"] == 5
         service.close()
+
+
+class TestEdgeDeadlineValidation:
+    """Every malformed ``X-Deadline-Ms`` answers an actionable 400."""
+
+    def _error_status(self, call):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            call()
+        return excinfo.value.code, json.loads(excinfo.value.read())
+
+    @pytest.mark.parametrize(
+        "value, fragment",
+        [
+            ("soon", "not a number"),
+            ("10ms", "not a number"),
+            ("", "not a number"),
+            ("-250", "negative"),
+            ("-0.5", "negative"),
+            ("inf", "finite"),
+            ("Infinity", "finite"),
+            ("-inf", "finite"),
+            ("nan", "finite"),
+            ("NaN", "finite"),
+        ],
+    )
+    def test_malformed_deadline_is_actionable_400(
+        self, edge, corpus, value, fragment
+    ):
+        running, _, _ = edge
+        _, queries, _ = corpus
+        code, document = self._error_status(
+            lambda: _predict_json(
+                running.url, "prod", queries[:5],
+                headers={"X-Deadline-Ms": value},
+            )
+        )
+        assert code == 400
+        assert "X-Deadline-Ms" in document["error"]
+        assert fragment in document["error"], document["error"]
+
+    def test_zero_deadline_still_times_out_504(self, edge, corpus):
+        running, _, _ = edge
+        _, queries, _ = corpus
+        code, document = self._error_status(
+            lambda: _predict_json(
+                running.url, "prod", queries[:5],
+                headers={"X-Deadline-Ms": "0"},
+            )
+        )
+        assert code == 504
+        assert "deadline" in document["error"]
+
+    def test_valid_deadline_still_succeeds(self, edge, corpus):
+        running, _, _ = edge
+        _, queries, _ = corpus
+        status, document = _predict_json(
+            running.url, "prod", queries[:5],
+            headers={"X-Deadline-Ms": "30000"},
+        )
+        assert status == 200
+        assert document["n"] == 5
+
+
+class TestEdgeObservability:
+    def test_responses_carry_trace_id_header(self, edge, corpus):
+        running, _, _ = edge
+        _, queries, _ = corpus
+        body = json.dumps({"points": queries[:5].tolist()}).encode()
+        status, _, headers = _request(
+            f"{running.url}/predict/prod",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 200
+        trace_id = headers["X-Trace-Id"]
+        assert trace_id and len(trace_id) == 16
+        int(trace_id, 16)  # well-formed hex
+
+    def test_per_route_latency_quantiles_in_snapshot(self, edge, corpus):
+        running, service, _ = edge
+        _, queries, _ = corpus
+        for _ in range(4):
+            _predict_json(running.url, "prod", queries[:10])
+        _request(f"{running.url}/healthz")
+        status, payload, _ = _request(f"{running.url}/metrics")
+        assert status == 200
+        snapshot = json.loads(payload)
+        routes = snapshot["edge"]["routes"]
+        assert routes["predict"]["count"] >= 4
+        assert routes["healthz"]["count"] >= 1
+        latency = routes["predict"]["latency"]
+        assert {"p50", "p90", "p99", "mean", "max"} <= set(latency)
+        assert latency["p50"] <= latency["p90"] <= latency["p99"]
+        assert routes["predict"]["by_status"]["200"] >= 4
+
+    def test_bad_requests_counted_under_their_route(self, edge, corpus):
+        running, _, _ = edge
+        _, queries, _ = corpus
+        with pytest.raises(urllib.error.HTTPError):
+            _predict_json(
+                running.url, "prod", queries[:5],
+                headers={"X-Deadline-Ms": "soon"},
+            )
+        _, payload, _ = _request(f"{running.url}/metrics")
+        routes = json.loads(payload)["edge"]["routes"]
+        assert routes["predict"]["by_status"]["400"] >= 1
+
+    def test_debug_slow_lists_captured_traces(self, edge, corpus):
+        running, _, _ = edge
+        _, queries, _ = corpus
+        for _ in range(3):
+            _predict_json(running.url, "prod", queries[:10])
+        status, payload, _ = _request(f"{running.url}/debug/slow")
+        assert status == 200
+        captured = json.loads(payload)
+        assert captured["count"] >= 3
+        assert captured["slowest"], "served requests must enter the slow ring"
+        entry = captured["slowest"][0]
+        assert {"trace_id", "total_seconds", "spans", "coverage"} <= set(entry)
+        stages = {span["stage"] for span in entry["spans"]}
+        assert "worker-predict" in stages
+        assert entry["coverage"] >= 0.95
+
+    def test_expired_deadline_surfaces_as_violation(self, edge, corpus):
+        running, service, _ = edge
+        _, queries, _ = corpus
+        with pytest.raises(urllib.error.HTTPError):
+            _predict_json(
+                running.url, "prod", queries[:5],
+                headers={"X-Deadline-Ms": "0"},
+            )
+        _, payload, _ = _request(f"{running.url}/debug/slow")
+        captured = json.loads(payload)
+        assert captured["violations"], (
+            "a pre-expired deadline must surface in the violation ring"
+        )
+        assert captured["violations"][-1]["error"] is not None

@@ -227,8 +227,8 @@ class TestClusteringService:
         cancelled: Future = Future()
         assert cancelled.cancel()
         # Simulate the race: a cancelled request sits in the batch the leader
-        # is about to execute.
-        service._execute("alpha", [(X, cancelled), (X, Future())])
+        # is about to execute.  Batch entries are (X, future, trace).
+        service._execute("alpha", [(X, cancelled, None), (X, Future(), None)])
         # The queue still serves normally afterwards.
         np.testing.assert_array_equal(
             service.predict("alpha", X), models["alpha"].predict(X)
