@@ -14,16 +14,23 @@ would:
 3. ``GET /metrics`` content-negotiates -- JSON for dashboards,
    Prometheus text exposition 0.0.4 for a stock scraper;
 4. ``GET /debug/slow`` lists the slowest captured traces plus every
-   deadline violation and error, with full span breakdowns.
+   deadline violation and error, with full span breakdowns;
+5. a :func:`~repro.obs.attach_monitor` daemon samples worker CPU/RSS,
+   event-loop lag and the windowed request-rate series on a cadence, and
+   ``/healthz`` / ``/readyz`` grade themselves from those samples;
+6. an availability SLO burns when error traffic floods in, and its
+   burn-rate alert fires exactly once instead of once per tick;
+7. ``POST /debug/profile`` captures a sampling profile of the serving
+   process and returns collapsed stacks ready for any flame-graph tool.
 
 Run with::
 
     python examples/observability.py [--output-dir DIR]
 
 With ``--output-dir`` the scraped artifacts land on disk as
-``metrics.prom`` (text exposition), ``metrics.json`` (snapshot) and
-``slow-traces.json`` (the capture ring) -- the same three files the
-nightly benchmark workflow uploads.
+``metrics.prom`` (text exposition), ``metrics.json`` (snapshot),
+``slow-traces.json`` (the capture ring) and ``flame.txt`` (collapsed
+stacks) -- the same files the nightly benchmark workflow uploads.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ import argparse
 import json
 import sys
 import tempfile
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -42,7 +50,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import AdaWave
 from repro.datasets import running_example
-from repro.obs import enable_json_logging
+from repro.obs import Objective, SloMonitor, attach_monitor, enable_json_logging
 from repro.serve import EdgeThread, ProcessPoolService
 
 
@@ -99,6 +107,25 @@ def main() -> None:
         with ProcessPoolService(store, n_workers=2) as service:
             service.register("live", frozen)
             with EdgeThread(service) as edge:
+                # Continuous monitoring: one daemon thread rolls the
+                # serving aggregates into the windowed time-series store,
+                # samples parent + worker CPU/RSS from /proc, probes the
+                # edge event loop and evaluates the SLO -- every 100ms.
+                alerts: list[dict] = []
+
+                def on_alert(payload: dict) -> None:
+                    alerts.append(payload)
+
+                slos = SloMonitor(
+                    [Objective(
+                        name="availability", objective=0.99,
+                        windows=((2.0, 5.0), (0.5, 5.0)),
+                    )],
+                    telemetry=service.telemetry,
+                    on_alert=on_alert,
+                )
+                attach_monitor(service, interval=0.1, edge=edge, slos=slos)
+
                 # -- 1. traced traffic ------------------------------------
                 print("== requests ==")
                 for index in range(8):
@@ -160,6 +187,80 @@ def main() -> None:
                     print(f"    {span['stage']:16s} "
                           f"{span['seconds'] * 1e3:8.3f}ms")
 
+                # -- 5. continuous monitoring -----------------------------
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if service.monitor.samples >= 3:
+                        break
+                    time.sleep(0.05)
+                health = json.loads(_get(f"{edge.url}/healthz"))
+                ready = json.loads(_get(f"{edge.url}/readyz"))
+                series = json.loads(_get(f"{edge.url}/metrics"))["series"]["series"]
+                print("\n== continuous monitoring ==")
+                print(f"healthz: {health['status']}  reasons={health['reasons']}")
+                print(f"readyz:  ready={ready['ready']}")
+                for name in (
+                    "requests.count", "proc.parent.rss_bytes",
+                    "proc.worker.0.rss_bytes", "workers.alive",
+                    "edge.loop_lag_seconds",
+                ):
+                    if name in series:
+                        entry = series[name]
+                        value = entry.get("rate", entry.get("latest"))
+                        print(f"  {name:26s} {entry['kind']:9s} {value}")
+
+                # -- 6. SLO burn-rate alerting ----------------------------
+                # Flood the edge with requests for a model that does not
+                # exist: every 404 burns availability budget, and the
+                # multi-window burn alert fires exactly once.
+                print("\n== slo burn ==")
+                for _ in range(40):
+                    try:
+                        _post(
+                            f"{edge.url}/predict/ghost",
+                            json.dumps({"points": [[0.5, 0.5]]}).encode(),
+                            {"Content-Type": "application/json"},
+                        )
+                    except urllib.error.HTTPError:
+                        pass
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline and not alerts:
+                    time.sleep(0.05)
+                if alerts:
+                    burn = alerts[0]["burn_rates"][0]
+                    print(f"alert fired once: objective="
+                          f"{alerts[0]['objective']} "
+                          f"burn={burn['burn']:.1f}x budget "
+                          f"(threshold {burn['threshold']}x)")
+                health = json.loads(_get(f"{edge.url}/healthz"))
+                print(f"healthz now: {health['status']}  "
+                      f"reasons={health['reasons']}")
+
+                # -- 7. flame graph on demand -----------------------------
+                # Only the parent process's threads are visible (the
+                # workers predict in their own processes); profile a
+                # single-process ClusteringService to see predict bodies.
+                _post(f"{edge.url}/debug/profile",
+                      json.dumps({"action": "start", "hz": 200}).encode(), {})
+                for _ in range(20):
+                    _post(
+                        f"{edge.url}/predict/live",
+                        json.dumps(
+                            {"points": rng.uniform(size=(2000, 2)).tolist()}
+                        ).encode(),
+                        {"Content-Type": "application/json"},
+                    )
+                _post(f"{edge.url}/debug/profile",
+                      json.dumps({"action": "stop"}).encode(), {})
+                flame = _get(f"{edge.url}/debug/profile").decode()
+                lines = flame.splitlines()
+                print("\n== collapsed stacks (top 5 of "
+                      f"{len(lines)}; feed to flamegraph.pl) ==")
+                for line in lines[:5]:
+                    stack, count = line.rsplit(" ", 1)
+                    frames = stack.split(";")
+                    print(f"  {count:>4s}  {';'.join(frames[-3:])}")
+
                 if args.output_dir is not None:
                     args.output_dir.mkdir(parents=True, exist_ok=True)
                     (args.output_dir / "metrics.prom").write_bytes(prom)
@@ -169,6 +270,7 @@ def main() -> None:
                     (args.output_dir / "slow-traces.json").write_text(
                         json.dumps(slow, indent=2)
                     )
+                    (args.output_dir / "flame.txt").write_text(flame)
                     print(f"\nwrote artifacts to {args.output_dir}/")
 
 

@@ -37,6 +37,7 @@ from repro.experiments.roadmap_case import run_roadmap_case_study
 from repro.experiments.runtime import run_engine_speedup, run_runtime_comparison
 from repro.experiments.ablation import run_threshold_ablation, run_memory_ablation, run_wavelet_ablation
 from repro.experiments.serving import (
+    run_monitoring_overhead,
     run_parallel_ingest,
     run_predict_throughput,
     run_procpool_throughput,
@@ -62,6 +63,7 @@ __all__ = [
     "run_threshold_ablation",
     "run_memory_ablation",
     "run_wavelet_ablation",
+    "run_monitoring_overhead",
     "run_parallel_ingest",
     "run_predict_throughput",
     "run_procpool_throughput",

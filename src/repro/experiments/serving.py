@@ -512,3 +512,113 @@ def run_tracing_overhead(
     )
     result.metadata["model_cells"] = frozen.n_cells
     return result
+
+
+def run_monitoring_overhead(
+    n_train: int = 20_000,
+    n_queries: int = 200_000,
+    n_requests: int = 32,
+    n_threads: Optional[int] = None,
+    scale: int = 128,
+    noise_fraction: float = 0.75,
+    seed: int = 0,
+    repeats: int = 3,
+    monitor_interval: float = 0.1,
+) -> ExperimentResult:
+    """Cost of the continuous monitoring plane on in-process serving.
+
+    Drives identical concurrent predict traffic through two
+    :class:`ClusteringService` instances serving the same frozen model --
+    one bare, one with a running :class:`~repro.obs.sysmon.SystemMonitor`
+    (time-series rollups, /proc CPU+RSS sampling and SLO evaluation every
+    ``monitor_interval`` seconds; the profiler stays off, as in
+    production).  Each configuration is warmed once and timed ``repeats``
+    times (best taken), with the configurations alternating inside every
+    repeat so system noise hits both equally.  The ``relative`` column of
+    the monitored row is monitored / unmonitored points-per-sec -- the
+    number the benchmark floor pins: watching the service must cost a
+    rounding error, not throughput.
+    """
+    from repro.obs.slo import Objective, SloMonitor
+    from repro.obs.sysmon import SystemMonitor
+
+    if n_threads is None:
+        n_threads = min(4, resolve_n_workers(None))
+    train = scaled_runtime_dataset(n_train, noise_fraction=noise_fraction, seed=seed)
+    queries = scaled_runtime_dataset(
+        n_queries, noise_fraction=noise_fraction, seed=seed + 1
+    ).points
+    frozen = AdaWave(scale=scale).fit(train.points).export_model()
+    requests = np.array_split(queries, n_requests)
+    expected = [frozen.predict(X) for X in requests]
+
+    result = ExperimentResult(
+        experiment="serving: monitoring overhead on in-process predict",
+        columns=["configuration", "seconds", "points_per_sec", "relative"],
+        metadata={
+            "n_train": train.n_samples,
+            "n_queries": len(queries),
+            "n_requests": n_requests,
+            "n_threads": n_threads,
+            "scale": scale,
+            "seed": seed,
+            "monitor_interval": monitor_interval,
+        },
+    )
+
+    labels_match = True
+    timings = {"unmonitored": np.inf, "monitored": np.inf}
+    services = {
+        "unmonitored": ClusteringService(),
+        "monitored": ClusteringService(),
+    }
+    monitored = services["monitored"]
+    monitor = SystemMonitor(
+        monitored.telemetry,
+        interval=monitor_interval,
+        slos=SloMonitor(
+            [Objective(name="availability", objective=0.999)],
+            telemetry=monitored.telemetry,
+        ),
+    )
+    monitored.monitor = monitor
+    try:
+        for label, service in services.items():
+            service.register("live", frozen)
+            warm = [service.predict("live", X) for X in requests[:n_threads]]
+            labels_match = labels_match and all(
+                np.array_equal(got, want) for got, want in zip(warm, expected)
+            )
+        monitor.start()
+        for _ in range(max(repeats, 1)):
+            for label, service in services.items():
+                timings[label] = min(
+                    timings[label],
+                    _drive_concurrent(
+                        lambda X: service.predict("live", X), requests, n_threads
+                    ),
+                )
+        monitor_samples = monitor.samples
+        monitor_errors = monitor.errors
+        series_names = monitored.telemetry.series.names()
+    finally:
+        for service in services.values():
+            service.close()
+
+    unmonitored_pps = len(queries) / max(timings["unmonitored"], 1e-9)
+    for label in ("unmonitored", "monitored"):
+        seconds = timings[label]
+        pps = len(queries) / max(seconds, 1e-9)
+        result.add_row(
+            configuration=label,
+            seconds=float(seconds),
+            points_per_sec=float(pps),
+            relative=float(pps / max(unmonitored_pps, 1e-9)),
+        )
+
+    result.metadata["labels_match"] = bool(labels_match)
+    result.metadata["monitor_samples"] = int(monitor_samples)
+    result.metadata["monitor_errors"] = int(monitor_errors)
+    result.metadata["series_recorded"] = sorted(series_names)
+    result.metadata["model_cells"] = frozen.n_cells
+    return result

@@ -1,0 +1,203 @@
+"""Opt-in sampling profiler: collapsed-stack flame graphs from the stdlib.
+
+When the time-series say *that* p99 regressed, the next question is
+*where the time goes* -- and answering it must not require restarting the
+service under a tracing harness.  :class:`SamplingProfiler` is a daemon
+thread that wakes ``hz`` times a second, snapshots every Python thread's
+current frame stack via ``sys._current_frames()``, and counts identical
+stacks.  The output is collapsed-stack text (``frame;frame;frame count``
+per line), the exact input ``flamegraph.pl`` / speedscope / inferno eat.
+
+Honest about its physics:
+
+* it samples only the *current process's* threads -- in a
+  :class:`~repro.serve.procpool.ProcessPoolService` the parent's dispatch
+  /collect/edge threads are visible, the workers' predict bodies are not
+  (profile a single-process service to see those);
+* it is statistical -- a frame's count estimates its share of wall time
+  across all threads, with ``hz``-resolution granularity;
+* the profiled process pays for the walk only while a profile is running
+  -- an idle profiler costs literally nothing (no thread, no hooks), which
+  is what makes shipping it always-available safe.
+
+The HTTP edge drives it via ``POST /debug/profile`` (``start`` / ``stop``
+actions) and ``GET /debug/profile`` (collapsed stacks of the last -- or
+still-running -- capture).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Default sampling frequency (samples per second).
+DEFAULT_HZ = 97.0
+
+#: Hard cap on distinct stacks retained (overflow lands in one bucket).
+MAX_STACKS = 10_000
+
+
+def _collect_stacks(
+    skip_thread: Optional[int],
+) -> List[Tuple[str, ...]]:
+    """One sample: every thread's stack as a root-first frame-name tuple."""
+    stacks: List[Tuple[str, ...]] = []
+    for thread_id, frame in sys._current_frames().items():
+        if thread_id == skip_thread:
+            continue
+        frames: List[str] = []
+        while frame is not None:
+            code = frame.f_code
+            frames.append(f"{code.co_name} ({code.co_filename.rsplit('/', 1)[-1]})")
+            frame = frame.f_back
+        frames.reverse()
+        stacks.append(tuple(frames))
+    return stacks
+
+
+class SamplingProfiler:
+    """Statistical wall-clock profiler over ``sys._current_frames()``.
+
+    Parameters
+    ----------
+    hz:
+        Sampling frequency.  The default (97) is deliberately co-prime
+        with common periodic work (10ms ticks, 100ms watchdogs) so the
+        sampler does not alias onto it.
+    max_seconds:
+        Safety bound: a profile left running stops itself after this long,
+        so a forgotten ``POST start`` cannot tax the service forever.
+
+    Thread-safe; :meth:`start`/:meth:`stop`/:meth:`collapsed` may be
+    called from any thread (the edge calls them from its event loop).
+    """
+
+    def __init__(self, *, hz: float = DEFAULT_HZ, max_seconds: float = 60.0) -> None:
+        if float(hz) <= 0.0:
+            raise ValueError(f"hz must be > 0; got {hz}.")
+        if float(max_seconds) <= 0.0:
+            raise ValueError(f"max_seconds must be > 0; got {max_seconds}.")
+        self.hz = float(hz)
+        self.max_seconds = float(max_seconds)
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._counts: Dict[Tuple[str, ...], int] = {}
+        self._truncated = 0
+        self._samples = 0
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+
+    # -- capture -----------------------------------------------------------------
+
+    def start(self, *, hz: Optional[float] = None) -> bool:
+        """Begin a fresh capture; returns False if one is already running."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return False
+            if hz is not None:
+                if float(hz) <= 0.0:
+                    raise ValueError(f"hz must be > 0; got {hz}.")
+                self.hz = float(hz)
+            self._counts = {}
+            self._truncated = 0
+            self._samples = 0
+            self._started_at = time.monotonic()
+            self._stopped_at = None
+            self._stop_event.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-obs-profiler", daemon=True
+            )
+            self._thread.start()
+            return True
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        deadline = time.monotonic() + self.max_seconds
+        my_id = threading.get_ident()
+        while not self._stop_event.wait(interval):
+            if time.monotonic() >= deadline:
+                break
+            stacks = _collect_stacks(my_id)
+            with self._lock:
+                self._samples += 1
+                for stack in stacks:
+                    if stack in self._counts:
+                        self._counts[stack] += 1
+                    elif len(self._counts) < MAX_STACKS:
+                        self._counts[stack] = 1
+                    else:
+                        self._truncated += 1
+        with self._lock:
+            self._stopped_at = time.monotonic()
+
+    def stop(self) -> bool:
+        """End the running capture; returns False if none was running."""
+        with self._lock:
+            thread = self._thread
+            if thread is None or not thread.is_alive():
+                return False
+            self._stop_event.set()
+        thread.join(timeout=5.0)
+        return True
+
+    @property
+    def running(self) -> bool:
+        """True while a capture is in progress."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    # -- output ------------------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """The capture as collapsed-stack text (``f;g;h count`` per line).
+
+        Callable mid-capture (a snapshot of the counts so far) or after
+        :meth:`stop`.  Empty string when nothing was sampled.
+        """
+        with self._lock:
+            lines = [
+                f"{';'.join(stack)} {count}"
+                for stack, count in sorted(
+                    self._counts.items(), key=lambda item: (-item[1], item[0])
+                )
+            ]
+            if self._truncated:
+                lines.append(f"[stacks beyond cap] {self._truncated}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-able status: running flag, sample count, capture duration."""
+        with self._lock:
+            started = self._started_at
+            stopped = self._stopped_at
+            if started is None:
+                seconds = 0.0
+            elif stopped is not None:
+                seconds = stopped - started
+            else:
+                seconds = time.monotonic() - started
+            return {
+                "running": self._thread is not None and self._thread.is_alive(),
+                "hz": self.hz,
+                "samples": self._samples,
+                "distinct_stacks": len(self._counts),
+                "truncated": self._truncated,
+                "seconds": seconds,
+            }
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SamplingProfiler(hz={self.hz}, running={self.running}, "
+            f"samples={self._samples})"
+        )

@@ -249,6 +249,40 @@ def render_prometheus(
         w.header(name, "counter", "Closed traces that exceeded their deadline.")
         w.sample(name, {}, traces.get("deadline_violations", 0))
 
+    if "uptime_seconds" in snapshot:
+        name = f"{prefix}_uptime_seconds"
+        w.header(name, "gauge", "Age of this telemetry (monotonic seconds).")
+        w.sample(name, {}, snapshot["uptime_seconds"])
+
+    series_view = snapshot.get("series")
+    if series_view is not None:
+        for series_name, entry in sorted(series_view.get("series", {}).items()):
+            labels = {"series": series_name}
+            latest = entry.get("latest")
+            if latest is not None:
+                name = f"{prefix}_series_latest"
+                w.header(name, "gauge",
+                         "Most recent sample of each windowed time-series.")
+                w.sample(name, labels, latest)
+            if entry.get("kind") == "counter":
+                name = f"{prefix}_series_rate"
+                w.header(name, "gauge",
+                         "Windowed per-second rate of each counter series.")
+                w.sample(name, labels, entry.get("rate", 0.0))
+            elif entry.get("kind") == "histogram":
+                name = f"{prefix}_series_quantile"
+                w.header(name, "gauge",
+                         "Windowed latency quantiles of histogram series.")
+                for q_key, q in (("p50", "0.5"), ("p99", "0.99")):
+                    value = entry.get(q_key)
+                    if value is not None:
+                        w.sample(name, {**labels, "quantile": q}, value)
+        if series_view.get("dropped_series"):
+            name = f"{prefix}_series_dropped_total"
+            w.header(name, "counter",
+                     "Series registrations dropped at the store's cap.")
+            w.sample(name, {}, series_view["dropped_series"])
+
     return "\n".join(w.lines) + "\n"
 
 

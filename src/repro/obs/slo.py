@@ -1,0 +1,266 @@
+"""Declarative SLOs evaluated as multi-window burn rates over the time-series.
+
+An SLO turns "is the service healthy" from a judgement call into
+arithmetic: an objective (``99.9%`` of requests succeed; ``99%`` of
+predicts under 250ms) defines an error budget (``1 - objective``), and the
+**burn rate** is how fast the last window consumed it --
+``bad_fraction / budget``.  Burn ``1.0`` spends the budget exactly at the
+sustainable pace; burn ``14.4`` over an hour spends a month's budget in
+two days.  Alerting on burn over *multiple* windows at once (the
+Google-SRE-workbook shape) is what keeps pages meaningful: the long window
+proves it's real, the short window proves it's *still* happening.
+
+:class:`Objective` declares one target over series the store already holds
+-- ``availability`` reads a bad/total counter pair, ``latency`` reads a
+histogram series against a threshold.  :class:`SloMonitor` evaluates a set
+of them (on :class:`repro.obs.sysmon.SystemMonitor`'s cadence, or manually)
+and fires a contained alert callback at most once per re-arm period, so a
+sustained burn pages once instead of once per sampling tick.
+
+:func:`fire_contained` is the one containment idiom for every user-supplied
+callback on the serving plane -- alerts here, drift/retune hooks in
+:class:`repro.stream.StreamController` -- exceptions are counted in
+telemetry, never propagated into the caller.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default ``(window_seconds, burn_threshold)`` pairs.  Scaled-down analogue
+#: of the SRE-workbook page policy (1h@14.4 + 5m@14.4), sized for the
+#: store's default five-minute horizon.
+DEFAULT_WINDOWS: Tuple[Tuple[float, float], ...] = ((60.0, 14.4), (5.0, 14.4))
+
+
+def fire_contained(
+    callback: Optional[Callable[..., Any]],
+    where: str,
+    telemetry: Any,
+    *args: Any,
+) -> Optional[bool]:
+    """Invoke a user callback, containing (and counting) any exception.
+
+    Returns ``None`` when there is no callback, ``True`` when it ran
+    cleanly, ``False`` when it raised (the error lands in
+    ``telemetry.snapshot()["callbacks"]`` via ``record_callback_error``).
+    The serving plane's rule in one place: user code may observe the
+    service, it may never take it down.
+    """
+    if callback is None:
+        return None
+    try:
+        callback(*args)
+        return True
+    except Exception as error:
+        telemetry.record_callback_error(where, error)
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class Objective:
+    """One declarative service-level objective.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier (appears in alert payloads and health reasons).
+    objective:
+        Target good fraction in ``(0, 1)``, e.g. ``0.999``; the error
+        budget is ``1 - objective``.
+    kind:
+        ``"availability"`` -- bad fraction is the windowed rate of
+        ``bad_series`` over ``total_series`` (both counters, e.g.
+        ``edge.errors`` / ``edge.requests``).
+        ``"latency"`` -- bad fraction is the share of in-window
+        observations of histogram ``series`` above ``threshold_seconds``.
+    windows:
+        ``(window_seconds, burn_threshold)`` pairs; the objective is
+        *burning* only when every window's burn rate exceeds its
+        threshold.
+    """
+
+    name: str
+    objective: float
+    kind: str = "availability"
+    total_series: str = "edge.requests"
+    bad_series: str = "edge.errors"
+    series: str = ""
+    threshold_seconds: float = 0.25
+    windows: Tuple[Tuple[float, float], ...] = DEFAULT_WINDOWS
+
+    def __post_init__(self) -> None:
+        if not 0.0 < float(self.objective) < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1); got {self.objective}."
+            )
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(
+                f"kind must be 'availability' or 'latency'; got {self.kind!r}."
+            )
+        if self.kind == "latency" and not self.series:
+            raise ValueError(
+                f"latency objective {self.name!r} needs the histogram series "
+                "name it judges (e.g. 'stage.worker_predict')."
+            )
+        if not self.windows:
+            raise ValueError(f"objective {self.name!r} needs >= 1 window.")
+
+    @property
+    def budget(self) -> float:
+        """Error budget: the tolerated bad fraction."""
+        return 1.0 - float(self.objective)
+
+    def bad_fraction(self, store: Any, window: float, at: float) -> float:
+        """Share of bad events in ``[at - window, at]`` (0.0 when quiet)."""
+        if self.kind == "availability":
+            total = store.rate(self.total_series, window=window, at=at)
+            if total <= 0.0:
+                return 0.0
+            bad = store.rate(self.bad_series, window=window, at=at)
+            return min(bad / total, 1.0)
+        fraction = store.fraction_above(
+            self.series, self.threshold_seconds, window=window, at=at
+        )
+        return 0.0 if fraction is None else fraction
+
+    def burn_rates(
+        self, store: Any, at: float
+    ) -> List[Dict[str, float]]:
+        """Burn rate of every window: ``bad_fraction / budget``."""
+        out = []
+        for window, threshold in self.windows:
+            burn = self.bad_fraction(store, float(window), at) / self.budget
+            out.append(
+                {"window": float(window), "threshold": float(threshold),
+                 "burn": burn}
+            )
+        return out
+
+
+class SloMonitor:
+    """Evaluate a set of objectives; fire one contained alert per burn.
+
+    Parameters
+    ----------
+    objectives:
+        The :class:`Objective` set to evaluate.
+    telemetry:
+        The :class:`~repro.serve.metrics.Telemetry` owning the series the
+        objectives read; also the containment channel for a failing alert
+        callback.
+    on_alert:
+        Optional callable receiving one payload dict per firing:
+        ``{"objective", "at", "burn_rates": [...]}``.  Contained via
+        :func:`fire_contained`.
+    rearm:
+        Seconds an objective stays suppressed after firing.  ``None``
+        (default) re-arms after the objective's *shortest* window -- the
+        "exactly once per window" contract: a sustained burn re-fires once
+        the window that detected it has fully rolled over, not on every
+        evaluation tick.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[Objective],
+        *,
+        telemetry: Any,
+        on_alert: Optional[Callable[[Dict[str, Any]], None]] = None,
+        rearm: Optional[float] = None,
+    ) -> None:
+        self.objectives = tuple(objectives)
+        names = [objective.name for objective in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"objective names must be unique; got {names}.")
+        self.telemetry = telemetry
+        self.on_alert = on_alert
+        self.rearm = None if rearm is None else float(rearm)
+        self.alerts_fired = 0
+        self._lock = threading.Lock()
+        self._burning: Dict[str, bool] = {}
+        self._fired_at: Dict[str, float] = {}
+        self._last: List[Dict[str, Any]] = []
+
+    def _rearm_for(self, objective: Objective) -> float:
+        if self.rearm is not None:
+            return self.rearm
+        return min(window for window, _ in objective.windows)
+
+    def evaluate(
+        self, store: Any, at: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """One evaluation pass; returns per-objective status dicts.
+
+        An objective is ``burning`` when every window's burn exceeds its
+        threshold.  ``fired`` marks the evaluations where the alert
+        callback actually ran -- at most once per re-arm period.
+        """
+        at = time.monotonic() if at is None else float(at)
+        results: List[Dict[str, Any]] = []
+        to_fire: List[Dict[str, Any]] = []
+        with self._lock:
+            for objective in self.objectives:
+                burn_rates = objective.burn_rates(store, at)
+                burning = all(
+                    entry["burn"] > entry["threshold"] for entry in burn_rates
+                )
+                fired = False
+                if burning:
+                    last_fired = self._fired_at.get(objective.name)
+                    if (
+                        last_fired is None
+                        or at - last_fired >= self._rearm_for(objective)
+                    ):
+                        fired = True
+                        self._fired_at[objective.name] = at
+                        self.alerts_fired += 1
+                self._burning[objective.name] = burning
+                entry = {
+                    "objective": objective.name,
+                    "kind": objective.kind,
+                    "target": objective.objective,
+                    "burn_rates": burn_rates,
+                    "burning": burning,
+                    "fired": fired,
+                    "at": at,
+                }
+                results.append(entry)
+                if fired:
+                    to_fire.append(entry)
+            self._last = results
+        # Callbacks run outside the monitor lock: a slow alert hook must not
+        # block concurrent health reads.
+        for entry in to_fire:
+            fire_contained(
+                self.on_alert, f"slo:{entry['objective']}", self.telemetry,
+                dict(entry),
+            )
+        return results
+
+    def burning(self) -> List[str]:
+        """Names of the objectives burning as of the last evaluation."""
+        with self._lock:
+            return sorted(
+                name for name, burning in self._burning.items() if burning
+            )
+
+    def status(self) -> Dict[str, Any]:
+        """JSON-able summary of the last evaluation pass."""
+        with self._lock:
+            return {
+                "objectives": [dict(entry) for entry in self._last],
+                "burning": sorted(
+                    name for name, burning in self._burning.items() if burning
+                ),
+                "alerts_fired": self.alerts_fired,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SloMonitor(objectives={[o.name for o in self.objectives]!r}, "
+            f"alerts_fired={self.alerts_fired})"
+        )

@@ -1,0 +1,358 @@
+"""Resource-accounting daemon: CPU, RSS, loop lag and queue depth on a cadence.
+
+The serving plane self-heals (dead workers respawn, admission sheds load),
+but nothing watches the resources those mechanisms exist to protect: a
+worker leaking RSS, a parent pegging a core, an edge event loop stalling
+under a slow handler.  :class:`SystemMonitor` closes that gap with one
+daemon thread that, every ``interval`` seconds:
+
+* rolls the serving aggregates into the windowed time-series store
+  (:meth:`repro.serve.metrics.Telemetry.sample_series` -- request/error
+  rates, stage quantiles, queue depth);
+* samples the parent's and every worker process's CPU seconds and RSS
+  (``/proc/<pid>/stat`` / ``statm`` where available,
+  ``resource.getrusage`` fallback for the parent);
+* probes the edge event loop's scheduling lag when a probe is attached;
+* evaluates any attached :class:`repro.obs.slo.SloMonitor` objectives.
+
+Everything lands in ``telemetry.series`` under stable names
+(``proc.parent.cpu_seconds``, ``proc.worker.<i>.rss_bytes``,
+``edge.loop_lag_seconds``, ``workers.alive`` ...), so the same windowed
+``rate()``/``quantile()`` queries answer "is RSS creeping" exactly like
+"is p99 climbing".  :meth:`SystemMonitor.health` turns the latest samples
+into the graded ``ok | degraded`` verdict (with machine-readable reasons)
+the edge's ``/healthz`` and ``/readyz`` serve.
+
+A sampling pass never raises: per-tick failures are contained and counted
+(``telemetry.snapshot()["callbacks"]``), because monitoring must never be
+the thing that takes the service down.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None  # type: ignore[assignment]
+
+#: Default seconds between sampling passes.
+DEFAULT_INTERVAL = 0.25
+
+#: Edge event-loop lag (seconds) above which health degrades.
+DEFAULT_LAG_THRESHOLD = 0.25
+
+_CLK_TCK: Optional[float]
+try:
+    _CLK_TCK = float(os.sysconf("SC_CLK_TCK"))
+except (AttributeError, ValueError, OSError):  # pragma: no cover - non-POSIX
+    _CLK_TCK = None
+
+_PAGE_SIZE: Optional[float]
+try:
+    _PAGE_SIZE = float(os.sysconf("SC_PAGE_SIZE"))
+except (AttributeError, ValueError, OSError):  # pragma: no cover - non-POSIX
+    _PAGE_SIZE = None
+
+
+def read_proc_cpu_seconds(pid: int) -> Optional[float]:
+    """CPU seconds (user + system) consumed by ``pid``, from ``/proc``.
+
+    Returns ``None`` where ``/proc`` is unavailable or the process is gone
+    -- callers treat that as "no sample this tick", never an error.
+    """
+    if _CLK_TCK is None or _CLK_TCK <= 0:  # pragma: no cover - non-POSIX
+        return None
+    try:
+        with open(f"/proc/{int(pid)}/stat", "rb") as handle:
+            data = handle.read()
+    except OSError:
+        return None
+    # The comm field (2) may contain spaces and parentheses; everything
+    # after the *last* ')' is the well-formed space-separated tail, where
+    # utime/stime are fields 14/15 of the full line (tail indices 11/12).
+    tail = data[data.rfind(b")") + 1:].split()
+    try:
+        utime = int(tail[11])
+        stime = int(tail[12])
+    except (IndexError, ValueError):  # pragma: no cover - malformed stat
+        return None
+    return (utime + stime) / _CLK_TCK
+
+
+def read_proc_rss_bytes(pid: int) -> Optional[float]:
+    """Resident set size of ``pid`` in bytes, from ``/proc/<pid>/statm``."""
+    if _PAGE_SIZE is None or _PAGE_SIZE <= 0:  # pragma: no cover - non-POSIX
+        return None
+    try:
+        with open(f"/proc/{int(pid)}/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def self_usage() -> Optional[Dict[str, float]]:
+    """Own-process CPU seconds and peak RSS via ``getrusage`` (the fallback).
+
+    ``ru_maxrss`` is the lifetime *peak*, not the current level, and is
+    reported in kilobytes on Linux -- good enough as a floor when ``/proc``
+    is unreadable.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platform
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "cpu_seconds": float(usage.ru_utime + usage.ru_stime),
+        "rss_bytes": float(usage.ru_maxrss) * 1024.0,
+    }
+
+
+class SystemMonitor:
+    """Daemon sampler feeding the serving time-series store.
+
+    Parameters
+    ----------
+    telemetry:
+        The :class:`~repro.serve.metrics.Telemetry` to sample; its
+        ``series`` store receives every sample and its
+        :meth:`~repro.serve.metrics.Telemetry.sample_series` is invoked
+        each tick, so request-rate history accrues alongside the resource
+        history.
+    interval:
+        Seconds between sampling passes (daemon thread; start with
+        :meth:`start`, or call :meth:`sample` manually from tests).
+    pool:
+        Optional worker pool (duck-typed: ``pids()`` and ``alive()``, as
+        :class:`~repro.serve.procpool.ProcessWorkerPool` provides) whose
+        member processes are sampled per worker index.
+    loop_lag:
+        Optional zero-argument callable returning the edge event loop's
+        current scheduling lag in seconds (``None`` to skip a tick) --
+        :meth:`repro.serve.edge.EdgeThread.loop_lag` is the intended probe.
+    slos:
+        Optional :class:`repro.obs.slo.SloMonitor` evaluated after every
+        sampling pass, so burn-rate alerts fire on the monitor's cadence
+        and :meth:`health` can report burning objectives.
+    lag_threshold:
+        Loop lag (seconds) above which :meth:`health` degrades.
+    """
+
+    def __init__(
+        self,
+        telemetry: Any,
+        *,
+        interval: float = DEFAULT_INTERVAL,
+        pool: Optional[Any] = None,
+        loop_lag: Optional[Callable[[], Optional[float]]] = None,
+        slos: Optional[Any] = None,
+        lag_threshold: float = DEFAULT_LAG_THRESHOLD,
+    ) -> None:
+        if float(interval) <= 0.0:
+            raise ValueError(f"interval must be > 0 seconds; got {interval}.")
+        self.telemetry = telemetry
+        self.interval = float(interval)
+        self.pool = pool
+        self.loop_lag = loop_lag
+        self.slos = slos
+        self.lag_threshold = float(lag_threshold)
+        self.samples = 0
+        self.errors = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # -- sampling ----------------------------------------------------------------
+
+    def sample(self, at: Optional[float] = None) -> Dict[str, Any]:
+        """One full sampling pass; returns what was recorded (for tests).
+
+        Never raises: a failing probe is contained, counted in
+        ``errors`` and reported through the telemetry's callback-error
+        channel.
+        """
+        at = time.monotonic() if at is None else float(at)
+        recorded: Dict[str, Any] = {"at": at}
+        try:
+            self.telemetry.sample_series(at)
+            store = self.telemetry.series
+            pid = os.getpid()
+            cpu = read_proc_cpu_seconds(pid)
+            rss = read_proc_rss_bytes(pid)
+            if cpu is None or rss is None:  # pragma: no cover - non-/proc host
+                usage = self_usage()
+                if usage is not None:
+                    cpu = usage["cpu_seconds"] if cpu is None else cpu
+                    rss = usage["rss_bytes"] if rss is None else rss
+            if cpu is not None:
+                store.observe("proc.parent.cpu_seconds", cpu, kind="counter", at=at)
+                recorded["parent_cpu_seconds"] = cpu
+            if rss is not None:
+                store.observe("proc.parent.rss_bytes", rss, kind="gauge", at=at)
+                recorded["parent_rss_bytes"] = rss
+            if self.pool is not None:
+                alive = self.pool.alive()
+                store.observe("workers.alive", sum(alive), kind="gauge", at=at)
+                store.observe("workers.total", len(alive), kind="gauge", at=at)
+                recorded["workers_alive"] = sum(alive)
+                recorded["workers_total"] = len(alive)
+                workers: Dict[int, Dict[str, float]] = {}
+                for index, worker_pid in enumerate(self.pool.pids()):
+                    if worker_pid is None or not alive[index]:
+                        continue
+                    worker_cpu = read_proc_cpu_seconds(worker_pid)
+                    worker_rss = read_proc_rss_bytes(worker_pid)
+                    entry: Dict[str, float] = {}
+                    if worker_cpu is not None:
+                        store.observe(
+                            f"proc.worker.{index}.cpu_seconds", worker_cpu,
+                            kind="counter", at=at,
+                        )
+                        entry["cpu_seconds"] = worker_cpu
+                    if worker_rss is not None:
+                        store.observe(
+                            f"proc.worker.{index}.rss_bytes", worker_rss,
+                            kind="gauge", at=at,
+                        )
+                        entry["rss_bytes"] = worker_rss
+                    if entry:
+                        workers[index] = entry
+                recorded["workers"] = workers
+            if self.loop_lag is not None:
+                lag = self.loop_lag()
+                if lag is not None:
+                    store.observe(
+                        "edge.loop_lag_seconds", float(lag), kind="gauge", at=at
+                    )
+                    recorded["loop_lag_seconds"] = float(lag)
+            if self.slos is not None:
+                recorded["slo"] = self.slos.evaluate(store, at)
+            with self._lock:
+                self.samples += 1
+        except Exception as error:
+            with self._lock:
+                self.errors += 1
+            self.telemetry.record_callback_error("sysmon", error)
+        return recorded
+
+    # -- health ------------------------------------------------------------------
+
+    def health(self, at: Optional[float] = None) -> Dict[str, Any]:
+        """Graded verdict over the latest samples: ``ok`` or ``degraded``.
+
+        Reasons are machine-readable tokens -- ``workers_dead`` (any pool
+        slot without a live process), ``loop_lag`` (edge event loop slower
+        than ``lag_threshold``), ``slo_burning:<name>`` (an objective's
+        burn rate over threshold on every window) -- so callers can branch
+        on them without parsing prose.
+        """
+        at = time.monotonic() if at is None else float(at)
+        reasons: List[str] = []
+        detail: Dict[str, Any] = {}
+        if self.pool is not None:
+            alive = self.pool.alive()
+            dead = len(alive) - sum(alive)
+            detail["workers_alive"] = sum(alive)
+            detail["workers_total"] = len(alive)
+            if dead:
+                reasons.append("workers_dead")
+        lag = self.telemetry.series.latest("edge.loop_lag_seconds")
+        if lag is not None:
+            detail["loop_lag_seconds"] = lag
+            if lag > self.lag_threshold:
+                reasons.append("loop_lag")
+        if self.slos is not None:
+            burning = self.slos.burning()
+            if burning:
+                detail["slo_burning"] = list(burning)
+                reasons.extend(f"slo_burning:{name}" for name in burning)
+        return {
+            "status": "degraded" if reasons else "ok",
+            "reasons": reasons,
+            "detail": detail,
+            "sampled": self.samples,
+            "at": at,
+        }
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "SystemMonitor":
+        """Begin sampling on the daemon thread (idempotent); returns self."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-obs-sysmon", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        # Sample immediately so health() has data within one interval of
+        # start(), then settle onto the cadence.
+        self.sample()
+        while not self._stop.wait(self.interval):
+            self.sample()
+
+    def stop(self) -> None:
+        """Stop the sampler thread (idempotent; safe if never started)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """True while the daemon sampler thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def __enter__(self) -> "SystemMonitor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SystemMonitor(interval={self.interval}, running={self.running}, "
+            f"samples={self.samples}, errors={self.errors})"
+        )
+
+
+def attach_monitor(
+    service: Any,
+    *,
+    interval: float = DEFAULT_INTERVAL,
+    edge: Optional[Any] = None,
+    slos: Optional[Any] = None,
+    lag_threshold: float = DEFAULT_LAG_THRESHOLD,
+    start: bool = True,
+) -> SystemMonitor:
+    """Build, attach and (by default) start a monitor for ``service``.
+
+    The monitor lands on ``service.monitor`` -- the edge reads it there
+    for graded health -- and the service's ``close()`` stops it, so the
+    sampler can never outlive the thing it watches.  ``edge`` (an
+    :class:`~repro.serve.edge.EdgeThread` or anything with a ``loop_lag``
+    method) wires the event-loop probe in.
+    """
+    monitor = SystemMonitor(
+        service.telemetry,
+        interval=interval,
+        pool=getattr(service, "pool", None),
+        loop_lag=None if edge is None else edge.loop_lag,
+        slos=slos,
+        lag_threshold=lag_threshold,
+    )
+    service.monitor = monitor
+    if start:
+        monitor.start()
+    return monitor

@@ -12,14 +12,31 @@ small slice of HTTP/1.1.
   kind), so high-volume clients skip JSON entirely.
 * ``POST /swap/<name>`` -- blue/green publish: the body is a ClusterModel
   npz artifact; the response carries the new version name.
-* ``GET /healthz`` -- liveness plus model/worker counts.
+* ``GET /healthz`` -- graded liveness: ``ok | degraded | closing`` with
+  machine-readable ``reasons`` (dead workers, burning SLOs, event-loop
+  lag) when a :class:`repro.obs.sysmon.SystemMonitor` is attached to the
+  service, plus model/worker counts.
+* ``GET /readyz`` -- serviceability: 200 while the edge can actually
+  answer predicts, 503 (with the reasons) when it cannot -- closing,
+  closed, or a worker pool with zero live processes.  Load balancers
+  route on this; ``/healthz`` stays 200 while degraded so operators can
+  still read it.
 * ``GET /metrics`` -- the service's full
   :meth:`~repro.serve.metrics.Telemetry.snapshot` with the edge's own
-  counters merged into its ``edge`` section.  Content-negotiated: an
-  ``Accept`` header asking for ``text/plain`` (or OpenMetrics) gets
-  Prometheus text exposition 0.0.4 instead of JSON.
+  counters merged into its ``edge`` section.  Content-negotiated on the
+  ``Accept`` header with full q-value handling: a preference for
+  ``text/plain`` or ``application/openmetrics-text`` gets Prometheus text
+  exposition 0.0.4, anything else (including the usual ``*/*`` default)
+  gets JSON.
 * ``GET /debug/slow`` -- the slow-request capture: full span breakdowns of
   the slowest and deadline-violating traces.
+* ``POST /debug/profile`` (``{"action": "start"|"stop"}``) and ``GET
+  /debug/profile`` -- the opt-in sampling profiler
+  (:class:`repro.obs.profiler.SamplingProfiler`): start/stop a capture,
+  fetch collapsed-stack flame-graph text.
+
+``HEAD`` is answered on every GET route -- the full headers (including the
+exact ``Content-Length`` the GET would carry) with no body.
 
 Every predict request is traced end to end (when the service has tracing
 enabled): the edge opens the trace before decoding the body, hands it to
@@ -54,6 +71,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.obs.trace import STAGE_EDGE_PARSE, Trace
 from repro.serve.model import ClusterModel
@@ -146,6 +164,9 @@ class EdgeServer:
         self._idle.set()
         self._closing = False
         self.requests_by_status: Dict[int, int] = {}
+        #: Opt-in sampling profiler behind ``/debug/profile``; costs nothing
+        #: until a capture is started.
+        self.profiler = SamplingProfiler()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -248,6 +269,7 @@ class EdgeServer:
                 await self._write_response(
                     writer, status, payload, content_type,
                     close=not keep_alive, headers=extra_headers,
+                    head_only=method == "HEAD",
                 )
                 if not keep_alive:
                     return
@@ -305,21 +327,33 @@ class EdgeServer:
             return "swap"
         if path == "/healthz":
             return "healthz"
+        if path == "/readyz":
+            return "readyz"
         if path == "/metrics":
             return "metrics"
         if path == "/debug/slow":
             return "debug-slow"
+        if path == "/debug/profile":
+            return "debug-profile"
         return "other"
 
     async def _route(
         self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Any, str, Dict[str, str]]:
         """Dispatch one request; returns ``(status, payload, content_type, headers)``."""
+        # HEAD routes exactly like GET (the body is suppressed at write
+        # time, headers -- Content-Length included -- stay identical).
+        if method == "HEAD":
+            method = "GET"
         try:
             if path == "/healthz":
                 if method != "GET":
                     return 405, {"error": "use GET."}, "application/json", {}
                 return 200, self._healthz(), "application/json", {}
+            if path == "/readyz":
+                if method != "GET":
+                    return 405, {"error": "use GET."}, "application/json", {}
+                return self._readyz()
             if path == "/metrics":
                 if method != "GET":
                     return 405, {"error": "use GET."}, "application/json", {}
@@ -329,6 +363,8 @@ class EdgeServer:
                     return 405, {"error": "use GET."}, "application/json", {}
                 traces = self.service.telemetry.snapshot()["traces"]
                 return 200, traces, "application/json", {}
+            if path == "/debug/profile":
+                return self._profile(method, body)
             if path.startswith("/predict/"):
                 if method != "POST":
                     return 405, {"error": "use POST."}, "application/json", {}
@@ -348,30 +384,105 @@ class EdgeServer:
                 {},
             )
 
+    @staticmethod
+    def _negotiate_metrics(accept: str) -> str:
+        """Pick ``"json"`` or ``"prometheus"`` from an ``Accept`` header.
+
+        Proper (if small) content negotiation: media ranges are split,
+        parameters parsed, ``q`` values honoured (``q=0`` excludes), ties
+        broken by specificity then list order.  ``application/json``,
+        ``application/*`` and the bare default map to JSON;
+        ``text/plain``, ``application/openmetrics-text`` and ``text/*``
+        map to the Prometheus exposition.
+        """
+        if not accept.strip():
+            return "json"
+        # (q, specificity, -position, kind); max() picks the winner.
+        candidates = []
+        for position, part in enumerate(accept.split(",")):
+            pieces = part.split(";")
+            media = pieces[0].strip().lower()
+            q = 1.0
+            for param in pieces[1:]:
+                key, _, value = param.partition("=")
+                if key.strip().lower() == "q":
+                    try:
+                        q = float(value.strip())
+                    except ValueError:
+                        q = 0.0
+            if q <= 0.0:
+                continue
+            if media in ("text/plain", "application/openmetrics-text"):
+                kind, specificity = "prometheus", 2
+            elif media == "application/json":
+                kind, specificity = "json", 2
+            elif media == "text/*":
+                kind, specificity = "prometheus", 1
+            elif media == "application/*":
+                kind, specificity = "json", 1
+            elif media == "*/*":
+                kind, specificity = "json", 0
+            else:
+                continue
+            candidates.append((q, specificity, -position, kind))
+        if not candidates:
+            return "json"
+        return max(candidates)[3]
+
     def _metrics(self, headers: Dict[str, str]) -> Tuple[int, Any, str, Dict[str, str]]:
         """``GET /metrics``: JSON snapshot, or Prometheus text when asked.
 
-        Content negotiation is deliberately simple: any ``Accept`` naming
-        ``text/plain`` or an OpenMetrics type gets the text exposition;
-        everything else (including the usual ``*/*`` default) gets JSON.
+        The edge's own counters are merged into a *copy* of the snapshot's
+        ``edge`` section -- the snapshot dict is shared state once handed
+        out, and mutating it here would let two concurrent renders (JSON
+        and Prometheus) interleave partial edge counters.
         """
         snapshot = self.service.telemetry.snapshot()
-        edge_section = snapshot.setdefault("edge", {})
+        edge_section = dict(snapshot.get("edge") or {})
         edge_section["active_requests"] = self._active_requests
         edge_section["requests_by_status"] = {
             str(code): count
             for code, count in sorted(self.requests_by_status.items())
         }
-        accept = headers.get("accept", "")
-        if "text/plain" in accept or "openmetrics" in accept:
+        snapshot = {**snapshot, "edge": edge_section}
+        if self._negotiate_metrics(headers.get("accept", "")) == "prometheus":
             return 200, render_prometheus(snapshot), PROMETHEUS_CONTENT_TYPE, {}
         return 200, snapshot, "application/json", {}
 
+    def _health_verdict(self) -> Tuple[str, list, Dict[str, Any]]:
+        """Graded ``(status, reasons, detail)`` for health and readiness.
+
+        With a :class:`~repro.obs.sysmon.SystemMonitor` attached to the
+        service the verdict is its full evaluation (workers, loop lag,
+        burning SLOs); without one, the edge still grades the one thing it
+        can see directly -- dead pool workers.
+        """
+        if self._closing or self.service.closed:
+            return "closing", ["closing"], {}
+        monitor = getattr(self.service, "monitor", None)
+        if monitor is not None:
+            verdict = monitor.health()
+            return verdict["status"], verdict["reasons"], verdict["detail"]
+        pool = getattr(self.service, "pool", None)
+        if pool is not None:
+            alive = pool.alive()
+            if not all(alive):
+                return (
+                    "degraded",
+                    ["workers_dead"],
+                    {"workers_alive": sum(alive), "workers_total": len(alive)},
+                )
+        return "ok", [], {}
+
     def _healthz(self) -> Dict[str, Any]:
+        status, reasons, detail = self._health_verdict()
         health: Dict[str, Any] = {
-            "status": "closing" if self._closing or self.service.closed else "ok",
+            "status": status,
+            "reasons": reasons,
             "models": self.service.registry.names(),
         }
+        if detail:
+            health["detail"] = detail
         pool = getattr(self.service, "pool", None)
         if pool is not None:
             health["workers"] = {
@@ -386,6 +497,86 @@ class EdgeServer:
                     ring.stats() for ring in pool.rings
                 ]
         return health
+
+    def _readyz(self) -> Tuple[int, Any, str, Dict[str, str]]:
+        """``GET /readyz``: 200 while serviceable, 503 with reasons when not.
+
+        Not serviceable means requests would fail, not merely suffer: the
+        edge is closing/closed, or a worker pool has zero live processes.
+        A degraded-but-answering service (burning SLO, loop lag, *some*
+        workers dead) stays ready -- load balancers should keep routing to
+        it while operators chase the ``/healthz`` reasons.
+        """
+        status, reasons, detail = self._health_verdict()
+        ready = status != "closing"
+        if ready:
+            pool = getattr(self.service, "pool", None)
+            if pool is not None and not any(pool.alive()):
+                ready = False
+        payload = {"ready": ready, "status": status, "reasons": reasons}
+        if detail:
+            payload["detail"] = detail
+        return (200 if ready else 503), payload, "application/json", {}
+
+    def _profile(
+        self, method: str, body: bytes
+    ) -> Tuple[int, Any, str, Dict[str, str]]:
+        """``/debug/profile``: POST starts/stops a capture, GET fetches it.
+
+        ``POST {"action": "start", "hz": 97}`` begins sampling (409 when a
+        capture is already running), ``POST {"action": "stop"}`` ends it;
+        both answer with the profiler's report.  ``GET`` returns the
+        collapsed-stack text of the last (or still-running) capture --
+        feed it straight to any flame-graph renderer.
+        """
+        if method == "GET":
+            report = self.profiler.report()
+            return (
+                200,
+                self.profiler.collapsed(),
+                "text/plain; charset=utf-8",
+                {"X-Profile-Samples": str(report["samples"]),
+                 "X-Profile-Running": "1" if report["running"] else "0"},
+            )
+        if method != "POST":
+            return 405, {"error": "use GET or POST."}, "application/json", {}
+        try:
+            document = json.loads(body or b"{}")
+            action = document.get("action") if isinstance(document, dict) else None
+        except json.JSONDecodeError as error:
+            return (
+                400,
+                {"error": f"invalid profile request body: {error}"},
+                "application/json",
+                {},
+            )
+        if action == "start":
+            hz = document.get("hz")
+            try:
+                started = self.profiler.start(
+                    hz=None if hz is None else float(hz)
+                )
+            except (TypeError, ValueError) as error:
+                return 400, {"error": str(error)}, "application/json", {}
+            status = 200 if started else 409
+            payload = {"started": started, **self.profiler.report()}
+            if not started:
+                payload["error"] = "a profile capture is already running."
+            return status, payload, "application/json", {}
+        if action == "stop":
+            stopped = self.profiler.stop()
+            return (
+                200,
+                {"stopped": stopped, **self.profiler.report()},
+                "application/json",
+                {},
+            )
+        return (
+            400,
+            {"error": 'profile action must be "start" or "stop".'},
+            "application/json",
+            {},
+        )
 
     def _finish_trace(
         self, trace: Optional[Trace], error: Optional[str] = None
@@ -564,6 +755,7 @@ class EdgeServer:
         *,
         close: bool,
         headers: Optional[Dict[str, str]] = None,
+        head_only: bool = False,
     ) -> None:
         if isinstance(payload, (bytes, bytearray)):
             body = bytes(payload)
@@ -584,7 +776,10 @@ class EdgeServer:
             f"{extra}"
             "\r\n"
         )
-        writer.write(head.encode("latin-1") + body)
+        # A HEAD answer carries the GET's exact headers (Content-Length
+        # included) with no body -- the payload is still rendered above so
+        # the length is honest.
+        writer.write(head.encode("latin-1") + (b"" if head_only else body))
         await writer.drain()
 
     async def _respond_json(
@@ -644,6 +839,26 @@ class EdgeThread:
     def url(self) -> str:
         """Base URL of the running edge (no trailing slash)."""
         return f"http://{self.edge.host}:{self.edge.port}"
+
+    def loop_lag(self, timeout: float = 1.0) -> Optional[float]:
+        """Round-trip scheduling lag of the edge's event loop, in seconds.
+
+        Schedules a no-op coroutine on the loop and times until it runs: a
+        healthy loop answers in microseconds, one starved by a blocking
+        handler (or a pegged host) takes visibly longer.  ``None`` when the
+        edge is closed or the probe times out -- the intended
+        ``loop_lag`` hook for :class:`repro.obs.sysmon.SystemMonitor`.
+        """
+        if self._closed:
+            return None
+        started = time.monotonic()
+        try:
+            asyncio.run_coroutine_threadsafe(
+                asyncio.sleep(0), self._loop
+            ).result(timeout=timeout)
+        except Exception:
+            return None
+        return time.monotonic() - started
 
     def close(self, timeout: float = 10.0) -> None:
         """Drain the edge and stop the loop thread (idempotent)."""

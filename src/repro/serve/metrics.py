@@ -22,11 +22,14 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import threading
+import time
 from bisect import bisect_left
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.obs.timeseries import TimeSeriesStore
 
 #: Latency quantiles exported by :meth:`Telemetry.snapshot`.
 QUANTILES = (0.5, 0.9, 0.99)
@@ -136,6 +139,13 @@ class Telemetry:
         streamed.  Exceptions raised by the sink are swallowed and counted
         under ``sink_errors`` -- telemetry must never take the serving path
         down.
+    series:
+        Optional :class:`~repro.obs.timeseries.TimeSeriesStore` receiving
+        periodic rollups from :meth:`sample_series` (a fresh store with
+        1-second steps is created when omitted).  Point-in-time aggregates
+        become windowed history: request/error rates, per-stage and
+        per-route latency quantiles, queue depth -- exported under
+        ``snapshot()["series"]`` and as Prometheus gauges.
     """
 
     def __init__(
@@ -145,6 +155,7 @@ class Telemetry:
         history_limit: int = 256,
         slow_traces: int = 32,
         sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+        series: Optional[TimeSeriesStore] = None,
     ) -> None:
         if int(reservoir) < 1:
             raise ValueError(f"reservoir must be >= 1; got {reservoir}.")
@@ -155,6 +166,8 @@ class Telemetry:
         self.reservoir = int(reservoir)
         self.slow_traces = int(slow_traces)
         self.sink = sink
+        self.series = series if series is not None else TimeSeriesStore()
+        self._started = time.monotonic()
         self._lock = threading.Lock()
         self._predict: Dict[str, _PredictSeries] = {}
         self._rejections: Dict[str, int] = {}
@@ -337,6 +350,74 @@ class Telemetry:
         self._emit({"event": "callback_error", "where": where,
                     "error": f"{type(error).__name__}: {error}"})
 
+    def sample_series(self, at: Optional[float] = None) -> float:
+        """Roll the current aggregates into the windowed time-series store.
+
+        Called on a cadence (by :class:`repro.obs.sysmon.SystemMonitor`, a
+        scraper, or a test), this turns the cumulative counters into
+        ``counter`` series (windowed ``rate()`` answers requests/sec), the
+        stage histograms into ``histogram`` series (windowed p50/p99), and
+        the queue-depth gauge into a ``gauge`` series.  Returns the
+        monotonic sample instant so callers can line up their own samples.
+        """
+        at = time.monotonic() if at is None else float(at)
+        with self._lock:
+            predict_count = sum(s.count for s in self._predict.values())
+            predict_rows = sum(s.rows for s in self._predict.values())
+            stage_vectors = {
+                stage: list(series.bucket_counts)
+                for stage, series in self._stages.items()
+            }
+            route_stats = {
+                route: (
+                    series.count,
+                    sum(
+                        n for status, n in series.by_status.items()
+                        if status.startswith(("4", "5"))
+                    ),
+                    list(series.latencies),
+                )
+                for route, series in self._edge.items()
+            }
+            queue_depth = self._queue_depth
+            trace_count = self._trace_count
+            trace_errors = self._trace_errors
+            rejections = sum(self._rejections.values())
+        # Recorded outside the telemetry lock: the store has its own lock and
+        # holding both invites ordering bugs for zero benefit.
+        store = self.series
+        store.observe("requests.count", predict_count, kind="counter", at=at)
+        store.observe("requests.rows", predict_rows, kind="counter", at=at)
+        store.observe("traces.count", trace_count, kind="counter", at=at)
+        store.observe("traces.errors", trace_errors, kind="counter", at=at)
+        store.observe("rejections.count", rejections, kind="counter", at=at)
+        store.observe("queue.depth", queue_depth, kind="gauge", at=at)
+        for stage, vector in stage_vectors.items():
+            store.observe(
+                f"stage.{stage}", vector, kind="histogram", at=at,
+                bounds=STAGE_BUCKETS,
+            )
+        edge_requests = 0
+        edge_errors = 0
+        for route, (count, errors, latencies) in route_stats.items():
+            edge_requests += count
+            edge_errors += errors
+            store.observe(f"edge.{route}.requests", count, kind="counter", at=at)
+            store.observe(f"edge.{route}.errors", errors, kind="counter", at=at)
+            if latencies:
+                values = np.asarray(latencies, dtype=np.float64)
+                store.observe(
+                    f"edge.{route}.p50", float(np.quantile(values, 0.5)),
+                    kind="gauge", at=at,
+                )
+                store.observe(
+                    f"edge.{route}.p99", float(np.quantile(values, 0.99)),
+                    kind="gauge", at=at,
+                )
+        store.observe("edge.requests", edge_requests, kind="counter", at=at)
+        store.observe("edge.errors", edge_errors, kind="counter", at=at)
+        return at
+
     # -- introspection -----------------------------------------------------------
 
     @staticmethod
@@ -351,8 +432,14 @@ class Telemetry:
 
         Per-model predict entries report exact lifetime counters (``count``,
         ``rows``, total/max seconds) plus latency quantiles over the bounded
-        reservoir of the most recent passes.
+        reservoir of the most recent passes.  ``snapshot_at`` is a monotonic
+        stamp and ``uptime_seconds`` the age of this Telemetry, so scrapers
+        can compute rates without wall-clock skew; ``series`` carries the
+        windowed time-series view (empty until :meth:`sample_series` runs).
         """
+        snapshot_at = time.monotonic()
+        # Rendered outside the telemetry lock: the store locks itself.
+        series_view = self.series.to_dict(at=snapshot_at)
         with self._lock:
             predict: Dict[str, Any] = {}
             for model, series in self._predict.items():
@@ -420,6 +507,9 @@ class Telemetry:
                 "callbacks": {"errors": self._callback_errors,
                               "last": self._last_callback_error},
                 "sink_errors": self._sink_errors,
+                "uptime_seconds": snapshot_at - self._started,
+                "snapshot_at": snapshot_at,
+                "series": series_view,
             }
 
     def to_prometheus(self) -> str:

@@ -509,6 +509,15 @@ class ProcessWorkerPool:
         """Liveness of each worker process, by index."""
         return [process.is_alive() for process in self.processes]
 
+    def pids(self) -> List[Optional[int]]:
+        """OS pid of each worker slot (``None`` before start), by index.
+
+        Respawns change a slot's pid; resource samplers keyed by slot index
+        (:class:`repro.obs.sysmon.SystemMonitor`) follow the replacement
+        automatically.
+        """
+        return [process.pid for process in self.processes]
+
     def generations(self) -> List[int]:
         """Current generation number of each worker slot, by index."""
         with self._lock:
@@ -1050,6 +1059,7 @@ class ProcessPoolService(ClusteringService):
                 return
             self._closing = True
             pool, self._async_pool = self._async_pool, None
+        self._stop_monitor()
         with self._admission:
             self._admission.notify_all()
         if pool is not None:

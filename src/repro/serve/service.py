@@ -164,6 +164,9 @@ class ClusteringService:
         self._closed = False
         self.n_requests_: int = 0
         self.n_batches_: int = 0
+        #: Attached :class:`repro.obs.sysmon.SystemMonitor` (or None); set by
+        #: :func:`repro.obs.sysmon.attach_monitor`, stopped by :meth:`close`.
+        self.monitor = None
 
     # -- model management ------------------------------------------------------
 
@@ -542,6 +545,16 @@ class ClusteringService:
 
     # -- lifecycle ---------------------------------------------------------------
 
+    def _stop_monitor(self) -> None:
+        """Stop an attached system monitor (idempotent, never raises)."""
+        monitor = self.monitor
+        if monitor is None:
+            return
+        try:
+            monitor.stop()
+        except Exception as error:  # pragma: no cover - defensive
+            self.telemetry.record_callback_error("monitor-stop", error)
+
     def close(self) -> None:
         """Shut the service down: drain the dispatch pool, reject new requests.
 
@@ -558,6 +571,7 @@ class ClusteringService:
                 return
             self._closing = True
             pool, self._async_pool = self._async_pool, None
+        self._stop_monitor()
         with self._admission:
             self._admission.notify_all()
         # Drain with admissions stopped but submit() still open, so queued

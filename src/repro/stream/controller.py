@@ -26,6 +26,7 @@ from typing import Callable, Deque, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.slo import fire_contained
 from repro.obs.trace import StageTimer, new_trace_id
 from repro.serve.metrics import Telemetry
 from repro.serve.model import ClusterModel
@@ -329,14 +330,11 @@ class StreamController:
         User code must never be able to take the control loop down: a
         raising callback is recorded in telemetry (``callbacks`` in the
         snapshot) and in ``callback_errors_``, then ingestion continues.
+        Shares :func:`repro.obs.slo.fire_contained` with the SLO alerting
+        plane -- one containment idiom for every user hook.
         """
-        if callback is None:
-            return
-        try:
-            callback(*args)
-        except Exception as error:
+        if fire_contained(callback, where, self.telemetry, *args) is False:
             self.callback_errors_ += 1
-            self.telemetry.record_callback_error(where, error)
 
     # -- serving ----------------------------------------------------------------
 

@@ -1,0 +1,162 @@
+"""Sampling profiler: collapsed stacks, lifecycle, and the predict-frame bar.
+
+The acceptance bar from the monitoring issue: profiling a service under
+load yields non-empty collapsed stacks containing a ``predict`` frame.
+The profiler only sees the *current process's* threads, so that bar is
+exercised against the in-process :class:`~repro.serve.ClusteringService`
+(pool workers live in other processes by design).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.adawave import AdaWave
+from repro.obs.profiler import DEFAULT_HZ, SamplingProfiler, _collect_stacks
+from repro.serve import ClusteringService, ModelRegistry
+
+BOUNDS = ([0.0, 0.0], [1.0, 1.0])
+
+
+def _distinctly_named_busy_loop(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(index * index for index in range(2000))
+
+
+def _parse_collapsed(text):
+    """collapsed text -> list of (frame tuple, count)."""
+    out = []
+    for line in text.splitlines():
+        if line.startswith("["):
+            continue
+        stack, count = line.rsplit(" ", 1)
+        out.append((tuple(stack.split(";")), int(count)))
+    return out
+
+
+class TestSamplingProfiler:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=0.0)
+        with pytest.raises(ValueError, match="max_seconds"):
+            SamplingProfiler(max_seconds=0.0)
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler().start(hz=-1.0)
+
+    def test_idle_profiler_has_no_thread_and_empty_output(self):
+        profiler = SamplingProfiler()
+        assert not profiler.running
+        assert profiler.collapsed() == ""
+        report = profiler.report()
+        assert report["running"] is False
+        assert report["samples"] == 0
+        assert report["seconds"] == 0.0
+
+    def test_captures_a_busy_thread_by_name(self):
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=_distinctly_named_busy_loop, args=(stop,), daemon=True
+        )
+        worker.start()
+        profiler = SamplingProfiler(hz=200.0)
+        try:
+            assert profiler.start() is True
+            assert profiler.start() is False  # already running
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if "_distinctly_named_busy_loop" in profiler.collapsed():
+                    break
+                time.sleep(0.05)
+            assert profiler.stop() is True
+            assert profiler.stop() is False  # already stopped
+        finally:
+            stop.set()
+            worker.join(timeout=5.0)
+        text = profiler.collapsed()
+        assert "_distinctly_named_busy_loop" in text
+        stacks = _parse_collapsed(text)
+        assert stacks, "capture produced no stacks"
+        # Collapsed lines are sorted by descending count.
+        counts = [count for _, count in stacks]
+        assert counts == sorted(counts, reverse=True)
+        # Frames carry "name (filename)" and stacks are root-first.
+        busy = next(
+            stack for stack, _ in stacks
+            if any(frame.startswith("_distinctly_named_busy_loop") for frame in stack)
+        )
+        assert busy[-1].endswith("(test_obs_profiler.py)") or any(
+            "(test_obs_profiler.py)" in frame for frame in busy
+        )
+        report = profiler.report()
+        assert report["samples"] >= 1
+        assert report["distinct_stacks"] == len(
+            {stack for stack, _ in stacks}
+        )
+        assert report["seconds"] > 0.0
+        assert not report["running"]
+
+    def test_restart_resets_counts(self):
+        profiler = SamplingProfiler(hz=500.0)
+        with profiler:
+            time.sleep(0.05)
+        first = profiler.report()["samples"]
+        assert first >= 1
+        assert profiler.start(hz=250.0) is True
+        assert profiler.hz == 250.0
+        profiler.stop()
+        assert profiler.report()["samples"] <= first + 50  # fresh capture
+        assert profiler.report()["hz"] == 250.0
+
+    def test_max_seconds_self_stop(self):
+        profiler = SamplingProfiler(hz=100.0, max_seconds=0.05)
+        profiler.start()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and profiler.running:
+            time.sleep(0.02)
+        assert not profiler.running, "profiler must stop itself at max_seconds"
+
+    def test_collect_stacks_skips_requested_thread(self):
+        own = threading.get_ident()
+        stacks = _collect_stacks(own)
+        flat = [frame for stack in stacks for frame in stack]
+        assert not any("test_collect_stacks_skips" in frame for frame in flat)
+        stacks_with_self = _collect_stacks(None)
+        flat = [frame for stack in stacks_with_self for frame in stack]
+        assert any("test_collect_stacks_skips" in frame for frame in flat)
+
+
+class TestPredictFrameAcceptance:
+    def test_profile_of_serving_load_contains_predict_frame(self, tmp_path):
+        """Acceptance: non-empty collapsed stacks with a ``predict`` frame."""
+        rng = np.random.default_rng(3)
+        blob = np.clip(rng.normal(0.35, 0.05, size=(1500, 2)), 0.0, 1.0)
+        X = np.vstack([blob, rng.uniform(size=(2000, 2))])
+        model = AdaWave(scale=64, bounds=BOUNDS).fit(X).export_model()
+        registry = ModelRegistry()
+        service = ClusteringService(registry)
+        try:
+            service.register("prod", model)
+            queries = rng.uniform(size=(3000, 2))
+            profiler = SamplingProfiler(hz=300.0)
+            profiler.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                service.predict("prod", queries)
+                if any(
+                    frame.startswith("predict")
+                    for stack, _ in _parse_collapsed(profiler.collapsed())
+                    for frame in stack
+                ):
+                    break
+            profiler.stop()
+        finally:
+            service.close()
+        stacks = _parse_collapsed(profiler.collapsed())
+        assert stacks, "profiling under load captured nothing"
+        assert any(
+            frame.startswith("predict")
+            for stack, _ in stacks
+            for frame in stack
+        ), "collapsed stacks never caught the predict path"

@@ -377,3 +377,226 @@ class TestEdgeObservability:
             "a pre-expired deadline must surface in the violation ring"
         )
         assert captured["violations"][-1]["error"] is not None
+
+
+class TestMetricsContentNegotiation:
+    """``GET /metrics`` honours Accept q-values, parameters and wildcards."""
+
+    @pytest.mark.parametrize(
+        "accept, expected",
+        [
+            ("", "json"),
+            ("application/json", "json"),
+            ("text/plain", "prometheus"),
+            ("application/openmetrics-text", "prometheus"),
+            # Parameters are parsed, q-values are honoured: openmetrics at
+            # half weight loses to full-weight JSON.
+            (
+                "application/openmetrics-text; version=1.0.0; q=0.5, "
+                "application/json",
+                "json",
+            ),
+            ("text/plain; q=0.9, application/json; q=0.8", "prometheus"),
+            # q=0 means "explicitly not acceptable".
+            ("text/plain; q=0", "json"),
+            ("text/plain; q=0, text/*", "prometheus"),
+            # Specificity beats wildcards; wildcards still resolve.
+            ("text/*", "prometheus"),
+            ("application/*", "json"),
+            ("*/*", "json"),
+            ("text/*; q=0.5, */*", "json"),
+            # Ties broken by list order.
+            ("text/plain, application/json", "prometheus"),
+            ("application/json, text/plain", "json"),
+            # Unknown types fall through to the JSON default.
+            ("image/png", "json"),
+            ("text/plain; q=banana, application/json", "json"),
+        ],
+    )
+    def test_negotiation_table(self, accept, expected):
+        from repro.serve.edge import EdgeServer
+
+        assert EdgeServer._negotiate_metrics(accept) == expected
+
+    def test_prometheus_over_the_wire(self, edge, corpus):
+        from repro.obs.prometheus import parse_exposition_line
+
+        running, _, _ = edge
+        _, queries, _ = corpus
+        _predict_json(running.url, "prod", queries[:5])
+        status, payload, headers = _request(
+            f"{running.url}/metrics", headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = payload.decode()
+        parsed = [
+            parse_exposition_line(line)
+            for line in text.splitlines()
+            if parse_exposition_line(line) is not None
+        ]
+        assert any(name == "repro_uptime_seconds" for name, _, _ in parsed)
+
+    def test_qvalue_parameter_mix_answers_json(self, edge):
+        running, _, _ = edge
+        status, payload, headers = _request(
+            f"{running.url}/metrics",
+            headers={
+                "Accept": "application/openmetrics-text; version=1.0.0; "
+                "q=0.5, application/json"
+            },
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        json.loads(payload)
+
+
+class TestHeadRequests:
+    """HEAD answers like GET -- honest Content-Length, empty body."""
+
+    def test_head_healthz_matches_get(self, edge):
+        running, _, _ = edge
+        get_status, get_payload, _ = _request(f"{running.url}/healthz")
+        head_status, head_payload, head_headers = _request(
+            f"{running.url}/healthz", method="HEAD"
+        )
+        assert (get_status, head_status) == (200, 200)
+        assert head_payload == b""
+        assert int(head_headers["Content-Length"]) == len(get_payload)
+
+    def test_head_metrics_has_length_but_no_body(self, edge):
+        running, _, _ = edge
+        status, payload, headers = _request(
+            f"{running.url}/metrics", method="HEAD"
+        )
+        assert status == 200
+        assert payload == b""
+        assert int(headers["Content-Length"]) > 0
+        assert headers["Content-Type"] == "application/json"
+
+
+class _FakePool:
+    """Duck-typed stand-in for ProcessWorkerPool liveness probes."""
+
+    def __init__(self, alive):
+        self._alive = alive
+        self.n_workers = len(alive)
+        self.respawns = 0
+        self.shm_sends = 0
+        self.pickle_sends = 0
+        self.rings = None
+
+    def alive(self):
+        return list(self._alive)
+
+    def pids(self):
+        return [None] * self.n_workers
+
+
+class TestEdgeReadiness:
+    def test_readyz_on_healthy_edge(self, edge):
+        running, _, _ = edge
+        status, payload, _ = _request(f"{running.url}/readyz")
+        assert status == 200
+        document = json.loads(payload)
+        assert document["ready"] is True
+        assert document["status"] == "ok"
+        assert document["reasons"] == []
+
+    def test_some_dead_workers_degrade_but_stay_ready(self, edge):
+        running, service, _ = edge
+        service.pool = _FakePool([True, False])
+        try:
+            _, payload, _ = _request(f"{running.url}/healthz")
+            health = json.loads(payload)
+            assert health["status"] == "degraded"
+            assert health["reasons"] == ["workers_dead"]
+            assert health["detail"]["workers_alive"] == 1
+            # Still answering: load balancers keep routing.
+            status, payload, _ = _request(f"{running.url}/readyz")
+            assert status == 200
+            assert json.loads(payload)["ready"] is True
+        finally:
+            del service.pool
+
+    def test_all_dead_workers_fail_readiness(self, edge):
+        running, service, _ = edge
+        service.pool = _FakePool([False, False])
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _request(f"{running.url}/readyz")
+            assert excinfo.value.code == 503
+            document = json.loads(excinfo.value.read())
+            assert document["ready"] is False
+            assert document["status"] == "degraded"
+            assert "workers_dead" in document["reasons"]
+        finally:
+            del service.pool
+
+
+class TestProfileEndpoint:
+    def test_start_capture_fetch_stop_round_trip(self, edge, corpus):
+        running, _, _ = edge
+        _, queries, _ = corpus
+        status, payload, _ = _request(
+            f"{running.url}/debug/profile",
+            data=json.dumps({"action": "start", "hz": 300}).encode(),
+        )
+        assert status == 200
+        document = json.loads(payload)
+        assert document["started"] is True
+        assert document["running"] is True
+        assert document["hz"] == 300.0
+        try:
+            # Duplicate start answers 409 with the report attached.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _request(
+                    f"{running.url}/debug/profile",
+                    data=json.dumps({"action": "start"}).encode(),
+                )
+            assert excinfo.value.code == 409
+            assert json.loads(excinfo.value.read())["started"] is False
+
+            for _ in range(10):
+                _predict_json(running.url, "prod", queries)
+            status, payload, headers = _request(f"{running.url}/debug/profile")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain")
+            assert headers["X-Profile-Running"] == "1"
+            assert int(headers["X-Profile-Samples"]) >= 1
+        finally:
+            status, payload, _ = _request(
+                f"{running.url}/debug/profile",
+                data=json.dumps({"action": "stop"}).encode(),
+            )
+        assert status == 200
+        document = json.loads(payload)
+        assert document["stopped"] is True
+        assert document["running"] is False
+        # The finished capture stays fetchable.
+        status, payload, headers = _request(f"{running.url}/debug/profile")
+        assert status == 200
+        assert headers["X-Profile-Running"] == "0"
+        text = payload.decode()
+        assert text, "capture across live traffic produced no stacks"
+        for line in text.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert stack
+
+    def test_bad_profile_requests_are_400(self, edge):
+        running, _, _ = edge
+        for body in (b"not json", json.dumps({"action": "selfdestruct"}).encode()):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _request(f"{running.url}/debug/profile", data=body)
+            assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _request(
+                f"{running.url}/debug/profile",
+                data=json.dumps({"action": "start", "hz": -5}).encode(),
+            )
+        assert excinfo.value.code == 400
+        # A failed start must not leave a capture running.
+        _, payload, _ = _request(f"{running.url}/debug/profile", method="HEAD")
+        status, payload, headers = _request(f"{running.url}/debug/profile")
+        assert headers["X-Profile-Running"] == "0"
