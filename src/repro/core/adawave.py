@@ -71,6 +71,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.serve.model import ClusterModel
     from repro.stream.sketch import StreamSketch
     from repro.tune.select import TuneResult
+    from repro.wavelets.backends import TransformBackend
 
 Cell = Tuple[int, ...]
 
@@ -152,6 +153,16 @@ class AdaWave:
     wavelet:
         Wavelet basis; the paper uses the Cohen-Daubechies-Feauveau (2,2)
         biorthogonal spline (``"bior2.2"``).
+    backend:
+        Transform backend for the per-axis low-pass passes: ``"auto"``
+        (default -- the fastest registered backend that supports ``wavelet``,
+        e.g. the batched lifting kernels for the Haar / CDF families, the
+        numba kernels when numba is installed), ``"numpy"`` (the
+        always-available reference), ``"lifting"``, or any
+        :class:`~repro.wavelets.backends.TransformBackend` instance.  All
+        backends are equivalence-pinned against the reference; the resolved
+        name is exposed as :attr:`backend_` and recorded in exported
+        artifacts.
     level:
         Number of wavelet decomposition levels; each level halves the grid
         resolution and produces a coarser clustering (multi-resolution
@@ -204,6 +215,9 @@ class AdaWave:
         Number of detected clusters.
     threshold_:
         Density threshold selected by the adaptive rule.
+    backend_:
+        Name of the transform backend that produced the fitted coefficients
+        (``"auto"`` resolved to a concrete registered backend).
     result_:
         Full :class:`AdaWaveResult` with every intermediate artefact.
     tune_result_:
@@ -218,6 +232,7 @@ class AdaWave:
         self,
         scale: Union[int, Sequence[int], str] = 128,
         wavelet: str = "bior2.2",
+        backend: Union[str, "TransformBackend"] = "auto",
         level: int = 1,
         threshold_method: str = "auto",
         connectivity: str = "auto",
@@ -230,6 +245,14 @@ class AdaWave:
     ) -> None:
         self.scale = scale
         self.wavelet = wavelet
+        from repro.wavelets.backends import TransformBackend as _TransformBackend
+
+        if backend is not None and not isinstance(backend, (str, _TransformBackend)):
+            raise TypeError(
+                "backend must be 'auto', a registered backend name or a "
+                f"TransformBackend instance; got {type(backend).__name__}."
+            )
+        self.backend = backend
         self.level = check_positive_int(level, name="level")
         if threshold_method not in THRESHOLD_METHODS:
             raise ValueError(
@@ -268,6 +291,7 @@ class AdaWave:
         self.labels_: Optional[np.ndarray] = None
         self.n_clusters_: Optional[int] = None
         self.threshold_: Optional[float] = None
+        self.backend_: Optional[str] = None
         self.result_: Optional[AdaWaveResult] = None
         self.tune_result_: Optional["TuneResult"] = None
         self.stage_seconds_: Optional[Dict[str, float]] = None
@@ -324,6 +348,7 @@ class AdaWave:
             connectivity=self.connectivity,
             min_cluster_cells=self.min_cluster_cells,
             angle_divisor=self.angle_divisor,
+            backend=self.backend,
         )
 
     def _finish(
@@ -338,6 +363,7 @@ class AdaWave:
         # Wall-clock breakdown of the winning grid-side run; rides into
         # artifact metadata so a served model carries its fit provenance.
         self.stage_seconds_ = dict(pipe.stage_seconds)
+        self.backend_ = pipe.backend
         self._served_model = None
         return self
 
@@ -467,6 +493,7 @@ class AdaWave:
         self.labels_ = None
         self.n_clusters_ = None
         self.threshold_ = None
+        self.backend_ = None
         self.result_ = None
         self.tune_result_ = None
         self.stage_seconds_ = None
@@ -677,6 +704,7 @@ class AdaWave:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"AdaWave(scale={self.scale}, wavelet={self.wavelet!r}, level={self.level}, "
+            f"AdaWave(scale={self.scale}, wavelet={self.wavelet!r}, "
+            f"backend={self.backend!r}, level={self.level}, "
             f"threshold_method={self.threshold_method!r}, engine={self.engine!r})"
         )

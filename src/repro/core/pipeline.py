@@ -27,6 +27,7 @@ from repro.core.transform import Workspace, wavelet_smooth_grid
 from repro.grid.connectivity import label_components_array
 from repro.grid.sparse_grid import SparseGrid
 from repro.obs.trace import StageTimer
+from repro.wavelets.backends import resolve_backend
 
 #: Dimensionalities up to which ``connectivity="auto"`` resolves to "full".
 _FULL_CONNECTIVITY_MAX_DIM = 3
@@ -121,7 +122,8 @@ class GridPipelineResult:
     ``stage_seconds`` is the wall-clock breakdown of this run over the three
     grid-side stages (``transform`` / ``threshold`` / ``extract``) -- the
     same shape of record the serving plane keeps per request, here available
-    for tuning provenance and artifact metadata.
+    for tuning provenance and artifact metadata.  ``backend`` records which
+    transform backend produced the coefficients (provenance for artifacts).
     """
 
     transformed: SparseGrid
@@ -131,6 +133,7 @@ class GridPipelineResult:
     n_clusters: int
     level: int
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    backend: str = "numpy"
 
 
 def run_grid_pipeline(
@@ -144,6 +147,7 @@ def run_grid_pipeline(
     angle_divisor: float = 3.0,
     workspace: Optional[Workspace] = None,
     timer: Optional[StageTimer] = None,
+    backend=None,
 ) -> GridPipelineResult:
     """Run transform, threshold and component extraction on one grid.
 
@@ -155,11 +159,18 @@ def run_grid_pipeline(
     the per-stage wall clock across *many* runs (a pyramid sweep, a
     multi-level decomposition); the per-run breakdown is always available on
     ``GridPipelineResult.stage_seconds`` regardless.
+
+    ``backend`` selects the transform kernel (``None`` / ``"auto"`` picks the
+    fastest registered backend supporting ``wavelet``; see
+    :mod:`repro.wavelets.backends`).  The resolved name is recorded on the
+    result for provenance.
     """
+    resolved_backend = resolve_backend(backend, wavelet)
     run_timer = StageTimer()
     with run_timer.stage("transform"):
         transformed, _shape = wavelet_smooth_grid(
-            grid, wavelet=wavelet, level=level, workspace=workspace
+            grid, wavelet=wavelet, level=level, workspace=workspace,
+            backend=resolved_backend,
         )
     with run_timer.stage("threshold"):
         threshold = select_threshold(transformed, threshold_method, angle_divisor)
@@ -180,4 +191,5 @@ def run_grid_pipeline(
         n_clusters=n_clusters,
         level=level,
         stage_seconds=run_timer.as_dict(),
+        backend=resolved_backend.name,
     )

@@ -18,12 +18,14 @@ vectorized array passes (group, transform, scatter).
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.grid.sparse_grid import SparseGrid
-from repro.wavelets.dwt import dwt_batch
+from repro.wavelets.backends import TransformBackend, resolve_backend
 from repro.wavelets.filters import build_wavelet
 
 # Coefficients with magnitude below this fraction of one object's mass are
@@ -31,9 +33,81 @@ from repro.wavelets.filters import build_wavelet
 # side-lobes spreading into empty cells).
 _NEGLIGIBLE = 1e-9
 
+# Line matrices smaller than this run serially: below it the transform takes
+# tens of microseconds and thread handoff would dominate.  Tests lower it to
+# exercise the chunked path on tiny fixtures.
+_PARALLEL_MIN_ELEMENTS = 1 << 16
+
+_EXECUTOR: Optional[ThreadPoolExecutor] = None
+_EXECUTOR_WORKERS = 0
+_EXECUTOR_LOCK = threading.Lock()
+
+
+def _transform_executor(n_workers: int) -> ThreadPoolExecutor:
+    """Shared lazily-built thread pool for line-chunk fan-out.
+
+    One process-wide pool is reused across fits (thread startup is not free);
+    it grows if a caller asks for more workers than it was built with.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    with _EXECUTOR_LOCK:
+        if _EXECUTOR is None or _EXECUTOR_WORKERS < n_workers:
+            if _EXECUTOR is not None:
+                _EXECUTOR.shutdown(wait=False)
+            _EXECUTOR = ThreadPoolExecutor(
+                max_workers=n_workers, thread_name_prefix="repro-transform"
+            )
+            _EXECUTOR_WORKERS = n_workers
+        return _EXECUTOR
+
+
+def approx_lines(
+    matrix,
+    wavelet,
+    backend=None,
+    n_workers: Optional[int] = None,
+) -> np.ndarray:
+    """Low-pass transform every row of ``matrix`` via the chosen backend.
+
+    Rows (grid lines) are independent, so large matrices are chunked by row
+    and fanned across the shared thread pool -- the numpy matmul and the
+    lifting ufunc kernels release the GIL on large blocks.  Chunked output is
+    bit-identical to the serial call because every kernel processes rows
+    independently; the equivalence suite pins this.
+
+    ``backend`` accepts anything :func:`resolve_backend` does (``None`` /
+    ``"auto"`` / a name / a :class:`TransformBackend`); ``n_workers`` follows
+    the :func:`repro.serve.parallel.resolve_n_workers` convention (``None`` =
+    one per CPU, capped by the number of row chunks).
+    """
+    resolved = (
+        backend if isinstance(backend, TransformBackend) else resolve_backend(backend, wavelet)
+    )
+    matrix = np.asarray(matrix, dtype=np.float64)
+    n_rows = matrix.shape[0] if matrix.ndim == 2 else 0
+    if n_rows < 2 or matrix.size < _PARALLEL_MIN_ELEMENTS:
+        return resolved.approx_batch(matrix, wavelet)
+    # Imported lazily: repro.serve.parallel pulls in the estimator, which
+    # would be a circular import at module load time.
+    from repro.serve.parallel import resolve_n_workers
+
+    n_chunks = resolve_n_workers(n_workers, n_tasks=n_rows)
+    if n_chunks <= 1:
+        return resolved.approx_batch(matrix, wavelet)
+    bounds = np.linspace(0, n_rows, n_chunks + 1).astype(np.int64)
+    chunks = [matrix[a:b] for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+    pool = _transform_executor(len(chunks))
+    parts = list(pool.map(lambda chunk: resolved.approx_batch(chunk, wavelet), chunks))
+    return np.concatenate(parts, axis=0)
+
 
 def _transform_axis(
-    grid: SparseGrid, wavelet, axis: int, workspace: Optional["np.ndarray"] = None
+    grid: SparseGrid,
+    wavelet,
+    axis: int,
+    workspace: Optional["np.ndarray"] = None,
+    backend=None,
+    n_workers: Optional[int] = None,
 ) -> SparseGrid:
     """Single-level low-pass transform of the grid along one axis.
 
@@ -45,7 +119,7 @@ def _transform_axis(
     keys, matrix = grid.line_matrix(axis, out=workspace)
     if len(keys) == 0:
         return SparseGrid(new_shape)
-    approx, _detail = dwt_batch(matrix, wavelet)
+    approx = approx_lines(matrix, wavelet, backend=backend, n_workers=n_workers)
     mask = np.abs(approx) > _NEGLIGIBLE
     line_index, position = np.nonzero(mask)
     coords = np.empty((len(line_index), grid.ndim), dtype=np.int64)
@@ -60,6 +134,8 @@ def wavelet_smooth_grid(
     wavelet: str = "bior2.2",
     level: int = 1,
     workspace: Optional["Workspace"] = None,
+    backend=None,
+    n_workers: Optional[int] = None,
 ) -> Tuple[SparseGrid, Tuple[int, ...]]:
     """Transform a sparse grid into its level-``level`` approximation subband.
 
@@ -77,6 +153,12 @@ def wavelet_smooth_grid(
         Optional :class:`Workspace` whose scratch buffer is reused for the
         dense line batches (lets a batch runner transform many grids without
         reallocating).
+    backend:
+        Transform backend spec (``None`` / ``"auto"`` / a registered name /
+        a :class:`~repro.wavelets.backends.TransformBackend`); resolved once
+        and reused for every axis pass.
+    n_workers:
+        Thread count for chunked line-batch fan-out (``None`` = one per CPU).
 
     Returns
     -------
@@ -89,6 +171,9 @@ def wavelet_smooth_grid(
     if level < 1:
         raise ValueError(f"level must be >= 1; got {level}.")
     bank = build_wavelet(wavelet)
+    resolved = (
+        backend if isinstance(backend, TransformBackend) else resolve_backend(backend, bank)
+    )
     current = grid
     for _ in range(level):
         if min(current.shape) < 2:
@@ -97,7 +182,9 @@ def wavelet_smooth_grid(
             scratch = None
             if workspace is not None:
                 scratch = workspace.line_buffer(current.n_occupied, current.shape[axis])
-            current = _transform_axis(current, bank, axis, workspace=scratch)
+            current = _transform_axis(
+                current, bank, axis, workspace=scratch, backend=resolved, n_workers=n_workers
+            )
     return current, current.shape
 
 

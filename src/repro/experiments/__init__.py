@@ -34,7 +34,11 @@ from repro.experiments.noise_sweep import run_noise_sweep
 from repro.experiments.realworld import run_realworld_comparison
 from repro.experiments.glass_correlation import run_glass_correlation
 from repro.experiments.roadmap_case import run_roadmap_case_study
-from repro.experiments.runtime import run_engine_speedup, run_runtime_comparison
+from repro.experiments.runtime import (
+    run_backend_speedup,
+    run_engine_speedup,
+    run_runtime_comparison,
+)
 from repro.experiments.ablation import run_threshold_ablation, run_memory_ablation, run_wavelet_ablation
 from repro.experiments.serving import (
     run_monitoring_overhead,
@@ -58,6 +62,7 @@ __all__ = [
     "run_realworld_comparison",
     "run_glass_correlation",
     "run_roadmap_case_study",
+    "run_backend_speedup",
     "run_engine_speedup",
     "run_runtime_comparison",
     "run_threshold_ablation",

@@ -176,6 +176,7 @@ class Telemetry:
         self._swaps: Dict[str, int] = {}
         self._last_swap: Optional[str] = None
         self._worker_respawns: Dict[int, int] = {}
+        self._worker_pinned: Dict[int, int] = {}
         self._drift_checks = 0
         self._drift_flagged = 0
         self._drift_history: Deque[Dict[str, Any]] = deque(maxlen=int(history_limit))
@@ -248,6 +249,14 @@ class Telemetry:
                 self._worker_respawns.get(int(worker), 0) + 1
             )
         self._emit({"event": "worker_respawn", "worker": int(worker)})
+
+    def record_worker_pinned(self, worker: int, cpu: Optional[int]) -> None:
+        """One worker process pinned to a CPU (``None`` = pin removed/failed)."""
+        with self._lock:
+            if cpu is None:
+                self._worker_pinned.pop(int(worker), None)
+            else:
+                self._worker_pinned[int(worker)] = int(cpu)
 
     def record_stage(self, stage: str, seconds: float) -> None:
         """One observation of a named serving-path (or pipeline) stage.
@@ -500,6 +509,7 @@ class Telemetry:
                 "workers": {
                     "respawns": sum(self._worker_respawns.values()),
                     "by_worker": dict(self._worker_respawns),
+                    "pinned": dict(self._worker_pinned),
                 },
                 "drift": {"checks": self._drift_checks,
                           "drifted": self._drift_flagged,

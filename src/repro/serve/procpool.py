@@ -332,6 +332,13 @@ class ProcessWorkerPool:
         ``shm_slot_bytes`` payload each.  Batches that do not fit a slot --
         or arrive while every slot is in flight -- fall back to the pickle
         path automatically.
+    pin_workers:
+        Pin each worker process to one CPU (round-robin over the CPUs this
+        process may run on) via ``os.sched_setaffinity``, so co-located
+        pools stop migrating workers across caches.  Respawned workers are
+        re-pinned to their slot's CPU.  Skipped silently -- ``pinned()``
+        stays empty -- on platforms without ``sched_setaffinity`` or when
+        the kernel refuses.
 
     Control messages (:meth:`bind` / :meth:`drop`) are broadcast to every
     worker's FIFO queue; predict tasks go to one worker each, chosen
@@ -350,11 +357,23 @@ class ProcessWorkerPool:
         use_shm: bool = True,
         shm_slot_bytes: int = DEFAULT_SLOT_BYTES,
         shm_slots: int = DEFAULT_SLOTS,
+        pin_workers: bool = False,
     ) -> None:
         from repro.serve.parallel import resolve_n_workers
 
         self.store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
         self.n_workers = resolve_n_workers(n_workers)
+        self.pin_workers = bool(pin_workers)
+        self._pin_cpus: List[int] = []
+        if self.pin_workers and hasattr(os, "sched_getaffinity"):
+            # The CPUs this process may run on, not the raw host count:
+            # containers and taskset-restricted parents pin within their own
+            # allowance.
+            try:
+                self._pin_cpus = sorted(os.sched_getaffinity(0))
+            except OSError:
+                self._pin_cpus = []
+        self.pinned_cpus: List[Optional[int]] = [None] * self.n_workers
         self._ctx = multiprocessing.get_context(mp_context)
         self.rings: Optional[List[SlotRing]] = None
         if use_shm and shm_available():
@@ -368,8 +387,9 @@ class ProcessWorkerPool:
             self._spawn_process(index, task_queue)
             for index, task_queue in enumerate(self._task_queues)
         ]
-        for process in self.processes:
+        for index, process in enumerate(self.processes):
             process.start()
+            self._pin(index, process)
         self._rotation = itertools.cycle(range(self.n_workers))
         self._lock = threading.Lock()
         self._bindings: Dict[str, str] = {}
@@ -381,6 +401,30 @@ class ProcessWorkerPool:
 
     def _ring_spec(self, index: int):
         return None if self.rings is None else self.rings[index].spec()
+
+    def _pin(self, index: int, process) -> None:
+        """Pin a just-started worker to its slot's CPU; skip where unsupported.
+
+        Parent-side by pid, so the worker needs no cooperation and a
+        respawned process inherits its slot's CPU deterministically.
+        """
+        if not self._pin_cpus or not hasattr(os, "sched_setaffinity"):
+            return
+        cpu = self._pin_cpus[index % len(self._pin_cpus)]
+        try:
+            os.sched_setaffinity(process.pid, {cpu})
+        except (OSError, ValueError):
+            # The kernel refused (permissions, cpuset changes, the process
+            # already exited): serve unpinned rather than fail the pool.
+            self.pinned_cpus[index] = None
+            return
+        self.pinned_cpus[index] = cpu
+
+    def pinned(self) -> Dict[int, int]:
+        """Worker index -> CPU for every successfully pinned worker."""
+        return {
+            index: cpu for index, cpu in enumerate(self.pinned_cpus) if cpu is not None
+        }
 
     def _spawn_process(self, index: int, task_queue):
         return self._ctx.Process(
@@ -446,6 +490,7 @@ class ProcessWorkerPool:
             self.respawns += 1
             generation = self._generations[index]
             process.start()
+            self._pin(index, process)
         old_process.join(timeout=0.1)  # reap the corpse
         old_queue.close()
         old_queue.cancel_join_thread()
@@ -640,9 +685,10 @@ class ProcessPoolService(ClusteringService):
     respawn_workers:
         Automatically replace dead workers (default).  ``False`` restores
         the PR-5 behaviour of leaving the slot empty.
-    use_shm, shm_slot_bytes, shm_slots:
-        Shared-memory data-plane knobs, passed to
-        :class:`ProcessWorkerPool`.
+    use_shm, shm_slot_bytes, shm_slots, pin_workers:
+        Shared-memory data-plane and CPU-pinning knobs, passed to
+        :class:`ProcessWorkerPool`.  Successful pins surface in
+        ``telemetry.snapshot()["workers"]["pinned"]``.
     max_pending, max_batch_delay, max_async_workers, telemetry:
         As in :class:`ClusteringService` (``max_batch_delay`` here bounds
         how long the dispatcher waits for a fuller batch).
@@ -661,6 +707,7 @@ class ProcessPoolService(ClusteringService):
         use_shm: bool = True,
         shm_slot_bytes: int = DEFAULT_SLOT_BYTES,
         shm_slots: int = DEFAULT_SLOTS,
+        pin_workers: bool = False,
         max_pending: Optional[int] = None,
         max_batch_delay: float = 0.0,
         max_async_workers: int = 4,
@@ -707,7 +754,10 @@ class ProcessPoolService(ClusteringService):
             use_shm=use_shm,
             shm_slot_bytes=shm_slot_bytes,
             shm_slots=shm_slots,
+            pin_workers=pin_workers,
         )
+        for index, cpu in self.pool.pinned().items():
+            self.telemetry.record_worker_pinned(index, cpu)
         self._requests: Deque[
             Tuple[str, np.ndarray, Future, Optional[Trace]]
         ] = deque()
@@ -1042,6 +1092,10 @@ class ProcessPoolService(ClusteringService):
                 generation = self.pool.respawn(index)
                 if generation is not None:
                     self.telemetry.record_worker_respawn(index)
+                    # Respawn re-pins (or fails to); keep the snapshot honest.
+                    self.telemetry.record_worker_pinned(
+                        index, self.pool.pinned_cpus[index]
+                    )
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -94,9 +94,13 @@ class StreamController:
         thread inside the control loop's lock: keep them quick, and never
         call back into the controller from one (hand off to a queue or
         thread instead).
-    wavelet, threshold_method, connectivity, min_cluster_cells, angle_divisor:
+    wavelet, threshold_method, connectivity, min_cluster_cells, angle_divisor,
+    backend:
         Grid-side pipeline parameters used by both the re-tune sweep and the
-        drift monitor's fresh-partition pass.
+        drift monitor's fresh-partition pass.  ``backend`` selects the
+        transform kernel (``"auto"`` = fastest registered; see
+        :mod:`repro.wavelets.backends`), so every re-tune inherits the fast
+        path and records it in the published artifact's metadata.
 
     Attributes
     ----------
@@ -147,6 +151,7 @@ class StreamController:
         connectivity: str = "auto",
         min_cluster_cells: int = 3,
         angle_divisor: float = 3.0,
+        backend="auto",
     ) -> None:
         self.name = str(name)
         self._owns_service = service is None
@@ -182,6 +187,7 @@ class StreamController:
             connectivity=connectivity,
             min_cluster_cells=min_cluster_cells,
             angle_divisor=angle_divisor,
+            backend=backend,
         )
         self.monitor = (
             monitor if monitor is not None else DriftMonitor(**self._pipeline_params)
@@ -307,6 +313,7 @@ class StreamController:
                     "retune_index": self.n_retunes_,
                     "tuning": tune_result.provenance(),
                     "stage_seconds": dict(best.pipeline.stage_seconds),
+                    "transform_backend": best.pipeline.backend,
                 },
             )
             self.version_ = self.service.swap(self.name, model)

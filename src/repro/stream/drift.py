@@ -84,7 +84,8 @@ class DriftMonitor:
     max_noise_shift:
         Drift is flagged when the live noise-band mass fraction moves more
         than this far from the fraction recorded at publish time.
-    wavelet, threshold_method, connectivity, min_cluster_cells, angle_divisor:
+    wavelet, threshold_method, connectivity, min_cluster_cells, angle_divisor,
+    backend:
         Grid-side pipeline parameters for the fresh partition; use the same
         values the serving models are tuned with.
 
@@ -106,6 +107,7 @@ class DriftMonitor:
         connectivity: str = "auto",
         min_cluster_cells: int = 3,
         angle_divisor: float = 3.0,
+        backend="auto",
     ) -> None:
         if not 0.0 <= min_stability <= 1.0:
             raise ValueError(f"min_stability must be in [0, 1]; got {min_stability}.")
@@ -119,6 +121,7 @@ class DriftMonitor:
             connectivity=connectivity,
             min_cluster_cells=min_cluster_cells,
             angle_divisor=angle_divisor,
+            backend=backend,
         )
         self.model_: Optional[ClusterModel] = None
         self.baseline_noise_fraction_: Optional[float] = None

@@ -128,7 +128,7 @@ def _dwt_periodized(signal: np.ndarray, wavelet: Wavelet) -> Tuple[np.ndarray, n
     return approx, detail
 
 
-def dwt_batch(signals, wavelet, mode: str = "periodization") -> Tuple[np.ndarray, np.ndarray]:
+def dwt_batch(signals, wavelet, mode: str = "periodization", approx_only: bool = False):
     """Single-level DWT of many equal-length signals at once.
 
     Parameters
@@ -140,10 +140,15 @@ def dwt_batch(signals, wavelet, mode: str = "periodization") -> Tuple[np.ndarray
     mode:
         Only ``"periodization"`` is supported (the non-redundant mode the
         grid transform uses).
+    approx_only:
+        Skip the detail (high-pass) half entirely and return just ``cA``.
+        The grid transform discards the detail coefficients unconditionally
+        (Algorithm 3 keeps only the scale space), so computing them would be
+        pure waste on that path -- this flag roughly halves the work.
 
     Returns
     -------
-    (cA, cD):
+    (cA, cD), or cA alone when ``approx_only``:
         Arrays of shape ``(batch, ceil(n / 2))``, row ``i`` being exactly
         ``dwt(signals[i], wavelet, mode)``.
     """
@@ -160,8 +165,15 @@ def dwt_batch(signals, wavelet, mode: str = "periodization") -> Tuple[np.ndarray
         signals = np.concatenate([signals, signals[:, -1:]], axis=1)
         n += 1
     lo_idx, hi_idx = _periodized_indices(bank, n)
-    approx = signals[:, lo_idx] @ bank.dec_lo
-    detail = signals[:, hi_idx] @ bank.dec_hi
+    # The fancy-indexed gather is not C-contiguous (the advanced-index dims
+    # are moved), which routes the matmul through a layout-dependent kernel.
+    # Copying to contiguous first keeps the numerics layout-independent (so
+    # the lifting backend can be pinned bit-for-bit against this path) and
+    # lets the stacked matmul use the fast contiguous loop.
+    approx = np.ascontiguousarray(signals[:, lo_idx]) @ bank.dec_lo
+    if approx_only:
+        return approx
+    detail = np.ascontiguousarray(signals[:, hi_idx]) @ bank.dec_hi
     return approx, detail
 
 

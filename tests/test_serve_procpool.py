@@ -13,6 +13,7 @@ boundaries:
 """
 
 import asyncio
+import os
 import threading
 import time
 
@@ -402,3 +403,70 @@ class TestSwapStorm:
         assert snapshot["swaps"]["count"] == swaps[0]
         assert snapshot["swaps"]["by_name"] == {"live": swaps[0]}
         service.close()
+
+
+@pytest.mark.skipif(
+    not hasattr(os, "sched_setaffinity"),
+    reason="per-worker CPU pinning requires os.sched_setaffinity",
+)
+class TestWorkerPinning:
+    def test_pin_workers_assigns_round_robin_cpus(self, tmp_path):
+        from repro.serve.procpool import ProcessWorkerPool
+
+        allowed = sorted(os.sched_getaffinity(0))
+        pool = ProcessWorkerPool(tmp_path, 2, pin_workers=True)
+        try:
+            pinned = pool.pinned()
+            assert set(pinned) == {0, 1}
+            for index, cpu in pinned.items():
+                assert cpu == allowed[index % len(allowed)]
+                # The kernel agrees: the worker really is confined to its CPU.
+                assert os.sched_getaffinity(pool.processes[index].pid) == {cpu}
+        finally:
+            pool.close()
+
+    def test_pinning_off_by_default(self, tmp_path):
+        from repro.serve.procpool import ProcessWorkerPool
+
+        pool = ProcessWorkerPool(tmp_path, 2)
+        try:
+            assert pool.pinned() == {}
+            assert pool.pinned_cpus == [None, None]
+        finally:
+            pool.close()
+
+    def test_respawned_worker_is_repinned(self, tmp_path):
+        import signal
+
+        from repro.serve.procpool import ProcessWorkerPool
+
+        pool = ProcessWorkerPool(tmp_path, 2, pin_workers=True)
+        try:
+            original = pool.pinned()[0]
+            victim = pool.processes[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while victim.is_alive() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert not victim.is_alive(), "SIGKILL never landed"
+            assert pool.respawn(0) == 1
+            assert pool.pinned()[0] == original
+            assert os.sched_getaffinity(pool.processes[0].pid) == {original}
+        finally:
+            pool.close()
+
+    def test_service_surfaces_pins_in_telemetry_and_still_serves(
+        self, corpus, tmp_path
+    ):
+        models, queries, expected = corpus
+        service = ProcessPoolService(tmp_path, n_workers=2, pin_workers=True)
+        try:
+            workers = service.telemetry.snapshot()["workers"]
+            assert set(workers["pinned"]) == {0, 1}
+            assert workers["pinned"] == service.pool.pinned()
+            service.register("pinned-model", models[0])
+            np.testing.assert_array_equal(
+                service.predict("pinned-model", queries), expected[0]
+            )
+        finally:
+            service.close()

@@ -1,0 +1,277 @@
+"""Equivalence and registry tests for the pluggable transform backends.
+
+Every registered backend must agree with the ``dwt_batch`` reference on the
+approximation half: bit-for-bit for the Haar family under the lifting
+backend, within a pinned 1e-9 for the CDF 5/3 / 9/7 lifting kernels.  The
+chunked-parallel line transform must be bit-identical to the serial call for
+every backend.  The golden fixtures are re-verified per backend: identical
+labels end to end, threshold within the usual tolerance.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+import repro.core.transform as transform_module
+from repro.core.adawave import AdaWave
+from repro.core.transform import approx_lines
+from repro.wavelets.backends import (
+    LiftingBackend,
+    NumpyBackend,
+    TransformBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.wavelets.dwt import dwt_batch
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+GOLDEN_NAMES = (
+    "running_example",
+    "two_moons_noise",
+    "roadmap_case",
+    "gaussians_4d",
+    "uniform_noise_only",
+    "single_cluster",
+)
+
+# Wavelets the lifting kernels cover; the numpy reference covers everything.
+LIFTING_WAVELETS = ("haar", "db1", "bior1.1", "bior2.2", "bior4.4")
+HAAR_FAMILY = ("haar", "db1", "bior1.1")
+
+# Coefficient agreement pin for the non-Haar lifting kernels: the lifting
+# factorisation rounds differently from the convolution (fewer, different
+# intermediate products), but anything beyond the last few ulps of these
+# O(1)-magnitude densities is a real kernel bug.
+COEFF_ATOL = 1e-9
+
+line_matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=24),
+        st.integers(min_value=1, max_value=65),  # odd lengths included
+    ),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64),
+)
+
+
+def _registered_backend_objects():
+    return [get_backend(name) for name in available_backends()]
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("wavelet", LIFTING_WAVELETS)
+    @given(matrix=line_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_every_backend_matches_reference(self, wavelet, matrix):
+        reference = dwt_batch(matrix, wavelet, approx_only=True)
+        for backend in _registered_backend_objects():
+            if not backend.supports(wavelet):
+                continue
+            approx = backend.approx_batch(matrix, wavelet)
+            assert approx.shape == reference.shape
+            np.testing.assert_allclose(
+                approx,
+                reference,
+                rtol=0.0,
+                atol=COEFF_ATOL,
+                err_msg=f"{backend.name} diverged from dwt_batch on {wavelet}",
+            )
+
+    @pytest.mark.parametrize("wavelet", HAAR_FAMILY)
+    @given(matrix=line_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_lifting_haar_is_bit_identical(self, wavelet, matrix):
+        reference = dwt_batch(matrix, wavelet, approx_only=True)
+        lifted = get_backend("lifting").approx_batch(matrix, wavelet)
+        np.testing.assert_array_equal(lifted, reference)
+
+    @pytest.mark.parametrize("wavelet", LIFTING_WAVELETS)
+    def test_empty_batch(self, wavelet):
+        matrix = np.empty((0, 16))
+        reference = dwt_batch(matrix, wavelet, approx_only=True)
+        for backend in _registered_backend_objects():
+            if not backend.supports(wavelet):
+                continue
+            approx = backend.approx_batch(matrix, wavelet)
+            assert approx.shape == reference.shape == (0, 8)
+
+    @pytest.mark.parametrize("wavelet", LIFTING_WAVELETS)
+    def test_single_line(self, wavelet):
+        matrix = np.arange(32.0).reshape(1, 32)
+        reference = dwt_batch(matrix, wavelet, approx_only=True)
+        for backend in _registered_backend_objects():
+            if not backend.supports(wavelet):
+                continue
+            np.testing.assert_allclose(
+                backend.approx_batch(matrix, wavelet),
+                reference,
+                rtol=0.0,
+                atol=COEFF_ATOL,
+            )
+
+    @pytest.mark.parametrize("wavelet", LIFTING_WAVELETS)
+    def test_odd_length_pads_like_reference(self, wavelet):
+        rng = np.random.default_rng(7)
+        matrix = rng.normal(size=(5, 33))
+        reference = dwt_batch(matrix, wavelet, approx_only=True)
+        for backend in _registered_backend_objects():
+            if not backend.supports(wavelet):
+                continue
+            approx = backend.approx_batch(matrix, wavelet)
+            assert approx.shape == (5, 17)
+            np.testing.assert_allclose(approx, reference, rtol=0.0, atol=COEFF_ATOL)
+
+    def test_zero_width_raises_everywhere(self):
+        for backend in _registered_backend_objects():
+            with pytest.raises(ValueError):
+                backend.approx_batch(np.empty((3, 0)), "haar")
+
+    def test_approx_only_matches_full_transform(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(11, 40))
+        for wavelet in ("haar", "bior2.2", "bior4.4", "db4", "sym4"):
+            full_approx, _detail = dwt_batch(matrix, wavelet)
+            np.testing.assert_array_equal(
+                dwt_batch(matrix, wavelet, approx_only=True), full_approx
+            )
+
+
+class TestChunkedParallelTransform:
+    @pytest.mark.parametrize("backend", ["numpy", "lifting"])
+    @pytest.mark.parametrize("wavelet", ["haar", "bior2.2", "bior4.4"])
+    def test_chunked_parallel_is_bit_identical_to_serial(
+        self, monkeypatch, backend, wavelet
+    ):
+        # Lower the size gate so tiny fixtures exercise the threaded path,
+        # and fan wider than this machine's CPU count to cover uneven chunks.
+        monkeypatch.setattr(transform_module, "_PARALLEL_MIN_ELEMENTS", 1)
+        rng = np.random.default_rng(11)
+        for shape in [(7, 16), (128, 128), (33, 64), (2, 8)]:
+            matrix = rng.normal(size=shape)
+            serial = get_backend(backend).approx_batch(matrix, wavelet)
+            for n_workers in (2, 3, 5):
+                parallel = approx_lines(
+                    matrix, wavelet, backend=backend, n_workers=n_workers
+                )
+                np.testing.assert_array_equal(
+                    parallel,
+                    serial,
+                    err_msg=f"chunked {backend}/{wavelet} diverged at {shape} "
+                    f"with {n_workers} workers",
+                )
+
+    def test_small_matrices_stay_serial(self):
+        # Below the element gate the serial path runs regardless of workers.
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(4, 8))
+        out = approx_lines(matrix, "bior2.2", backend="numpy", n_workers=4)
+        np.testing.assert_array_equal(
+            out, dwt_batch(matrix, "bior2.2", approx_only=True)
+        )
+
+
+class TestBackendRegistry:
+    def test_numpy_and_lifting_always_registered(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "lifting" in names
+
+    def test_auto_prefers_lifting_for_supported_wavelets(self):
+        # numba (priority 20) legitimately outranks lifting when installed.
+        assert resolve_backend("auto", "bior2.2").priority >= LiftingBackend.priority
+        assert resolve_backend(None, "haar").priority >= LiftingBackend.priority
+
+    def test_auto_falls_back_to_numpy_for_generic_wavelets(self):
+        assert resolve_backend("auto", "db4").name == "numpy"
+        assert resolve_backend("auto", "sym5").name == "numpy"
+
+    def test_explicit_backend_instance_is_used_directly(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend, "db4") is backend
+
+    def test_unknown_backend_name_raises(self):
+        with pytest.raises(ValueError, match="Unknown transform backend"):
+            resolve_backend("does-not-exist", "haar")
+
+    def test_unsupported_wavelet_with_explicit_backend_raises(self):
+        with pytest.raises(ValueError, match="does not support wavelet"):
+            resolve_backend("lifting", "db4")
+
+    def test_register_and_unregister_custom_backend(self):
+        class Doubler(TransformBackend):
+            name = "test-doubler"
+            priority = -5
+
+            def supports(self, wavelet):
+                return True
+
+            def approx_batch(self, matrix, wavelet):
+                return dwt_batch(matrix, wavelet, approx_only=True)
+
+        backend = Doubler()
+        register_backend(backend)
+        try:
+            assert get_backend("test-doubler") is backend
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend(Doubler())
+            register_backend(Doubler(), overwrite=True)
+        finally:
+            unregister_backend("test-doubler")
+        with pytest.raises(ValueError):
+            get_backend("test-doubler")
+
+    def test_numpy_backend_cannot_be_unregistered(self):
+        with pytest.raises(ValueError, match="cannot be unregistered"):
+            unregister_backend("numpy")
+
+    def test_estimator_rejects_bad_backend_type(self):
+        with pytest.raises(TypeError, match="backend must be"):
+            AdaWave(backend=123)
+
+
+def _load_golden(name):
+    path = GOLDEN_DIR / f"{name}.npz"
+    if not path.exists():
+        pytest.skip(f"golden fixture {path.name} missing; run generate_golden.py")
+    return np.load(path)
+
+
+class TestGoldenFixturesPerBackend:
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_every_backend_reproduces_frozen_labels(self, name):
+        data = _load_golden(name)
+        points, scale = data["points"], int(data["scale"])
+        reference = AdaWave(scale=scale, backend="numpy").fit(points)
+        np.testing.assert_array_equal(reference.labels_, data["labels"])
+        for backend_name in available_backends():
+            backend = get_backend(backend_name)
+            if not backend.supports("bior2.2"):
+                continue
+            model = AdaWave(scale=scale, backend=backend_name).fit(points)
+            assert model.backend_ == backend_name
+            np.testing.assert_array_equal(
+                model.labels_,
+                reference.labels_,
+                err_msg=f"backend {backend_name} labels diverged on {name}",
+            )
+            assert model.n_clusters_ == reference.n_clusters_
+            assert model.threshold_ == pytest.approx(
+                reference.threshold_, rel=1e-9, abs=1e-9
+            )
+
+    def test_backend_recorded_in_artifact_metadata(self):
+        data = _load_golden("running_example")
+        model = AdaWave(scale=int(data["scale"]), backend="lifting").fit(
+            data["points"]
+        )
+        artifact = model.export_model()
+        assert artifact.metadata["transform_backend"] == "lifting"
+        auto = AdaWave(scale=int(data["scale"]), backend="auto").fit(data["points"])
+        assert auto.export_model().metadata["transform_backend"] in available_backends()
