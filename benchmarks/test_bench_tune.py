@@ -13,10 +13,16 @@ the synthetic noise suite and prints the full tables (run with
 
 import pytest
 
-from repro.experiments import format_table, run_tune_overhead, run_tuning_comparison
+from repro.experiments import (
+    format_table,
+    run_tune_overhead,
+    run_tuning_comparison,
+    run_widened_sweep_overhead,
+)
 
-SWEEP_OVERHEAD_CEILING = 2.0  # 4-scale sweep vs single fixed-scale fit
-TUNED_AMI_FLOOR = 0.95        # tuned noise-aware AMI vs best fixed pow2 scale
+SWEEP_OVERHEAD_CEILING = 2.0    # 4-scale sweep vs single fixed-scale fit
+WIDENED_SWEEP_CEILING = 2.5     # 4-policy threshold sweep vs single fit
+TUNED_AMI_FLOOR = 0.95          # tuned noise-aware AMI vs best fixed pow2 scale
 
 
 def test_bench_tune_sweep_overhead(benchmark):
@@ -49,6 +55,32 @@ def test_bench_tune_sweep_overhead(benchmark):
     # Sanity on the contrast row: refitting per scale must cost clearly more
     # than sweeping the same scales from one sketch.
     assert result.metadata["refit_ratio"] > result.metadata["sweep_ratio"]
+
+
+def test_bench_widened_sweep_overhead(benchmark):
+    """Sweeping all four threshold policies must cost <= 2.5x one fit.
+
+    n = 100k, d = 2, fixed scale 128: ``AdaWave(threshold="tune")``
+    quantizes once and reruns only the ``O(cells)`` grid-side stages per
+    level policy, so the widened axis stays a small multiple of a single
+    fixed fit.  A regression here means a policy pass started re-touching
+    the points (or re-quantizing per candidate).
+    """
+    result = benchmark.pedantic(
+        lambda: run_widened_sweep_overhead(
+            n_points=100_000, base_scale=128, repeats=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(result))
+    widened_ratio = result.metadata["widened_ratio"]
+    assert widened_ratio <= WIDENED_SWEEP_CEILING, (
+        f"the 4-policy threshold sweep costs {widened_ratio:.2f}x a single "
+        f"fixed fit; the ceiling is {WIDENED_SWEEP_CEILING}x -- the sweep "
+        "must reuse the one quantization sketch."
+    )
 
 
 @pytest.mark.slow

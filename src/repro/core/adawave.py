@@ -66,6 +66,7 @@ from repro.grid.lookup import LookupTable, NOISE_LABEL
 from repro.grid.quantizer import GridQuantizer, QuantizationResult
 from repro.grid.sparse_grid import SparseGrid
 from repro.utils.validation import NotFittedError, check_array, check_positive_int
+from repro.wavelets.thresholding import LevelPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.serve.model import ClusterModel
@@ -152,7 +153,20 @@ class AdaWave:
         reachable through an explicit integer.
     wavelet:
         Wavelet basis; the paper uses the Cohen-Daubechies-Feauveau (2,2)
-        biorthogonal spline (``"bior2.2"``).
+        biorthogonal spline (``"bior2.2"``).  A sequence of names turns the
+        basis into a tuning axis: the fit routes through the grid-pyramid
+        sweep (one shared quantization) and the label-free scoring picks
+        the family, exactly like ``scale="tune"`` picks the resolution.
+    threshold:
+        Denoising level policy: a :class:`~repro.wavelets.LevelPolicy` or
+        one of ``"hard"`` (default -- the paper's pipeline, where the
+        adaptive elbow is itself the global hard cut), ``"soft"``,
+        ``"per-level-hard"``, ``"per-level-soft"`` (MAD-scaled VisuShrink
+        shrinkage in the wavelet domain, re-estimated per decomposition
+        level for the per-level variants), or ``"tune"`` to sweep all four
+        policies from the one shared quantization and keep the one the
+        label-free scoring prefers.  The resolved canonical name is exposed
+        as :attr:`threshold_method_` and recorded in exported artifacts.
     backend:
         Transform backend for the per-axis low-pass passes: ``"auto"``
         (default -- the fastest registered backend that supports ``wavelet``,
@@ -218,6 +232,13 @@ class AdaWave:
     backend_:
         Name of the transform backend that produced the fitted coefficients
         (``"auto"`` resolved to a concrete registered backend).
+    threshold_method_:
+        Canonical name of the level policy the fitted run used
+        (``"global-hard"``, ..., with ``threshold="tune"`` resolved to the
+        winner); recorded as ``threshold_method`` in exported artifacts.
+    wavelet_:
+        Name of the wavelet basis the fitted run used (a swept basis
+        resolved to the winner).
     result_:
         Full :class:`AdaWaveResult` with every intermediate artefact.
     tune_result_:
@@ -242,9 +263,19 @@ class AdaWave:
         engine: str = "vectorized",
         lookup_only: bool = False,
         tune_levels: Optional[Sequence[int]] = None,
+        threshold: Union[str, LevelPolicy] = "hard",
     ) -> None:
         self.scale = scale
+        if isinstance(wavelet, (list, tuple)):
+            wavelet = tuple(wavelet)
+            if not wavelet:
+                raise ValueError("a swept wavelet sequence must not be empty.")
         self.wavelet = wavelet
+        if not (isinstance(threshold, str) and threshold == "tune"):
+            # Fail fast on typos; the spec itself (string or LevelPolicy) is
+            # kept verbatim so repr/get_params round-trip.
+            LevelPolicy.parse(threshold)
+        self.threshold = threshold
         from repro.wavelets.backends import TransformBackend as _TransformBackend
 
         if backend is not None and not isinstance(backend, (str, _TransformBackend)):
@@ -292,6 +323,8 @@ class AdaWave:
         self.n_clusters_: Optional[int] = None
         self.threshold_: Optional[float] = None
         self.backend_: Optional[str] = None
+        self.threshold_method_: Optional[str] = None
+        self.wavelet_: Optional[str] = None
         self.result_: Optional[AdaWaveResult] = None
         self.tune_result_: Optional["TuneResult"] = None
         self.stage_seconds_: Optional[Dict[str, float]] = None
@@ -341,15 +374,30 @@ class AdaWave:
         return scale
 
     def _pipeline_params(self) -> Dict[str, object]:
-        """The grid-side stage parameters, as :func:`run_grid_pipeline` kwargs."""
+        """The grid-side stage parameters, as :func:`run_grid_pipeline` kwargs.
+
+        ``wavelet`` may be a sequence and ``threshold`` may be ``"tune"``;
+        both are sweep-axis specs the tuning path expands, so this dict only
+        feeds :func:`run_grid_pipeline` directly when :meth:`_wants_sweep`
+        is false.
+        """
         return dict(
             wavelet=self.wavelet,
+            threshold=self.threshold,
             threshold_method=self.threshold_method,
             connectivity=self.connectivity,
             min_cluster_cells=self.min_cluster_cells,
             angle_divisor=self.angle_divisor,
             backend=self.backend,
         )
+
+    def _wants_sweep(self) -> bool:
+        """Whether any constructor axis routes the fit through the tuner."""
+        if isinstance(self.scale, str) and self.scale == "tune":
+            return True
+        if isinstance(self.threshold, str) and self.threshold == "tune":
+            return True
+        return isinstance(self.wavelet, tuple)
 
     def _finish(
         self, quantization: QuantizationResult, pipe: GridPipelineResult
@@ -364,6 +412,8 @@ class AdaWave:
         # artifact metadata so a served model carries its fit provenance.
         self.stage_seconds_ = dict(pipe.stage_seconds)
         self.backend_ = pipe.backend
+        self.threshold_method_ = pipe.threshold_policy
+        self.wavelet_ = pipe.wavelet
         self._served_model = None
         return self
 
@@ -379,14 +429,21 @@ class AdaWave:
         return self._finish(quantization, pipe)
 
     def _run_tuned(
-        self, quantizer: GridQuantizer, base_grid: SparseGrid, base_cell_ids: np.ndarray
+        self,
+        quantizer: GridQuantizer,
+        base_grid: SparseGrid,
+        base_cell_ids: np.ndarray,
+        factors: Optional[Sequence[int]] = None,
     ) -> "AdaWave":
-        """Sweep the dyadic grid pyramid and publish the winning resolution.
+        """Sweep the grid pyramid axes and publish the winning configuration.
 
-        ``base_grid`` is the quantization at the fine power-of-two base scale;
-        every coarser candidate is derived from it with
+        ``base_grid`` is the quantization at the base scale; coarser
+        resolution candidates are derived from it with
         :meth:`SparseGrid.coarsen` (exact -- no second pass over the points).
-        ``base_cell_ids`` may be empty for lookup-only streams.
+        ``base_cell_ids`` may be empty for lookup-only streams.  ``factors``
+        restricts the pyramid's coarsening factors; ``(1,)`` keeps the fit at
+        the base resolution so only the non-resolution axes (wavelet family,
+        threshold policy) are swept.
         """
         from repro.tune.select import tune_pyramid
 
@@ -397,6 +454,7 @@ class AdaWave:
         tune_result = tune_pyramid(
             base_grid,
             levels=self.tune_levels or (self.level,),
+            factors=factors,
             workspace=workspace,
             **self._pipeline_params(),
         )
@@ -457,16 +515,25 @@ class AdaWave:
             )
         self._reset_stream()
         self.n_seen_ = X.shape[0]
-        if isinstance(self.scale, str) and self.scale == "tune":
-            # Quantize once at the fine power-of-two base resolution; every
-            # coarser candidate is derived from this one sketch.
-            from repro.tune.pyramid import default_base_scale
+        if self._wants_sweep():
+            # Quantize once; every candidate is derived from this one sketch.
+            # With scale="tune" the base is the fine power-of-two resolution
+            # and the pyramid spans all coarser dyadic scales; with a fixed
+            # scale the pyramid is pinned to factor 1 and only the
+            # non-resolution axes (wavelet family, threshold policy) sweep.
+            if isinstance(self.scale, str) and self.scale == "tune":
+                from repro.tune.pyramid import default_base_scale
 
-            quantizer = GridQuantizer(
-                scale=default_base_scale(X.shape[1]), bounds=self.bounds
-            )
+                base_scale = default_base_scale(X.shape[1])
+                factors = None
+            else:
+                base_scale = self._resolve_scale(X.shape[0], X.shape[1])
+                factors = (1,)
+            quantizer = GridQuantizer(scale=base_scale, bounds=self.bounds)
             quantization = quantizer.fit_transform(X)
-            return self._run_tuned(quantizer, quantization.grid, quantization.cell_ids)
+            return self._run_tuned(
+                quantizer, quantization.grid, quantization.cell_ids, factors=factors
+            )
         # Step 1: quantize the feature space into a sparse grid.
         scale = self._resolve_scale(X.shape[0], X.shape[1])
         quantizer = GridQuantizer(scale=scale, bounds=self.bounds)
@@ -494,6 +561,8 @@ class AdaWave:
         self.n_clusters_ = None
         self.threshold_ = None
         self.backend_ = None
+        self.threshold_method_ = None
+        self.wavelet_ = None
         self.result_ = None
         self.tune_result_ = None
         self.stage_seconds_ = None
@@ -599,13 +668,20 @@ class AdaWave:
             cell_ids = np.concatenate(self._stream_cell_chunks, axis=0)
         else:
             cell_ids = self._stream_cell_chunks[0]
-        if isinstance(self.scale, str) and self.scale == "tune":
-            # The stream ingested at the fine base resolution; pick the
-            # serving resolution now, from the accumulated sketch alone.
+        if self._wants_sweep():
+            # The stream ingested at the base resolution; pick the serving
+            # configuration now, from the accumulated sketch alone.  With a
+            # fixed scale only the wavelet / threshold axes sweep (factor 1).
             # A raising sweep (tuning can legitimately fail on degenerate
             # data) must leave the stream dirty so the fit()-mid-stream
             # guard keeps protecting the ingested batches.
-            self._run_tuned(sketch.quantizer, sketch.grid.copy(), cell_ids)
+            tune_scale = isinstance(self.scale, str) and self.scale == "tune"
+            self._run_tuned(
+                sketch.quantizer,
+                sketch.grid.copy(),
+                cell_ids,
+                factors=None if tune_scale else (1,),
+            )
             self._stream_dirty = False
             return self
         quantization = QuantizationResult(

@@ -28,12 +28,31 @@ from repro.grid.connectivity import label_components_array
 from repro.grid.sparse_grid import SparseGrid
 from repro.obs.trace import StageTimer
 from repro.wavelets.backends import resolve_backend
+from repro.wavelets.thresholding import LevelPolicy
 
 #: Dimensionalities up to which ``connectivity="auto"`` resolves to "full".
 _FULL_CONNECTIVITY_MAX_DIM = 3
 
 THRESHOLD_METHODS = ("auto", "segments", "angle", "distance", "none")
 CONNECTIVITIES = ("auto", "face", "full")
+
+#: Relative epsilon of the survivor cut: transformed densities within this
+#: relative distance of the selected threshold count as *at* the threshold
+#: (pruned).  Transform backends round the same coefficient differently at
+#: the last few ulps, so without the snap an exact density tie at the
+#: threshold could survive under one backend and fall under another.
+_TIE_SNAP_RELATIVE = 1e-9
+
+
+def snapped_cut(threshold: float) -> float:
+    """Tie-stable survivor cut for a selected density threshold.
+
+    Cells survive when their density exceeds ``threshold`` by more than a
+    relative epsilon, so the survivor set is identical across registered
+    transform backends even when their rounding differs on exact ties.
+    Shared by the vectorized extraction and the reference engine.
+    """
+    return threshold + _TIE_SNAP_RELATIVE * max(1.0, abs(threshold))
 
 
 def resolve_connectivity(connectivity: str, ndim: int) -> str:
@@ -88,12 +107,14 @@ def extract_clusters(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Surviving transformed cells and their component labels (vectorized).
 
-    Prunes cells at or below ``threshold``, labels the connected components
-    of the survivors and drops components smaller than ``min_cluster_cells``
-    (relabelling the remainder to a dense ``0..k-1`` range).  Returns the
-    ``(k, d)`` surviving coordinates and the aligned ``(k,)`` labels.
+    Prunes cells at or below ``threshold`` (with the tie-stable
+    :func:`snapped_cut`, so backend rounding cannot flip exact density
+    ties), labels the connected components of the survivors and drops
+    components smaller than ``min_cluster_cells`` (relabelling the
+    remainder to a dense ``0..k-1`` range).  Returns the ``(k, d)``
+    surviving coordinates and the aligned ``(k,)`` labels.
     """
-    surviving = transformed.prune(threshold)
+    surviving = transformed.prune(snapped_cut(threshold))
     coords = surviving.coords
     if len(coords) == 0:
         return coords, np.empty(0, dtype=np.int64)
@@ -123,7 +144,9 @@ class GridPipelineResult:
     grid-side stages (``transform`` / ``threshold`` / ``extract``) -- the
     same shape of record the serving plane keeps per request, here available
     for tuning provenance and artifact metadata.  ``backend`` records which
-    transform backend produced the coefficients (provenance for artifacts).
+    transform backend produced the coefficients, ``wavelet`` the basis and
+    ``threshold_policy`` the canonical level-policy name the run used
+    (provenance for artifacts).
     """
 
     transformed: SparseGrid
@@ -134,6 +157,8 @@ class GridPipelineResult:
     level: int
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     backend: str = "numpy"
+    wavelet: str = "bior2.2"
+    threshold_policy: str = "global-hard"
 
 
 def run_grid_pipeline(
@@ -141,6 +166,7 @@ def run_grid_pipeline(
     *,
     wavelet="bior2.2",
     level: int = 1,
+    threshold="hard",
     threshold_method: str = "auto",
     connectivity: str = "auto",
     min_cluster_cells: int = 3,
@@ -164,19 +190,30 @@ def run_grid_pipeline(
     fastest registered backend supporting ``wavelet``; see
     :mod:`repro.wavelets.backends`).  The resolved name is recorded on the
     result for provenance.
+
+    ``threshold`` selects the denoising level policy
+    (:class:`~repro.wavelets.LevelPolicy` or one of its spellings --
+    ``"hard"``, ``"soft"``, ``"per-level-hard"``, ``"per-level-soft"``).
+    The default ``"hard"`` (global-hard) is the paper's pipeline: the
+    adaptive elbow criterion is itself the global hard cut, so no extra
+    wavelet-domain pass runs.  The other policies add a MAD-scaled
+    VisuShrink shrinkage in the wavelet domain before the elbow; the elbow
+    selection (``threshold_method``) and survivor extraction are unchanged.
     """
+    policy = LevelPolicy.parse(threshold)
     resolved_backend = resolve_backend(backend, wavelet)
     run_timer = StageTimer()
     with run_timer.stage("transform"):
         transformed, _shape = wavelet_smooth_grid(
             grid, wavelet=wavelet, level=level, workspace=workspace,
             backend=resolved_backend,
+            shrink=policy if policy.denoises else None,
         )
     with run_timer.stage("threshold"):
-        threshold = select_threshold(transformed, threshold_method, angle_divisor)
+        diagnostics = select_threshold(transformed, threshold_method, angle_divisor)
     with run_timer.stage("extract"):
         cell_coords, cell_labels = extract_clusters(
-            transformed, threshold.threshold, grid.ndim, connectivity,
+            transformed, diagnostics.threshold, grid.ndim, connectivity,
             min_cluster_cells,
         )
     n_clusters = int(cell_labels.max()) + 1 if len(cell_labels) else 0
@@ -185,11 +222,13 @@ def run_grid_pipeline(
             timer.add(name, seconds)
     return GridPipelineResult(
         transformed=transformed,
-        threshold=threshold,
+        threshold=diagnostics,
         cell_coords=cell_coords,
         cell_labels=cell_labels,
         n_clusters=n_clusters,
         level=level,
         stage_seconds=run_timer.as_dict(),
         backend=resolved_backend.name,
+        wavelet=getattr(wavelet, "name", None) or str(wavelet),
+        threshold_policy=policy.name,
     )

@@ -27,6 +27,12 @@ import numpy as np
 from repro.grid.sparse_grid import SparseGrid
 from repro.wavelets.backends import TransformBackend, resolve_backend
 from repro.wavelets.filters import build_wavelet
+from repro.wavelets.thresholding import (
+    LevelPolicy,
+    hard_threshold,
+    soft_threshold,
+    universal_threshold,
+)
 
 # Coefficients with magnitude below this fraction of one object's mass are
 # treated as numerically zero and not stored (they arise from the filter
@@ -129,6 +135,34 @@ def _transform_axis(
     return SparseGrid.from_coo(new_shape, coords, approx[mask])
 
 
+def _shrink_grid(grid: SparseGrid, rule: str) -> SparseGrid:
+    """One MAD-scaled VisuShrink pass over a grid's approximation coefficients.
+
+    Estimates the universal threshold from the occupied-cell values
+    (:func:`repro.wavelets.universal_threshold` -- MAD sigma with std
+    fallback), applies the hard or soft rule and drops the zeroed cells.
+    Degenerate cases are contained: an unestimable noise scale (empty or
+    constant band) or a cut that would erase every cell leaves the grid
+    unchanged rather than handing the threshold stage an empty band.
+    """
+    values = grid.values
+    if len(values) == 0:
+        return grid
+    try:
+        cut = universal_threshold(values)
+    except ValueError:
+        return grid
+    if cut <= 0.0:
+        return grid
+    shrunk = soft_threshold(values, cut) if rule == "soft" else hard_threshold(values, cut)
+    mask = shrunk != 0.0
+    if not mask.any():
+        return grid
+    if mask.all() and rule == "hard":
+        return grid
+    return SparseGrid.from_coo(grid.shape, grid.coords[mask], shrunk[mask])
+
+
 def wavelet_smooth_grid(
     grid: SparseGrid,
     wavelet: str = "bior2.2",
@@ -136,6 +170,7 @@ def wavelet_smooth_grid(
     workspace: Optional["Workspace"] = None,
     backend=None,
     n_workers: Optional[int] = None,
+    shrink: Optional[LevelPolicy] = None,
 ) -> Tuple[SparseGrid, Tuple[int, ...]]:
     """Transform a sparse grid into its level-``level`` approximation subband.
 
@@ -159,6 +194,13 @@ def wavelet_smooth_grid(
         and reused for every axis pass.
     n_workers:
         Thread count for chunked line-batch fan-out (``None`` = one per CPU).
+    shrink:
+        Optional :class:`~repro.wavelets.LevelPolicy` adding a MAD-scaled
+        VisuShrink denoising pass in the wavelet domain.  Per-level policies
+        re-estimate the noise scale and cut after every decomposition level;
+        ``global-soft`` shrinks the final approximation band once.
+        ``global-hard`` (and ``None``) add nothing here -- the adaptive
+        elbow criterion downstream already is the global hard cut.
 
     Returns
     -------
@@ -174,6 +216,7 @@ def wavelet_smooth_grid(
     resolved = (
         backend if isinstance(backend, TransformBackend) else resolve_backend(backend, bank)
     )
+    per_level = shrink is not None and shrink.mode == "per-level"
     current = grid
     for _ in range(level):
         if min(current.shape) < 2:
@@ -185,6 +228,10 @@ def wavelet_smooth_grid(
             current = _transform_axis(
                 current, bank, axis, workspace=scratch, backend=resolved, n_workers=n_workers
             )
+        if per_level:
+            current = _shrink_grid(current, shrink.rule)
+    if shrink is not None and shrink.mode == "global" and shrink.rule == "soft":
+        current = _shrink_grid(current, "soft")
     return current, current.shape
 
 

@@ -182,8 +182,17 @@ def extract_clusters_reference(
     connectivity: str,
     min_cluster_cells: int,
 ) -> Dict[Cell, int]:
-    """Threshold filter + components + small-component suppression (literal)."""
-    surviving = [cell for cell, density in transformed.items() if density > threshold]
+    """Threshold filter + components + small-component suppression (literal).
+
+    Uses the same tie-stable cut as the vectorized extraction
+    (:func:`repro.core.pipeline.snapped_cut`), so reference and vectorized
+    survivor sets agree across all transform backends even on exact density
+    ties at the threshold.
+    """
+    from repro.core.pipeline import snapped_cut
+
+    cut = snapped_cut(threshold)
+    surviving = [cell for cell, density in transformed.items() if density > cut]
     if not surviving:
         return {}
     labels = connected_components_reference(surviving, connectivity=connectivity)

@@ -48,7 +48,11 @@ from repro.experiments.serving import (
     run_shm_throughput,
     run_tracing_overhead,
 )
-from repro.experiments.tuning import run_tune_overhead, run_tuning_comparison
+from repro.experiments.tuning import (
+    run_tune_overhead,
+    run_tuning_comparison,
+    run_widened_sweep_overhead,
+)
 from repro.experiments.drift import run_drift_recovery, run_retune_cost
 from repro.experiments.reporting import format_table
 
@@ -76,6 +80,7 @@ __all__ = [
     "run_tracing_overhead",
     "run_tune_overhead",
     "run_tuning_comparison",
+    "run_widened_sweep_overhead",
     "run_drift_recovery",
     "run_retune_cost",
     "format_table",

@@ -187,3 +187,61 @@ def run_tune_overhead(
             ratio_to_fixed=result.metadata["default_tune_ratio"],
         )
     return result
+
+
+def run_widened_sweep_overhead(
+    n_points: int = 100_000,
+    base_scale: int = 128,
+    noise_fraction: float = 0.75,
+    seed: int = 0,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Wall-clock cost of the threshold-policy sweep against a single fit.
+
+    ``AdaWave(threshold="tune")`` at a fixed scale quantizes once and runs
+    one grid pass per level policy ({hard, soft} x {global, per-level MAD}),
+    so the widened sweep must cost a small multiple of one fit -- the
+    grid-side stages are ``O(cells)``, never ``O(points)``.  Metadata
+    carries ``widened_ratio`` (widened sweep / fixed fit); the benchmark
+    ceiling pins it at 2.5x for the n = 100k configuration.
+    """
+    dataset = scaled_runtime_dataset(n_points, noise_fraction=noise_fraction, seed=seed)
+    X = dataset.points
+
+    def _best(fn) -> float:
+        best = np.inf
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    seconds_fixed = _best(lambda: AdaWave(scale=base_scale).fit(X))
+    widened = AdaWave(scale=base_scale, threshold="tune")
+    seconds_widened = _best(lambda: widened.fit(X))
+
+    result = ExperimentResult(
+        experiment="E9: widened threshold-sweep overhead",
+        columns=["configuration", "policies", "seconds", "ratio_to_fixed"],
+        metadata={
+            "n_points": dataset.n_samples,
+            "base_scale": base_scale,
+            "noise_fraction": noise_fraction,
+            "seed": seed,
+            "chosen_threshold_method": widened.threshold_method_,
+            "widened_ratio": float(seconds_widened / max(seconds_fixed, 1e-9)),
+        },
+    )
+    result.add_row(
+        configuration="fixed fit",
+        policies="global-hard",
+        seconds=float(seconds_fixed),
+        ratio_to_fixed=1.0,
+    )
+    result.add_row(
+        configuration="threshold sweep (4 policies)",
+        policies="{hard,soft} x {global,per-level}",
+        seconds=float(seconds_widened),
+        ratio_to_fixed=result.metadata["widened_ratio"],
+    )
+    return result

@@ -161,10 +161,20 @@ class ClusterModel:
         else:
             coords = np.empty((0, ndim), dtype=np.int64)
             labels = np.empty(0, dtype=np.int64)
-        wavelet = getattr(estimator, "wavelet", None)
+        wavelet = getattr(estimator, "wavelet_", None)
+        if wavelet is None:
+            spec = getattr(estimator, "wavelet", None)
+            wavelet = getattr(spec, "name", None) or str(spec)
         metadata = {
-            "wavelet": getattr(wavelet, "name", None) or str(wavelet),
-            "threshold_method": getattr(estimator, "threshold_method", None),
+            "wavelet": wavelet,
+            # The denoising level policy the fitted run used (canonical
+            # LevelPolicy name, sweep winners resolved); load() rejects
+            # unknown values so a typo'd or tampered artifact cannot serve.
+            "threshold_method": getattr(estimator, "threshold_method_", None),
+            # The elbow-detection rule the estimator was configured with
+            # ("auto" / "segments" / "angle" / "distance" / "none").
+            "threshold_selector": getattr(estimator, "threshold_method", None),
+            # The elbow rule that actually fired on this run's density curve.
             "threshold_rule": result.threshold.method,
             "n_seen": int(getattr(estimator, "n_seen_", 0)),
         }
@@ -402,6 +412,18 @@ class ClusterModel:
                 f"{path} header declares {header.get('n_cells')} cells but the "
                 f"arrays hold {model.n_cells}; artifact is corrupted."
             )
+        threshold_method = model.metadata.get("threshold_method")
+        if threshold_method is not None:
+            from repro.wavelets.thresholding import THRESHOLD_POLICY_NAMES
+
+            if threshold_method not in THRESHOLD_POLICY_NAMES:
+                raise ValueError(
+                    f"{path} declares unknown threshold_method "
+                    f"{threshold_method!r}; this build knows "
+                    f"{THRESHOLD_POLICY_NAMES}. The artifact was written by "
+                    "an incompatible build or has been tampered with; "
+                    "re-export the model."
+                )
         return model
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

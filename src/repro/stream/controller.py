@@ -94,13 +94,19 @@ class StreamController:
         thread inside the control loop's lock: keep them quick, and never
         call back into the controller from one (hand off to a queue or
         thread instead).
-    wavelet, threshold_method, connectivity, min_cluster_cells, angle_divisor,
-    backend:
+    wavelet, threshold, threshold_method, connectivity, min_cluster_cells,
+    angle_divisor, backend:
         Grid-side pipeline parameters used by both the re-tune sweep and the
         drift monitor's fresh-partition pass.  ``backend`` selects the
         transform kernel (``"auto"`` = fastest registered; see
         :mod:`repro.wavelets.backends`), so every re-tune inherits the fast
         path and records it in the published artifact's metadata.
+        ``wavelet`` may be a sequence and ``threshold`` may be ``"tune"``:
+        both widen the re-tune sweep's axes (every re-tune re-picks the
+        basis / level policy from the live sketch), and the winners are
+        published in the swapped model's metadata (``wavelet`` /
+        ``threshold_method``) so the monitor's fresh pass follows the
+        served configuration.
 
     Attributes
     ----------
@@ -147,6 +153,7 @@ class StreamController:
         on_drift: Optional[Callable[[DriftReport], None]] = None,
         on_swap: Optional[Callable[[str, ClusterModel], None]] = None,
         wavelet: str = "bior2.2",
+        threshold="hard",
         threshold_method: str = "auto",
         connectivity: str = "auto",
         min_cluster_cells: int = 3,
@@ -181,8 +188,13 @@ class StreamController:
             if not 0.0 < decay <= 1.0:
                 raise ValueError(f"decay must be in (0, 1] or None; got {decay}.")
         self.decay = decay
+        if not (isinstance(threshold, str) and threshold == "tune"):
+            from repro.wavelets.thresholding import LevelPolicy
+
+            LevelPolicy.parse(threshold)  # fail fast, before warmup is spent
         self._pipeline_params: Dict[str, object] = dict(
             wavelet=wavelet,
+            threshold=threshold,
             threshold_method=threshold_method,
             connectivity=connectivity,
             min_cluster_cells=min_cluster_cells,
@@ -314,6 +326,8 @@ class StreamController:
                     "tuning": tune_result.provenance(),
                     "stage_seconds": dict(best.pipeline.stage_seconds),
                     "transform_backend": best.pipeline.backend,
+                    "wavelet": best.wavelet,
+                    "threshold_method": best.threshold_method,
                 },
             )
             self.version_ = self.service.swap(self.name, model)

@@ -84,10 +84,16 @@ class DriftMonitor:
     max_noise_shift:
         Drift is flagged when the live noise-band mass fraction moves more
         than this far from the fraction recorded at publish time.
-    wavelet, threshold_method, connectivity, min_cluster_cells, angle_divisor,
-    backend:
+    wavelet, threshold, threshold_method, connectivity, min_cluster_cells,
+    angle_divisor, backend:
         Grid-side pipeline parameters for the fresh partition; use the same
-        values the serving models are tuned with.
+        values the serving models are tuned with.  Sweep-axis specs are
+        resolved against the served model at check time: a ``wavelet``
+        sequence or ``threshold="tune"`` makes the fresh pass adopt the
+        basis / level policy the served model's metadata records (falling
+        back to the defaults when the artifact predates that provenance),
+        so the drift score measures distribution shift rather than a
+        configuration mismatch.
 
     Attributes
     ----------
@@ -103,6 +109,7 @@ class DriftMonitor:
         min_stability: float = 0.7,
         max_noise_shift: float = 0.15,
         wavelet: str = "bior2.2",
+        threshold="hard",
         threshold_method: str = "auto",
         connectivity: str = "auto",
         min_cluster_cells: int = 3,
@@ -115,8 +122,13 @@ class DriftMonitor:
             raise ValueError(f"max_noise_shift must be in (0, 1]; got {max_noise_shift}.")
         self.min_stability = float(min_stability)
         self.max_noise_shift = float(max_noise_shift)
+        if not (isinstance(threshold, str) and threshold == "tune"):
+            from repro.wavelets.thresholding import LevelPolicy
+
+            LevelPolicy.parse(threshold)  # fail fast on typos
         self._pipeline_params = dict(
             wavelet=wavelet,
+            threshold=threshold,
             threshold_method=threshold_method,
             connectivity=connectivity,
             min_cluster_cells=min_cluster_cells,
@@ -127,6 +139,25 @@ class DriftMonitor:
         self.baseline_noise_fraction_: Optional[float] = None
         # Scratch buffer reused by every fresh-partition pipeline pass.
         self._workspace = Workspace()
+
+    def _fresh_params(self) -> dict:
+        """Pipeline params for the fresh pass, sweep specs pinned to the model.
+
+        A re-tuning controller hands this monitor the same widened axis
+        specs it sweeps with (``threshold="tune"``, a wavelet sequence); the
+        fresh partition must instead reproduce the *served* configuration,
+        which the swapped model's metadata records.  Artifacts that predate
+        the provenance keys fall back to the defaults.
+        """
+        params = dict(self._pipeline_params)
+        metadata = self.model_.metadata if self.model_ is not None else {}
+        threshold = params.get("threshold", "hard")
+        if isinstance(threshold, str) and threshold == "tune":
+            params["threshold"] = metadata.get("threshold_method") or "hard"
+        wavelet = params.get("wavelet", "bior2.2")
+        if isinstance(wavelet, (list, tuple)):
+            params["wavelet"] = metadata.get("wavelet") or "bior2.2"
+        return params
 
     # -- geometry ---------------------------------------------------------------
 
@@ -216,7 +247,7 @@ class DriftMonitor:
             coarse,
             level=self.model_.level,
             workspace=self._workspace,
-            **self._pipeline_params,
+            **self._fresh_params(),
         )
         fresh = CellLabelIndex(pipe.cell_coords, pipe.cell_labels).lookup(
             coords // combined

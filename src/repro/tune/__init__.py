@@ -42,12 +42,18 @@ from repro.tune.pyramid import (
 )
 from repro.tune.scoring import CandidateScore, score_candidates, weighted_partition_nmi
 from repro.tune.select import TuneResult, select_best, tune_pyramid
-from repro.tune.sweep import Candidate, evaluate_candidate, sweep_pyramid
+from repro.tune.sweep import (
+    DEFAULT_THRESHOLD_SWEEP,
+    Candidate,
+    evaluate_candidate,
+    sweep_pyramid,
+)
 
 __all__ = [
     "Candidate",
     "CandidateScore",
     "DEFAULT_MIN_SCALE",
+    "DEFAULT_THRESHOLD_SWEEP",
     "GridPyramid",
     "PyramidLevel",
     "TuneResult",

@@ -98,15 +98,21 @@ class GridPyramid:
         factors: Optional[Sequence[int]] = None,
     ) -> None:
         base_scale = base_grid.shape
-        for size in base_scale:
-            if not is_power_of_two(size):
-                raise ValueError(
-                    f"grid pyramids require power-of-two base scales so that "
-                    f"cell boundaries nest exactly across levels; got shape "
-                    f"{base_scale}. Use a power-of-two scale (e.g. "
-                    f"AdaWave.auto_scale) or an explicit integer scale "
-                    f"without tuning."
-                )
+        # A single-level "pyramid" (explicit factors all 1) never coarsens,
+        # so nesting is moot and any base scale works -- this is how the
+        # non-resolution sweep axes (wavelet, threshold policy) stay
+        # reachable at explicit non-power-of-two scales.
+        trivial = factors is not None and all(int(f) == 1 for f in factors)
+        if not trivial:
+            for size in base_scale:
+                if not is_power_of_two(size):
+                    raise ValueError(
+                        f"grid pyramids require power-of-two base scales so that "
+                        f"cell boundaries nest exactly across levels; got shape "
+                        f"{base_scale}. Use a power-of-two scale (e.g. "
+                        f"AdaWave.auto_scale) or an explicit integer scale "
+                        f"without tuning."
+                    )
         if factors is None:
             factors = []
             factor = 1

@@ -29,10 +29,20 @@ paper's own elbow rule reads structure off the density curve):
 * **cluster-count prior** -- candidates with fewer than two clusters score
   zero (nothing to serve), and implausibly fragmented candidates decay
   harmonically.
+* **mass retention** -- contrast-style criteria monotonically reward a more
+  aggressive cut (erode everything but the densest cores and the survivor /
+  filtered contrast can only grow), so they cannot arbitrate the *threshold
+  policy* axis on their own.  Candidates that share a resolution, level and
+  wavelet see identical data, so a policy that discards markedly more mass
+  than the most conservative policy in that group is cutting into signal its
+  other criteria cannot vouch for; its total is scaled by the fraction of
+  that policy's retained mass.  Sweeps with a single threshold policy (the
+  plain ``scale="tune"`` path) have singleton groups, where the factor is
+  identically 1.0.
 
-The total is ``prior * sanity * mean(stability, sharpness, concentration)``;
-all factors live in ``[0, 1]`` so the score table is directly comparable
-across runs.
+The total is ``prior * sanity * retention * mean(stability, sharpness,
+concentration)``; all factors live in ``[0, 1]`` so the score table is
+directly comparable across runs.
 """
 
 from __future__ import annotations
@@ -63,6 +73,7 @@ class CandidateScore:
     sharpness: float
     concentration: float
     cluster_prior: float
+    retention: float
     total: float
 
 
@@ -159,6 +170,39 @@ def cluster_concentration(candidate: Candidate, base_values: np.ndarray) -> floa
     return min(1.0, effective / n_clusters)
 
 
+def mass_retention(candidates: Sequence[Candidate]) -> List[float]:
+    """Retained-mass factor per candidate, relative to its policy group.
+
+    Candidates sharing ``(factor, level, wavelet)`` differ only in threshold
+    policy, so their clustered-mass fractions are directly comparable: the
+    group's most conservative policy defines the reference retained mass, and
+    each member's factor is ``(1 - nf) / (1 - nf_min)`` -- the share of that
+    reference mass the member kept.  This is the counterweight the threshold
+    axis needs: sharpness and concentration both *rise* under an erosive cut
+    (only the densest cores survive), so without a retention term the sweep
+    would always flatter the most aggressive denoiser.  Singleton groups
+    (every sweep without a threshold axis) get 1.0, leaving resolution-only
+    tuning untouched.
+    """
+    by_group: Dict[Tuple[int, int, str], List[int]] = {}
+    for position, candidate in enumerate(candidates):
+        group = (candidate.factor, candidate.level, candidate.wavelet)
+        by_group.setdefault(group, []).append(position)
+    factors = [1.0] * len(candidates)
+    for positions in by_group.values():
+        if len(positions) < 2:
+            continue
+        reference = max(
+            1.0 - candidates[position].noise_fraction for position in positions
+        )
+        if reference <= 0.0:
+            continue
+        for position in positions:
+            kept = max(0.0, 1.0 - candidates[position].noise_fraction)
+            factors[position] = min(1.0, kept / reference)
+    return factors
+
+
 def cluster_prior(n_clusters: int, max_plausible: int = MAX_PLAUSIBLE_CLUSTERS) -> float:
     """0 for degenerate candidates, harmonic decay for fragmented ones."""
     if n_clusters < 2:
@@ -173,15 +217,18 @@ def score_candidates(
 ) -> List[CandidateScore]:
     """Score every candidate; input order (the sweep's) is preserved.
 
-    Stability compares each candidate against its dyadic neighbours *at the
-    same decomposition level*; the first/last resolution of a level group
-    only has one neighbour.  A single-candidate sweep gets stability 1.0
-    (nothing to contradict it).
+    Stability compares each candidate against its dyadic resolution
+    neighbours *within the same (decomposition level, wavelet, threshold
+    policy) group* -- cross-axis comparisons would measure how much the axes
+    disagree, not whether a resolution is stable.  The first/last resolution
+    of a group only has one neighbour; a single-candidate group gets
+    stability 1.0 (nothing to contradict it).
     """
     base_values = np.asarray(base_values, dtype=np.float64)
-    by_level: Dict[int, List[int]] = {}
+    by_group: Dict[Tuple[int, str, str], List[int]] = {}
     for position, candidate in enumerate(candidates):
-        by_level.setdefault(candidate.level, []).append(position)
+        group = (candidate.level, candidate.wavelet, candidate.threshold_method)
+        by_group.setdefault(group, []).append(position)
 
     stabilities = [1.0] * len(candidates)
     pair_nmi: Dict[Tuple[int, int], float] = {}
@@ -196,7 +243,7 @@ def score_candidates(
             )
         return pair_nmi[key]
 
-    for positions in by_level.values():
+    for positions in by_group.values():
         ordered = sorted(positions, key=lambda p: candidates[p].factor)
         for rank, position in enumerate(ordered):
             neighbors = []
@@ -210,6 +257,8 @@ def score_candidates(
                 np.mean([_agreement(position, neighbor) for neighbor in neighbors])
             )
 
+    retentions = mass_retention(candidates)
+
     scores: List[CandidateScore] = []
     for position, candidate in enumerate(candidates):
         sanity = noise_sanity(candidate.noise_fraction)
@@ -217,7 +266,7 @@ def score_candidates(
         concentration = cluster_concentration(candidate, base_values)
         prior = cluster_prior(candidate.n_clusters)
         quality = (stabilities[position] + sharpness + concentration) / 3.0
-        total = prior * sanity * quality
+        total = prior * sanity * retentions[position] * quality
         scores.append(
             CandidateScore(
                 candidate=candidate,
@@ -226,6 +275,7 @@ def score_candidates(
                 sharpness=sharpness,
                 concentration=concentration,
                 cluster_prior=prior,
+                retention=retentions[position],
                 total=float(total),
             )
         )

@@ -44,6 +44,8 @@ class TuneResult:
                     if len(set(candidate.scale)) > 1
                     else int(candidate.scale[0]),
                     "level": candidate.level,
+                    "wavelet": candidate.wavelet,
+                    "threshold_method": candidate.threshold_method,
                     "n_clusters": candidate.n_clusters,
                     "noise_fraction": float(candidate.noise_fraction),
                     "threshold": float(candidate.pipeline.threshold.threshold),
@@ -52,6 +54,7 @@ class TuneResult:
                     "sharpness": score.sharpness,
                     "concentration": score.concentration,
                     "cluster_prior": score.cluster_prior,
+                    "retention": score.retention,
                     "score": score.total,
                     "selected": score is self.best,
                 }
@@ -69,6 +72,16 @@ class TuneResult:
     def level(self) -> int:
         """The selected wavelet decomposition level."""
         return self.best.candidate.level
+
+    @property
+    def wavelet(self) -> str:
+        """The selected wavelet basis (trivial unless the basis was swept)."""
+        return self.best.candidate.wavelet
+
+    @property
+    def threshold_method(self) -> str:
+        """The selected level policy's canonical name (e.g. ``"global-hard"``)."""
+        return self.best.candidate.threshold_method
 
     @property
     def threshold(self) -> float:
@@ -111,6 +124,8 @@ class TuneResult:
             "base_scale": list(self.base_scale),
             "chosen_scale": list(self.best.candidate.scale),
             "chosen_level": self.level,
+            "chosen_wavelet": self.wavelet,
+            "chosen_threshold_method": self.threshold_method,
             "n_candidates": len(self.scores),
             "candidates": self.table(),
         }
@@ -149,8 +164,11 @@ def tune_pyramid(
 
     The complete tuning pass: ``O(cells)`` per candidate after the single
     quantization that produced ``base_grid``.  ``pipeline_params`` are the
-    grid-side stage parameters (``wavelet``, ``threshold_method``,
-    ``connectivity``, ``min_cluster_cells``, ``angle_divisor``).
+    grid-side stage parameters; a ``wavelet`` sequence and
+    ``threshold="tune"`` widen the sweep beyond resolutions (see
+    :func:`repro.tune.sweep.sweep_pyramid`), all from this one shared
+    quantization.  ``factors=(1,)`` pins the resolution to the base scale so
+    only the non-resolution axes sweep.
     """
     pyramid = GridPyramid(base_grid, min_scale=min_scale, factors=factors)
     candidates = sweep_pyramid(

@@ -28,6 +28,11 @@ from repro.core.transform import Workspace
 from repro.grid.lookup import NOISE_LABEL, CellLabelIndex
 from repro.grid.sparse_grid import SparseGrid
 from repro.tune.pyramid import GridPyramid, PyramidLevel
+from repro.wavelets.thresholding import LevelPolicy
+
+#: Level policies ``threshold="tune"`` sweeps, default (the paper's
+#: global-hard pipeline) first so score ties resolve to it.
+DEFAULT_THRESHOLD_SWEEP = ("hard", "soft", "per-level-hard", "per-level-soft")
 
 
 @dataclass
@@ -60,6 +65,12 @@ class Candidate:
         This is what lets the scoring step compare two candidates'
         partitions -- mass-weighted over cells -- without touching points.
         ``None`` after :meth:`~repro.tune.TuneResult.compact`.
+    wavelet:
+        Name of the wavelet basis the candidate ran with (a sweep axis when
+        the estimator is given a sequence of bases).
+    threshold_method:
+        Canonical level-policy name the candidate ran with (a sweep axis
+        under ``threshold="tune"``).
     """
 
     factor: int
@@ -70,6 +81,8 @@ class Candidate:
     grid: Optional[SparseGrid]
     pipeline: Optional[GridPipelineResult]
     base_cell_labels: Optional[np.ndarray]
+    wavelet: str = "bior2.2"
+    threshold_method: str = "global-hard"
 
 
 def evaluate_candidate(
@@ -117,6 +130,8 @@ def evaluate_candidate(
         grid=pyramid_level.grid,
         pipeline=pipe,
         base_cell_labels=base_cell_labels,
+        wavelet=pipe.wavelet,
+        threshold_method=pipe.threshold_policy,
     )
 
 
@@ -128,29 +143,48 @@ def sweep_pyramid(
     workspace: Optional[Workspace] = None,
     **pipeline_params,
 ) -> List[Candidate]:
-    """Evaluate every (pyramid level x decomposition level) candidate.
+    """Evaluate every (pyramid x decomposition x wavelet x policy) candidate.
 
-    Returns the candidates grouped by decomposition level, finest resolution
-    first within each group -- the order the scoring step's adjacent-scale
-    comparisons expect.  ``pipeline_params`` are the grid-side stage
-    parameters (``wavelet``, ``threshold_method``, ``connectivity``,
-    ``min_cluster_cells``, ``angle_divisor``).
+    Returns the candidates grouped by (decomposition level, wavelet,
+    threshold policy), finest resolution first within each group -- the
+    order the scoring step's adjacent-scale comparisons expect.
+    ``pipeline_params`` are the grid-side stage parameters; two of them are
+    sweep axes rather than scalars: a ``wavelet`` *sequence* sweeps the
+    basis family, and ``threshold="tune"`` sweeps the level policies in
+    :data:`DEFAULT_THRESHOLD_SWEEP` (default policy first, so score ties
+    resolve to the paper's global-hard pipeline).
     """
     levels = [int(lv) for lv in levels]
     if not levels or any(lv < 1 for lv in levels):
         raise ValueError(f"levels must be a non-empty sequence of ints >= 1; got {levels}.")
+    wavelet_spec = pipeline_params.pop("wavelet", "bior2.2")
+    if isinstance(wavelet_spec, (list, tuple)):
+        wavelets = tuple(wavelet_spec)
+        if not wavelets:
+            raise ValueError("a swept wavelet sequence must not be empty.")
+    else:
+        wavelets = (wavelet_spec,)
+    threshold_spec = pipeline_params.pop("threshold", "hard")
+    if isinstance(threshold_spec, str) and threshold_spec == "tune":
+        thresholds = DEFAULT_THRESHOLD_SWEEP
+    else:
+        thresholds = (threshold_spec,)
+    for spec in thresholds:
+        LevelPolicy.parse(spec)  # fail fast, before any candidate runs
     base = pyramid.levels[0].grid
     base_factor = pyramid.levels[0].factor
     base_coords = base.coords
     base_values = base.values
     jobs = [
-        (pyramid_level, level)
+        (pyramid_level, level, wavelet, threshold)
         for level in levels
+        for wavelet in wavelets
+        for threshold in thresholds
         for pyramid_level in pyramid.levels
     ]
 
     def _run(job, scratch: Optional[Workspace]) -> Candidate:
-        pyramid_level, level = job
+        pyramid_level, level, wavelet, threshold = job
         return evaluate_candidate(
             pyramid_level,
             base_coords,
@@ -158,6 +192,8 @@ def sweep_pyramid(
             level=level,
             base_factor=base_factor,
             workspace=scratch,
+            wavelet=wavelet,
+            threshold=threshold,
             **pipeline_params,
         )
 

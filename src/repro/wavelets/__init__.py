@@ -45,8 +45,15 @@ from repro.wavelets.dwt import (
 )
 from repro.wavelets.ndwt import dwt2, idwt2, dwtn, idwtn, smooth_nd
 from repro.wavelets.thresholding import (
+    LEVEL_MODES,
+    THRESHOLD_POLICY_NAMES,
+    THRESHOLD_RULES,
+    LevelPolicy,
     hard_threshold,
+    level_thresholds,
+    mad_sigma,
     soft_threshold,
+    threshold_levels,
     universal_threshold,
     percentile_threshold,
     threshold_coefficients,
@@ -76,8 +83,15 @@ __all__ = [
     "dwtn",
     "idwtn",
     "smooth_nd",
+    "LEVEL_MODES",
+    "THRESHOLD_POLICY_NAMES",
+    "THRESHOLD_RULES",
+    "LevelPolicy",
     "hard_threshold",
+    "level_thresholds",
+    "mad_sigma",
     "soft_threshold",
+    "threshold_levels",
     "universal_threshold",
     "percentile_threshold",
     "threshold_coefficients",

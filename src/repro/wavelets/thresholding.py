@@ -10,23 +10,65 @@ that step and for the WaveCluster baseline:
   threshold, keep the rest unchanged;
 * soft thresholding -- additionally shrink the surviving coefficients toward
   zero by the threshold (Donoho-Johnstone);
-* the universal threshold ``sigma * sqrt(2 log n)`` with a median-absolute-
-  deviation noise estimate;
-* percentile thresholding, the rule WaveCluster applies to grid densities.
+* the universal (VisuShrink) threshold ``sigma * sqrt(2 log n)`` with a
+  median-absolute-deviation noise estimate;
+* percentile thresholding, the rule WaveCluster applies to grid densities;
+* level-dependent application: :class:`LevelPolicy` describes whether the
+  noise scale is estimated once for the whole decomposition or re-estimated
+  per wavelet level (WaveLab's MultiMAD convention), and whether the cut is
+  hard or soft.  :func:`level_thresholds` / :func:`threshold_levels` apply a
+  policy to a sequence of per-level coefficient bands.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
+
+#: Valid cut rules for a :class:`LevelPolicy`.
+THRESHOLD_RULES = ("hard", "soft")
+
+#: Valid noise-scale estimation modes for a :class:`LevelPolicy`.
+LEVEL_MODES = ("global", "per-level")
+
+#: Canonical names of every level policy, default first (the tuning sweep's
+#: ``threshold="tune"`` axis and the set :meth:`repro.serve.ClusterModel.load`
+#: accepts as ``threshold_method`` metadata).
+THRESHOLD_POLICY_NAMES = (
+    "global-hard",
+    "global-soft",
+    "per-level-hard",
+    "per-level-soft",
+)
+
+#: Shorthand spellings accepted by :meth:`LevelPolicy.parse` in addition to
+#: the canonical names: a bare rule means global application.
+_POLICY_ALIASES = {"hard": "global-hard", "soft": "global-soft"}
+
+
+def _check_threshold(threshold: float) -> float:
+    """Validate a threshold value *before* touching any coefficient array.
+
+    Rejects NaN explicitly: ``NaN < 0`` is false and ``|x| < NaN`` is false
+    everywhere, so an unvalidated NaN would silently keep every coefficient.
+    """
+    threshold = float(threshold)
+    if np.isnan(threshold):
+        raise ValueError(
+            "threshold is NaN; a NaN cut would silently keep every "
+            "coefficient. Check the noise-scale estimate that produced it."
+        )
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative; got {threshold}.")
+    return threshold
 
 
 def hard_threshold(values, threshold: float) -> np.ndarray:
     """Zero every entry with ``|value| < threshold``; keep the rest unchanged."""
+    threshold = _check_threshold(threshold)
     arr = np.asarray(values, dtype=np.float64)
-    if threshold < 0:
-        raise ValueError(f"threshold must be non-negative; got {threshold}.")
     result = arr.copy()
     result[np.abs(result) < threshold] = 0.0
     return result
@@ -37,22 +79,48 @@ def soft_threshold(values, threshold: float) -> np.ndarray:
 
     ``sign(x) * max(|x| - threshold, 0)`` -- the Donoho-Johnstone soft rule.
     """
+    threshold = _check_threshold(threshold)
     arr = np.asarray(values, dtype=np.float64)
-    if threshold < 0:
-        raise ValueError(f"threshold must be non-negative; got {threshold}.")
     return np.sign(arr) * np.maximum(np.abs(arr) - threshold, 0.0)
 
 
-def universal_threshold(values) -> float:
-    """Donoho-Johnstone universal threshold ``sigma * sqrt(2 ln n)``.
+def mad_sigma(values) -> float:
+    """Robust noise-scale estimate ``MAD / 0.6745`` with a std fallback.
 
-    The noise scale ``sigma`` is estimated robustly from the median absolute
-    deviation of the coefficients (MAD / 0.6745).
+    On sparse-grid densities the median absolute deviation collapses to zero
+    whenever at least half the coefficients share the median value -- the
+    common case, which previously made the universal threshold a silent
+    no-op.  When the MAD collapses the estimate falls back to the standard
+    deviation; only genuinely constant input (no spread at all) raises.
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot estimate a noise scale from an empty array.")
+    mad = float(np.median(np.abs(arr - np.median(arr))))
+    if mad > 0.0:
+        return mad / 0.6745
+    std = float(arr.std())
+    if std > 0.0:
+        return std
+    raise ValueError(
+        "cannot estimate a noise scale from constant input: every "
+        "coefficient equals the median, so both the MAD and the standard "
+        "deviation are zero."
+    )
+
+
+def universal_threshold(values) -> float:
+    """Donoho-Johnstone universal (VisuShrink) threshold ``sigma * sqrt(2 ln n)``.
+
+    The noise scale ``sigma`` comes from :func:`mad_sigma`: MAD / 0.6745,
+    falling back to the standard deviation when the MAD collapses (at least
+    half the coefficients equal to the median).  Raises ``ValueError`` for
+    empty or constant input, where no scale is estimable.
     """
     arr = np.asarray(values, dtype=np.float64).ravel()
     if arr.size == 0:
         raise ValueError("cannot estimate a threshold from an empty array.")
-    sigma = np.median(np.abs(arr - np.median(arr))) / 0.6745
+    sigma = mad_sigma(arr)
     return float(sigma * np.sqrt(2.0 * np.log(max(arr.size, 2))))
 
 
@@ -69,6 +137,135 @@ def percentile_threshold(values, percentile: float) -> float:
     if not 0.0 <= percentile <= 100.0:
         raise ValueError(f"percentile must be in [0, 100]; got {percentile}.")
     return float(np.percentile(np.abs(arr), percentile))
+
+
+@dataclass(frozen=True)
+class LevelPolicy:
+    """How the MAD-scaled VisuShrink denoising applies across wavelet levels.
+
+    ``rule`` is the cut (``"hard"`` zeroes sub-threshold coefficients,
+    ``"soft"`` additionally shrinks the survivors); ``mode`` is where the
+    noise scale comes from (``"global"`` estimates one pooled sigma for the
+    whole decomposition, ``"per-level"`` re-estimates it from each level's
+    own coefficients -- WaveLab's MultiMAD convention, which adapts to
+    noise whose energy varies across scales).
+
+    Inside the grid pipeline the policies map onto the paper's stages as
+    follows: the elbow criterion (Algorithm 4) *is* the global hard rule --
+    a data-driven global hard threshold on the transformed densities -- so
+    ``global-hard`` (the default) adds no extra wavelet-domain pass and
+    reproduces the paper's pipeline exactly.  The other three policies add a
+    MAD-scaled VisuShrink pass in the wavelet domain before the elbow runs:
+    ``global-soft`` once on the final approximation band, the per-level
+    policies after every decomposition level.
+    """
+
+    rule: str = "hard"
+    mode: str = "global"
+
+    def __post_init__(self) -> None:
+        if self.rule not in THRESHOLD_RULES:
+            raise ValueError(
+                f"rule must be one of {THRESHOLD_RULES}; got {self.rule!r}."
+            )
+        if self.mode not in LEVEL_MODES:
+            raise ValueError(
+                f"mode must be one of {LEVEL_MODES}; got {self.mode!r}."
+            )
+
+    @property
+    def name(self) -> str:
+        """Canonical ``"<mode>-<rule>"`` spelling (e.g. ``"per-level-soft"``)."""
+        return f"{self.mode}-{self.rule}"
+
+    @property
+    def denoises(self) -> bool:
+        """Whether this policy adds a wavelet-domain MAD pass in the pipeline.
+
+        ``global-hard`` does not: the elbow criterion already is the global
+        hard cut, applied downstream on the transformed densities.
+        """
+        return not (self.rule == "hard" and self.mode == "global")
+
+    @classmethod
+    def parse(cls, spec: Union[str, "LevelPolicy"]) -> "LevelPolicy":
+        """Resolve a policy spec: an instance, a canonical name, or a bare rule.
+
+        ``"hard"`` / ``"soft"`` mean global application; the canonical
+        ``"global-hard"`` / ``"global-soft"`` / ``"per-level-hard"`` /
+        ``"per-level-soft"`` names select explicitly.  Anything else raises
+        ``ValueError`` listing the options.
+        """
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, str):
+            canonical = _POLICY_ALIASES.get(spec, spec)
+            if canonical in THRESHOLD_POLICY_NAMES:
+                mode, _, rule = canonical.rpartition("-")
+                return cls(rule=rule, mode=mode)
+        options = THRESHOLD_POLICY_NAMES + tuple(_POLICY_ALIASES)
+        raise ValueError(
+            f"threshold must be a LevelPolicy or one of {options}; got {spec!r}."
+        )
+
+
+def level_thresholds(
+    bands: Sequence[np.ndarray], mode: str = "per-level"
+) -> List[float]:
+    """VisuShrink threshold per wavelet level under the given estimation mode.
+
+    With ``mode="per-level"`` each band gets ``mad_sigma(band) *
+    sqrt(2 ln n_band)`` from its own coefficients; with ``mode="global"``
+    one pooled sigma is estimated from all bands together and combined with
+    each band's own ``sqrt(2 ln n_band)`` factor.  When every band holds the
+    same coefficients the two modes agree exactly (pooling preserves the
+    median and the MAD of a repeated multiset; under the std fallback the
+    agreement is to floating-point roundoff).  Bands whose
+    noise scale is unestimable (empty or constant) get threshold 0.0 -- a
+    no-op cut -- rather than failing the whole decomposition.
+    """
+    if mode not in LEVEL_MODES:
+        raise ValueError(f"mode must be one of {LEVEL_MODES}; got {mode!r}.")
+    arrays = [np.asarray(band, dtype=np.float64).ravel() for band in bands]
+    if mode == "global":
+        pooled = np.concatenate(arrays) if arrays else np.empty(0)
+        try:
+            sigma = mad_sigma(pooled)
+        except ValueError:
+            sigma = 0.0
+        return [
+            float(sigma * np.sqrt(2.0 * np.log(max(arr.size, 2))))
+            for arr in arrays
+        ]
+    thresholds = []
+    for arr in arrays:
+        try:
+            thresholds.append(universal_threshold(arr))
+        except ValueError:
+            thresholds.append(0.0)
+    return thresholds
+
+
+def threshold_levels(
+    bands: Sequence[np.ndarray],
+    policy: Union[str, LevelPolicy],
+    thresholds: Sequence[float] = None,
+) -> List[np.ndarray]:
+    """Apply a :class:`LevelPolicy` to per-level coefficient bands.
+
+    ``thresholds`` overrides the per-band cut values (mostly for tests);
+    by default they come from :func:`level_thresholds` under the policy's
+    mode.  Returns one thresholded array per input band.
+    """
+    policy = LevelPolicy.parse(policy)
+    if thresholds is None:
+        thresholds = level_thresholds(bands, policy.mode)
+    elif len(thresholds) != len(bands):
+        raise ValueError(
+            f"got {len(thresholds)} thresholds for {len(bands)} bands."
+        )
+    apply_rule = soft_threshold if policy.rule == "soft" else hard_threshold
+    return [apply_rule(band, cut) for band, cut in zip(bands, thresholds)]
 
 
 def threshold_coefficients(

@@ -1,0 +1,19 @@
+"""Shared test configuration: Hypothesis profiles.
+
+The ``default`` profile carries the fast-lane example budget; the
+``nightly`` profile multiplies it for the property suites.  Property tests
+must not pin ``max_examples`` in a per-test ``@settings`` (an explicit
+setting overrides the loaded profile, silently disabling the nightly
+budget).  Nightly CI selects the profile with ``HYPOTHESIS_PROFILE=nightly``
+and prints the derandomization seed so a failing night is replayable
+locally with ``--hypothesis-seed=<seed>``.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", max_examples=100, deadline=None)
+settings.register_profile("nightly", max_examples=500, deadline=None)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

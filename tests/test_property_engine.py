@@ -206,18 +206,18 @@ class TestEndToEndEngineEquivalence:
     @given(seed=st.integers(min_value=0, max_value=30))
     @settings(max_examples=10, deadline=None)
     def test_engines_produce_identical_labels(self, seed):
-        # backend="numpy" pins the vectorized engine to the same convolution
-        # numerics the per-cell reference uses, so this property isolates
-        # engine equivalence.  The lifting backend rounds (slightly more
-        # accurately) elsewhere, which can flip exact density ties at the
-        # threshold on random data; lifting-vs-numpy label agreement is
-        # gated separately on the golden fixtures
-        # (tests/test_wavelet_backends.py).
+        # Every registered backend must reproduce the per-cell reference
+        # labels: the survivor cut is tie-snapped (repro.core.pipeline
+        # .snapped_cut), so last-ulp rounding differences between backends
+        # cannot flip exact density ties at the threshold.
+        from repro.wavelets.backends import available_backends
+
         rng = np.random.default_rng(seed)
         blob = rng.normal(loc=0.3, scale=0.04, size=(150, 2))
         noise = rng.uniform(size=(150, 2))
         X = np.vstack([blob, noise])
-        vec = AdaWave(scale=32, backend="numpy").fit(X)
         ref = reference.fit_reference(X, scale=32)
-        np.testing.assert_array_equal(vec.labels_, ref.labels)
-        assert vec.n_clusters_ == ref.n_clusters
+        for backend in available_backends():
+            vec = AdaWave(scale=32, backend=backend).fit(X)
+            np.testing.assert_array_equal(vec.labels_, ref.labels)
+            assert vec.n_clusters_ == ref.n_clusters

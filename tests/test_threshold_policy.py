@@ -1,0 +1,268 @@
+"""Integration tests for the threshold-policy tuning axis.
+
+The level-dependent MAD thresholding threads one axis through the whole
+stack: ``run_grid_pipeline(threshold=...)`` -> ``AdaWave(threshold=...)`` ->
+``tune_pyramid`` (``threshold="tune"`` sweeps {hard, soft} x {global,
+per-level}) -> the stream control plane's re-tunes -> ``ClusterModel``
+metadata.  These tests pin the axis end to end, including the acceptance
+bar: on seeded high-noise suites the sweep's pick must never be worse than
+the fixed global-hard default on noise-aware AMI.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.adawave import AdaWave
+from repro.core.pipeline import run_grid_pipeline
+from repro.datasets.synthetic import noise_sweep_dataset
+from repro.metrics import ami_on_true_clusters
+from repro.serve import ClusteringService, ClusterModel
+from repro.stream import DriftMonitor, StreamController, StreamSketch
+from repro.tune import DEFAULT_THRESHOLD_SWEEP
+from repro.tune.scoring import mass_retention
+from repro.wavelets.thresholding import THRESHOLD_POLICY_NAMES, LevelPolicy
+
+BOUNDS = ([0.0, 0.0], [1.0, 1.0])
+
+
+@pytest.fixture(scope="module")
+def noisy():
+    return noise_sweep_dataset(noise_fraction=0.85, n_per_cluster=300, seed=0)
+
+
+class TestPolicyFits:
+    @pytest.mark.parametrize("name", THRESHOLD_POLICY_NAMES)
+    def test_every_policy_fits_and_records_provenance(self, noisy, name):
+        est = AdaWave(scale=64, threshold=name).fit(noisy.points)
+        assert est.threshold_method_ == name
+        assert est.wavelet_ == "bior2.2"
+        assert len(est.labels_) == len(noisy.points)
+
+    def test_aliases_resolve_to_global_policies(self, noisy):
+        est = AdaWave(scale=64, threshold="soft").fit(noisy.points)
+        assert est.threshold_method_ == "global-soft"
+
+    def test_default_equals_explicit_global_hard(self, noisy):
+        # global-hard adds no wavelet-domain pass -- the elbow *is* the
+        # global hard cut -- so the default path must stay bit-identical.
+        plain = AdaWave(scale=64).fit(noisy.points)
+        explicit = AdaWave(scale=64, threshold="global-hard").fit(noisy.points)
+        np.testing.assert_array_equal(plain.labels_, explicit.labels_)
+        assert plain.threshold_ == explicit.threshold_
+
+    def test_policy_instance_accepted(self, noisy):
+        policy = LevelPolicy(rule="soft", mode="per-level")
+        est = AdaWave(scale=64, threshold=policy).fit(noisy.points)
+        assert est.threshold_method_ == "per-level-soft"
+
+    def test_unknown_policy_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="threshold"):
+            AdaWave(threshold="medium")
+
+
+class TestPipelinePolicies:
+    def test_per_level_soft_equals_global_soft_at_level_one(self, noisy):
+        # A one-level decomposition has a single approximation band, so
+        # estimating sigma per level and globally is the same estimate.
+        grid = AdaWave(scale=64).fit(noisy.points).result_.quantization.grid
+        global_ = run_grid_pipeline(grid, level=1, threshold="global-soft")
+        per_level = run_grid_pipeline(grid, level=1, threshold="per-level-soft")
+        np.testing.assert_array_equal(global_.cell_coords, per_level.cell_coords)
+        np.testing.assert_array_equal(global_.cell_labels, per_level.cell_labels)
+
+    def test_pipeline_records_policy_provenance(self, noisy):
+        grid = AdaWave(scale=64).fit(noisy.points).result_.quantization.grid
+        result = run_grid_pipeline(grid, threshold="per-level-hard")
+        assert result.threshold_policy == "per-level-hard"
+        assert result.wavelet == "bior2.2"
+
+
+class TestTuneSweep:
+    def test_sweep_covers_every_policy(self, noisy):
+        est = AdaWave(threshold="tune").fit(noisy.points)
+        table = est.tune_result_.table()
+        assert {row["threshold_method"] for row in table} == set(
+            THRESHOLD_POLICY_NAMES
+        )
+        assert sum(row["selected"] for row in table) == 1
+        assert est.threshold_method_ == est.tune_result_.threshold_method
+
+    def test_table_rows_carry_axis_columns(self, noisy):
+        est = AdaWave(threshold="tune").fit(noisy.points)
+        row = est.tune_result_.table()[0]
+        for key in ("wavelet", "threshold_method", "retention", "score"):
+            assert key in row
+
+    def test_default_policy_sweeps_first(self, noisy):
+        # Jobs are ordered with the default policy first so an exact score
+        # tie resolves to the paper's pipeline, not an arbitrary variant.
+        assert DEFAULT_THRESHOLD_SWEEP[0] == "hard"
+        est = AdaWave(threshold="tune").fit(noisy.points)
+        assert est.tune_result_.table()[0]["threshold_method"] == "global-hard"
+
+    def test_provenance_records_chosen_policy(self, noisy):
+        est = AdaWave(threshold="tune").fit(noisy.points)
+        provenance = est.tune_result_.provenance()
+        assert provenance["chosen_threshold_method"] in THRESHOLD_POLICY_NAMES
+        assert provenance["chosen_wavelet"] == "bior2.2"
+
+    def test_non_pow2_scale_still_tunes_threshold(self, noisy):
+        # A fixed non-dyadic scale pins the resolution (trivial pyramid) while
+        # the threshold axis still sweeps.
+        est = AdaWave(scale=96, threshold="tune").fit(noisy.points)
+        assert est.threshold_method_ in THRESHOLD_POLICY_NAMES
+        assert est.n_clusters_ >= 1
+
+    def test_explicit_policy_tuple_not_supported(self, noisy):
+        with pytest.raises(ValueError, match="threshold"):
+            AdaWave(threshold=("hard", "banana")).fit(noisy.points)
+
+
+class TestMassRetention:
+    @staticmethod
+    def _candidate(noise_fraction, factor=1, level=1, wavelet="bior2.2"):
+        return SimpleNamespace(
+            factor=factor, level=level, wavelet=wavelet, noise_fraction=noise_fraction
+        )
+
+    def test_singleton_groups_are_untouched(self):
+        candidates = [self._candidate(0.3, factor=1), self._candidate(0.9, factor=2)]
+        assert mass_retention(candidates) == [1.0, 1.0]
+
+    def test_aggressive_policy_is_scaled_by_kept_mass(self):
+        conservative = self._candidate(0.80)
+        aggressive = self._candidate(0.90)
+        factors = mass_retention([conservative, aggressive])
+        assert factors[0] == 1.0
+        assert factors[1] == pytest.approx(0.10 / 0.20)
+
+    def test_groups_split_by_resolution_level_and_wavelet(self):
+        candidates = [
+            self._candidate(0.80, factor=1),
+            self._candidate(0.90, factor=2),
+            self._candidate(0.80, level=2),
+            self._candidate(0.90, wavelet="haar"),
+        ]
+        assert mass_retention(candidates) == [1.0, 1.0, 1.0, 1.0]
+
+    def test_all_noise_group_degrades_to_one(self):
+        candidates = [self._candidate(1.0), self._candidate(1.0)]
+        assert mass_retention(candidates) == [1.0, 1.0]
+
+
+class TestAcceptanceAMI:
+    @pytest.mark.parametrize("noise,seed", [(0.85, 0), (0.9, 1)])
+    def test_tuned_pick_never_loses_to_default_on_high_noise(self, noise, seed):
+        # The acceptance bar: sweeping {hard, soft} x {global, per-level MAD}
+        # must pick a method whose noise-aware AMI is at least the fixed
+        # global-hard default's on seeded high-noise suites.
+        ds = noise_sweep_dataset(
+            noise_fraction=noise, n_per_cluster=300, seed=seed
+        )
+        base = AdaWave(threshold="hard").fit(ds.points)
+        tuned = AdaWave(threshold="tune").fit(ds.points)
+        ami_base = ami_on_true_clusters(ds.labels, base.labels_)
+        ami_tuned = ami_on_true_clusters(ds.labels, tuned.labels_)
+        assert ami_tuned >= ami_base, (
+            f"tuned pick {tuned.threshold_method_!r} scored AMI "
+            f"{ami_tuned:.3f} < default's {ami_base:.3f}"
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("noise", [0.75, 0.85, 0.9])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_acceptance_full_suite(self, noise, seed):
+        ds = noise_sweep_dataset(
+            noise_fraction=noise, n_per_cluster=800, seed=seed
+        )
+        base = AdaWave(threshold="hard").fit(ds.points)
+        tuned = AdaWave(threshold="tune").fit(ds.points)
+        assert ami_on_true_clusters(ds.labels, tuned.labels_) >= ami_on_true_clusters(
+            ds.labels, base.labels_
+        )
+
+
+class TestModelMetadata:
+    def test_export_records_canonical_policy_and_selector(self, noisy):
+        model = AdaWave(scale=64, threshold="per-level-soft").fit(
+            noisy.points
+        ).export_model()
+        assert model.metadata["threshold_method"] == "per-level-soft"
+        assert model.metadata["threshold_selector"] == "auto"
+        assert model.metadata["threshold_rule"] in (
+            "segments", "angle", "distance", "none",
+        )
+
+    def test_tuned_export_resolves_sweep_winner(self, noisy):
+        est = AdaWave(threshold="tune").fit(noisy.points)
+        model = est.export_model()
+        assert model.metadata["threshold_method"] == est.threshold_method_
+        assert model.metadata["threshold_method"] in THRESHOLD_POLICY_NAMES
+
+    def test_round_trip_preserves_policy_metadata(self, noisy, tmp_path):
+        est = AdaWave(scale=64, threshold="global-soft").fit(noisy.points)
+        path = est.export_model().save(tmp_path / "model.npz")
+        loaded = ClusterModel.load(path)
+        assert loaded.metadata["threshold_method"] == "global-soft"
+        np.testing.assert_array_equal(
+            loaded.predict(noisy.points), est.labels_
+        )
+
+    def test_load_rejects_unknown_policy(self, noisy, tmp_path):
+        model = AdaWave(scale=64).fit(noisy.points).export_model()
+        model.metadata["threshold_method"] = "quantum-garrote"
+        path = model.save(tmp_path / "tampered.npz")
+        with pytest.raises(ValueError, match="threshold_method"):
+            ClusterModel.load(path)
+
+    def test_load_allows_artifacts_without_policy_metadata(self, noisy, tmp_path):
+        # Artifacts written before the axis existed carry no key; they must
+        # keep loading.
+        model = AdaWave(scale=64).fit(noisy.points).export_model()
+        del model.metadata["threshold_method"]
+        path = model.save(tmp_path / "legacy.npz")
+        assert ClusterModel.load(path).metadata.get("threshold_method") is None
+
+
+class TestStreamThresholdAxis:
+    def test_controller_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="threshold"):
+            StreamController("bad", BOUNDS, 2, threshold="medium")
+
+    def test_retuned_model_publishes_policy_provenance(self, noisy):
+        service = ClusteringService()
+        controller = StreamController(
+            "live",
+            BOUNDS,
+            2,
+            service=service,
+            threshold="tune",
+            warmup=len(noisy.points) // 2,
+            check_every=1,
+        )
+        try:
+            rng = np.random.default_rng(3)
+            permutation = rng.permutation(len(noisy.points))
+            for batch in np.array_split(permutation, 4):
+                controller.ingest(noisy.points[batch])
+            assert controller.model_ is not None
+            metadata = controller.model_.metadata
+            assert metadata["threshold_method"] in THRESHOLD_POLICY_NAMES
+            assert metadata["wavelet"] == "bior2.2"
+            assert service.registry.get("live") is controller.model_
+        finally:
+            controller.close()
+            service.close()
+
+    def test_drift_monitor_resolves_tune_spec_from_metadata(self, noisy):
+        sketch = StreamSketch(BOUNDS, 256, 2)
+        sketch.ingest(noisy.points)
+        est = AdaWave(threshold="tune", bounds=BOUNDS).fit(noisy.points)
+        monitor = DriftMonitor(threshold="tune")
+        monitor.rebase(est.export_model(), sketch)
+        report = monitor.assess(sketch)
+        # Same data the model was tuned on: the re-fit under the resolved
+        # policy explains it, so no drift is flagged.
+        assert not report.drifted

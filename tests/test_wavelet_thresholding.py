@@ -5,10 +5,16 @@ import pytest
 
 from repro.wavelets.ndwt import dwtn
 from repro.wavelets.thresholding import (
+    LEVEL_MODES,
+    THRESHOLD_POLICY_NAMES,
+    LevelPolicy,
     hard_threshold,
+    level_thresholds,
+    mad_sigma,
     percentile_threshold,
     soft_threshold,
     threshold_coefficients,
+    threshold_levels,
     universal_threshold,
 )
 
@@ -45,6 +51,46 @@ class TestSoftThreshold:
             soft_threshold([1.0], -1.0)
 
 
+class TestNanThresholdRejected:
+    """A NaN cut keeps every coefficient (all comparisons false), so both
+    rules must refuse it before touching the data."""
+
+    def test_hard_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            hard_threshold([1.0, 2.0], float("nan"))
+
+    def test_soft_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            soft_threshold([1.0, 2.0], float("nan"))
+
+    def test_validation_runs_before_array_conversion(self):
+        # An invalid threshold must raise its own error even when the values
+        # argument is itself garbage -- validate-first semantics.
+        with pytest.raises(ValueError, match="non-negative"):
+            hard_threshold(object(), -1.0)
+
+
+class TestMadSigma:
+    def test_matches_mad_scaling_for_gaussian_noise(self):
+        rng = np.random.default_rng(7)
+        sigma = mad_sigma(rng.normal(scale=2.0, size=20_000))
+        assert sigma == pytest.approx(2.0, rel=0.05)
+
+    def test_half_identical_values_fall_back_to_std(self):
+        # MAD collapses (half the entries equal the median) but the spread
+        # is real; the estimate must come from the std, not silently be 0.
+        values = np.array([1.0] * 8 + [5.0, -3.0, 9.0, 2.5])
+        assert mad_sigma(values) == pytest.approx(float(np.std(values)))
+
+    def test_constant_input_rejected(self):
+        with pytest.raises(ValueError, match="constant"):
+            mad_sigma(np.full(32, 7.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mad_sigma([])
+
+
 class TestUniversalThreshold:
     def test_scales_with_noise_level(self):
         rng = np.random.default_rng(0)
@@ -59,6 +105,162 @@ class TestUniversalThreshold:
     def test_positive_for_random_input(self):
         rng = np.random.default_rng(1)
         assert universal_threshold(rng.standard_normal(256)) > 0
+
+    def test_half_identical_values_give_positive_threshold(self):
+        # Regression: a majority-at-the-median band used to collapse the MAD
+        # to zero, making the universal threshold 0.0 -- a silent no-op cut.
+        values = np.array([2.0] * 10 + [40.0, 35.0, -20.0, 55.0, 12.0, 8.0])
+        assert universal_threshold(values) > 0
+
+    def test_constant_input_rejected(self):
+        # All-identical input has no estimable noise scale; the old code
+        # returned 0.0 here too, which hid the degenerate band from callers.
+        with pytest.raises(ValueError, match="constant"):
+            universal_threshold(np.ones(64))
+
+
+class TestLevelPolicy:
+    def test_aliases_mean_global_application(self):
+        assert LevelPolicy.parse("hard") == LevelPolicy(rule="hard", mode="global")
+        assert LevelPolicy.parse("soft") == LevelPolicy(rule="soft", mode="global")
+
+    @pytest.mark.parametrize("name", THRESHOLD_POLICY_NAMES)
+    def test_canonical_names_round_trip(self, name):
+        assert LevelPolicy.parse(name).name == name
+
+    def test_instance_passes_through(self):
+        policy = LevelPolicy(rule="soft", mode="per-level")
+        assert LevelPolicy.parse(policy) is policy
+
+    def test_unknown_spec_lists_options(self):
+        with pytest.raises(ValueError, match="global-hard"):
+            LevelPolicy.parse("medium")
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError, match="rule"):
+            LevelPolicy(rule="garrote")
+        with pytest.raises(ValueError, match="mode"):
+            LevelPolicy(mode="sometimes")
+
+    def test_only_global_hard_skips_denoising(self):
+        denoising = {
+            name: LevelPolicy.parse(name).denoises for name in THRESHOLD_POLICY_NAMES
+        }
+        assert denoising == {
+            "global-hard": False,
+            "global-soft": True,
+            "per-level-hard": True,
+            "per-level-soft": True,
+        }
+
+
+class TestLevelThresholds:
+    def test_per_level_uses_each_bands_own_scale(self):
+        rng = np.random.default_rng(3)
+        quiet = rng.normal(scale=0.1, size=512)
+        loud = rng.normal(scale=5.0, size=512)
+        cuts = level_thresholds([quiet, loud], mode="per-level")
+        assert cuts[1] > 10 * cuts[0]
+        assert cuts[0] == pytest.approx(universal_threshold(quiet))
+        assert cuts[1] == pytest.approx(universal_threshold(loud))
+
+    def test_global_pools_one_sigma(self):
+        rng = np.random.default_rng(4)
+        bands = [rng.normal(size=256), rng.normal(size=256)]
+        pooled = mad_sigma(np.concatenate(bands))
+        cuts = level_thresholds(bands, mode="global")
+        for cut, band in zip(cuts, bands):
+            expected = pooled * np.sqrt(2.0 * np.log(band.size))
+            assert cut == pytest.approx(expected)
+
+    def test_modes_agree_when_bands_are_identical(self):
+        # The median and MAD of k repeated copies of a band equal the band's
+        # own, so pooling changes nothing -- exact equality, not approximate.
+        rng = np.random.default_rng(5)
+        band = rng.normal(size=333)
+        bands = [band, band.copy(), band.copy()]
+        assert level_thresholds(bands, mode="global") == level_thresholds(
+            bands, mode="per-level"
+        )
+
+    def test_degenerate_band_gets_noop_cut(self):
+        rng = np.random.default_rng(6)
+        cuts = level_thresholds([np.ones(16), rng.normal(size=64)], mode="per-level")
+        assert cuts[0] == 0.0
+        assert cuts[1] > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            level_thresholds([np.ones(4)], mode="adaptive")
+
+
+class TestThresholdLevels:
+    def test_applies_rule_per_band(self):
+        bands = [np.array([0.5, 3.0]), np.array([-0.5, -3.0])]
+        hard = threshold_levels(bands, "per-level-hard", thresholds=[1.0, 1.0])
+        soft = threshold_levels(bands, "per-level-soft", thresholds=[1.0, 1.0])
+        np.testing.assert_allclose(hard[0], [0.0, 3.0])
+        np.testing.assert_allclose(hard[1], [0.0, -3.0])
+        np.testing.assert_allclose(soft[0], [0.0, 2.0])
+        np.testing.assert_allclose(soft[1], [0.0, -2.0])
+
+    def test_threshold_count_must_match_band_count(self):
+        with pytest.raises(ValueError, match="bands"):
+            threshold_levels([np.ones(4)], "hard", thresholds=[1.0, 2.0])
+
+    def test_default_thresholds_follow_policy_mode(self):
+        rng = np.random.default_rng(8)
+        bands = [rng.normal(scale=0.1, size=256), rng.normal(scale=5.0, size=256)]
+        cuts = level_thresholds(bands, mode="per-level")
+        expected = [hard_threshold(band, cut) for band, cut in zip(bands, cuts)]
+        result = threshold_levels(bands, "per-level-hard")
+        for got, want in zip(result, expected):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestGoldenValues:
+    """Hardcoded expected outputs pinning the numerical contract.
+
+    Any change to the sigma estimate, the sqrt(2 ln n) factor or the shrink
+    arithmetic shows up here as an exact mismatch, independent of the
+    property suite's generated examples.
+    """
+
+    BAND = np.array([0.5, -1.25, 2.0, -0.75, 3.5, 0.25, -2.5, 1.0])
+
+    def test_mad_sigma_golden(self):
+        assert mad_sigma(self.BAND) == pytest.approx(2.038547071905115, abs=1e-12)
+
+    def test_universal_threshold_golden(self):
+        assert universal_threshold(self.BAND) == pytest.approx(
+            4.157278314253855, abs=1e-12
+        )
+
+    def test_hard_threshold_golden(self):
+        np.testing.assert_allclose(
+            hard_threshold(self.BAND, 1.0),
+            [0.0, -1.25, 2.0, 0.0, 3.5, 0.0, -2.5, 1.0],
+        )
+
+    def test_soft_threshold_golden(self):
+        np.testing.assert_allclose(
+            soft_threshold(self.BAND, 1.0),
+            [0.0, -0.25, 1.0, 0.0, 2.5, 0.0, -1.5, 0.0],
+        )
+
+    def test_level_thresholds_golden(self):
+        quiet = np.array([0.1, -0.2, 0.15, -0.05, 0.3, -0.25])
+        loud = np.array([4.0, -6.0, 2.0, -8.0, 5.0, -3.0])
+        np.testing.assert_allclose(
+            level_thresholds([quiet, loud], mode="per-level"),
+            [0.49114637916137577, 14.032753690325022],
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            level_thresholds([quiet, loud], mode="global"),
+            [3.15736958032313, 3.15736958032313],
+            atol=1e-12,
+        )
 
 
 class TestPercentileThreshold:
@@ -95,3 +297,44 @@ class TestThresholdCoefficients:
     def test_unknown_rule_rejected(self):
         with pytest.raises(ValueError, match="rule"):
             threshold_coefficients({"aa": np.zeros((2, 2))}, 1.0, rule="garrote")
+
+    def test_empty_detail_bands_pass_through(self):
+        bands = {
+            "aa": np.empty((0, 4)),
+            "ad": np.empty((0, 4)),
+            "dd": np.empty((0, 0)),
+        }
+        result = threshold_coefficients(bands, threshold=1.0, rule="soft")
+        for key, band in bands.items():
+            assert result[key].shape == band.shape
+            assert result[key].dtype == np.float64
+
+    def test_keep_approximation_false_thresholds_every_band(self):
+        bands = {"aa": np.array([[0.4, 2.0]]), "da": np.array([[0.4, 2.0]])}
+        result = threshold_coefficients(
+            bands, threshold=1.0, rule="soft", keep_approximation=False
+        )
+        np.testing.assert_allclose(result["aa"], [[0.0, 1.0]])
+        np.testing.assert_allclose(result["da"], [[0.0, 1.0]])
+
+    def test_non_contiguous_views_match_contiguous_copies(self):
+        # Strided views (reversed, every-other-column) must threshold
+        # bit-identically to their contiguous copies.
+        rng = np.random.default_rng(9)
+        dense = rng.standard_normal((8, 8))
+        views = {
+            "aa": dense[::-1],
+            "ad": dense[:, ::2],
+            "da": dense.T,
+        }
+        contiguous = {key: np.ascontiguousarray(band) for key, band in views.items()}
+        for rule in ("hard", "soft"):
+            from_views = threshold_coefficients(
+                views, threshold=0.7, rule=rule, keep_approximation=False
+            )
+            from_copies = threshold_coefficients(
+                contiguous, threshold=0.7, rule=rule, keep_approximation=False
+            )
+            for key in views:
+                assert not views[key].flags["C_CONTIGUOUS"]
+                np.testing.assert_array_equal(from_views[key], from_copies[key])
